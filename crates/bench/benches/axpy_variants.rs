@@ -1,0 +1,29 @@
+//! Criterion comparison of the five Multiple-AXPY variants of Table I at a fixed, laptop-scale
+//! problem size (the figure binaries sweep the full parameter space; this bench is the quick,
+//! statistically controlled comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use weakdep_core::{Runtime, SharedSlice};
+use weakdep_kernels::axpy::{self, AxpyConfig, AxpyVariant};
+
+fn bench_axpy_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axpy");
+    group.sample_size(10);
+    let cfg = AxpyConfig { n: 1 << 20, calls: 5, task_size: 16 << 10, alpha: 1.000001 };
+    group.throughput(Throughput::Elements((cfg.n * cfg.calls) as u64));
+    let rt = Runtime::new(weakdep_core::RuntimeConfig::new());
+    let x = SharedSlice::<f64>::new(cfg.n);
+    let y = SharedSlice::<f64>::new(cfg.n);
+    for variant in AxpyVariant::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(variant.name()), &variant, |b, &variant| {
+            b.iter(|| {
+                axpy::initialize(&x, &y);
+                axpy::run_on(&rt, variant, &cfg, &x, &y)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axpy_variants);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion comparison of the four Gauss-Seidel variants of Figure 5 at a fixed, laptop-scale
+//! problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use weakdep_core::Runtime;
+use weakdep_kernels::gauss_seidel::{self, GsConfig, GsVariant};
+
+fn bench_gauss_seidel_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gauss-seidel");
+    group.sample_size(10);
+    let cfg = GsConfig { blocks: 8, ts: 32, iterations: 16 };
+    group.throughput(Throughput::Elements(
+        (cfg.interior_side() * cfg.interior_side() * cfg.iterations) as u64,
+    ));
+    let rt = Runtime::new(weakdep_core::RuntimeConfig::new());
+    let grid = gauss_seidel::Grid::new(cfg);
+    for variant in GsVariant::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(variant.name()), &variant, |b, &variant| {
+            b.iter(|| {
+                grid.reset();
+                gauss_seidel::run_on(&rt, variant, &grid)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gauss_seidel_variants);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation of the locality-aware successor scheduling (§VIII-A): the same dependency-chain
+//! workload with the immediate-successor dispatch enabled vs. disabled. The enabled variant keeps
+//! a task's successor on the releasing worker (warm cache, no queue round-trip); the disabled
+//! variant routes every ready task through the global injector. DESIGN.md lists this as the
+//! design-choice ablation behind the Figure 3 cache results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use weakdep_core::{Runtime, RuntimeConfig, SharedSlice};
+
+/// `chains` independent chains of `length` dependent block tasks each; every task streams its
+/// block (so cache reuse between consecutive links is what the locality policy buys).
+fn run_chains(rt: &Runtime, data: &[SharedSlice<f64>], length: usize) {
+    let block = data[0].len();
+    let data: Vec<SharedSlice<f64>> = data.to_vec();
+    rt.run(move |ctx| {
+        for d in &data {
+            for _ in 0..length {
+                let d2 = d.clone();
+                ctx.task().inout(d.region(0..block)).label("link").spawn(move |t| {
+                    let s = d2.write(t, 0..block);
+                    for v in s.iter_mut() {
+                        *v += 1.0;
+                    }
+                });
+            }
+        }
+    });
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locality-ablation");
+    group.sample_size(10);
+    let chains = 8usize;
+    let length = 200usize;
+    let block = 16 * 1024; // 128 KiB of f64 per chain: fits the simulated/real L2, not L1.
+    group.throughput(Throughput::Elements((chains * length) as u64));
+    for (name, enabled) in [("successor-slot", true), ("injector-only", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enabled, |b, &enabled| {
+            let rt = Runtime::new(RuntimeConfig::new().locality_scheduling(enabled));
+            let data: Vec<SharedSlice<f64>> =
+                (0..chains).map(|_| SharedSlice::<f64>::new(block)).collect();
+            b.iter(|| run_chains(&rt, &data, length));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

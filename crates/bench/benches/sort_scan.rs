@@ -1,0 +1,23 @@
+//! Criterion comparison of the quicksort + prefix-sum benchmark in its weak (weakwait + weak
+//! dependencies) and strong (taskwait + regular dependencies) variants (Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use weakdep_core::Runtime;
+use weakdep_kernels::sort_scan::{self, SortScanConfig, SortScanVariant};
+
+fn bench_sort_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort-scan");
+    group.sample_size(10);
+    let cfg = SortScanConfig { n: 1 << 17, ts: 1 << 12, seed: 7 };
+    group.throughput(Throughput::Elements(cfg.n as u64));
+    let rt = Runtime::new(weakdep_core::RuntimeConfig::new());
+    for variant in SortScanVariant::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(variant.name()), &variant, |b, &variant| {
+            b.iter(|| sort_scan::run(&rt, variant, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_scan);
+criterion_main!(benches);

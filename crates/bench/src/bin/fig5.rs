@@ -1,0 +1,55 @@
+//! Regenerates **Figure 5** of the paper: Gauss-Seidel performance (GFlop/s) as a function of
+//! the block/task size (32² … 256² elements) for the four variants, with 48 iterations.
+//!
+//! The shape to look for: `nest-weak` matches `flat-depend` at every task size and beats it at
+//! the smallest ones (parallel task instantiation); `nest-depend` is far below both because the
+//! strict outer dependencies serialise the iterations; the `release` directive adds overhead
+//! rather than helping (as the paper reports for this benchmark).
+
+use weakdep_bench::{emit, CommonArgs};
+use weakdep_core::Runtime;
+use weakdep_kernels::gauss_seidel::{self, GsConfig, GsVariant};
+
+fn main() {
+    let args = CommonArgs::parse();
+    // Grid side in elements; the paper uses 27648 (≈ 6 GiB) — the default here is laptop-scale.
+    let (side, iterations, task_sides): (usize, usize, Vec<usize>) = if args.full {
+        (27_648, 48, vec![32, 64, 128, 256])
+    } else if args.quick {
+        (256, 8, vec![32, 64])
+    } else {
+        (1_024, 48, vec![32, 64, 128, 256])
+    };
+
+    eprintln!(
+        "fig5: gauss-seidel, grid {side}x{side}, {iterations} iterations, {} workers",
+        args.cores
+    );
+
+    let rt = Runtime::with_workers(args.cores);
+    let headers = ["task_size", "variant", "gflops"];
+    let mut rows = Vec::new();
+    for &ts in &task_sides {
+        if side % ts != 0 {
+            eprintln!("  skipping task size {ts} (does not divide the grid side {side})");
+            continue;
+        }
+        let cfg = GsConfig { blocks: side / ts, ts, iterations };
+        let grid = gauss_seidel::Grid::new(cfg);
+        for variant in GsVariant::all() {
+            let mut best = 0.0f64;
+            for _ in 0..args.repeat {
+                grid.reset();
+                let run = gauss_seidel::run_on(&rt, variant, &grid);
+                best = best.max(run.gops());
+            }
+            rows.push(vec![
+                format!("{ts}x{ts}"),
+                variant.name().to_string(),
+                format!("{best:.3}"),
+            ]);
+            eprintln!("  {ts:>3}x{ts:<3}  {:<18} {best:>8.3} GFlop/s", variant.name());
+        }
+    }
+    emit(args.csv, &headers, &rows);
+}

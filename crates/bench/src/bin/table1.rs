@@ -1,0 +1,30 @@
+//! Regenerates **Table I** of the paper: the summary of the Multiple AXPY variants
+//! (nesting, outer/inner dependency kinds, synchronisation between levels).
+
+use weakdep_bench::{emit, CommonArgs};
+use weakdep_kernels::axpy::AxpyVariant;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("Table I — Summary of the Multiple AXPY series\n");
+    let headers = [
+        "Series",
+        "Nested",
+        "Outer deps",
+        "Inner deps",
+        "Synchronization between levels",
+    ];
+    let rows: Vec<Vec<String>> = AxpyVariant::all()
+        .iter()
+        .map(|v| {
+            vec![
+                v.name().to_string(),
+                if v.nested() { "yes" } else { "no" }.to_string(),
+                v.outer_dependencies().to_string(),
+                v.inner_dependencies().to_string(),
+                v.synchronization().to_string(),
+            ]
+        })
+        .collect();
+    emit(args.csv, &headers, &rows);
+}

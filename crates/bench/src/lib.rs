@@ -1,0 +1,201 @@
+//! Shared infrastructure for the figure/table binaries that regenerate the paper's evaluation.
+//!
+//! Every binary accepts the same command-line options:
+//!
+//! * `--cores N` — number of worker threads (default: all hardware threads);
+//! * `--full` — paper-scale problem sizes (the defaults are laptop-scale);
+//! * `--quick` — extra-small sizes for smoke testing;
+//! * `--csv` — machine-readable CSV on stdout instead of the formatted table;
+//! * `--repeat N` — repetitions per configuration (the best run is reported, as is customary
+//!   for throughput benchmarks).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+use weakdep_cachesim::{CacheConfig, CacheSimObserver};
+use weakdep_core::{Runtime, RuntimeConfig};
+use weakdep_trace::TraceCollector;
+
+/// Options common to all figure binaries.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Worker threads to use (`--cores`).
+    pub cores: usize,
+    /// Paper-scale sizes (`--full`).
+    pub full: bool,
+    /// Smoke-test sizes (`--quick`).
+    pub quick: bool,
+    /// CSV output (`--csv`).
+    pub csv: bool,
+    /// Repetitions per configuration (`--repeat`).
+    pub repeat: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            full: false,
+            quick: false,
+            csv: false,
+            repeat: 1,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses the process arguments. Unknown options abort with a usage message.
+    pub fn parse() -> Self {
+        let mut args = CommonArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--cores" => {
+                    args.cores = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--cores requires a positive integer"));
+                }
+                "--repeat" => {
+                    args.repeat = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--repeat requires a positive integer"));
+                }
+                "--full" => args.full = true,
+                "--quick" => args.quick = true,
+                "--csv" => args.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--cores N] [--full] [--quick] [--csv] [--repeat N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown option '{other}'")),
+            }
+        }
+        args.cores = args.cores.max(1);
+        args.repeat = args.repeat.max(1);
+        args
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("options: [--cores N] [--full] [--quick] [--csv] [--repeat N]");
+    std::process::exit(2);
+}
+
+/// A runtime plus the observers the figures need (cache simulator and trace collector).
+pub struct InstrumentedRuntime {
+    /// The runtime itself.
+    pub runtime: Runtime,
+    /// The per-worker cache model (Figure 3's bottom graph).
+    pub cachesim: Arc<CacheSimObserver>,
+    /// The execution trace (Figures 6 and 7).
+    pub trace: Arc<TraceCollector>,
+}
+
+impl InstrumentedRuntime {
+    /// Builds a runtime with `cores` workers, a cache simulator and a trace collector attached.
+    pub fn new(cores: usize) -> Self {
+        let cachesim = CacheSimObserver::shared(CacheConfig::default());
+        let trace = TraceCollector::shared();
+        let runtime = Runtime::new(
+            RuntimeConfig::new()
+                .workers(cores)
+                .observer(cachesim.clone())
+                .observer(trace.clone()),
+        );
+        InstrumentedRuntime { runtime, cachesim, trace }
+    }
+
+    /// Clears the observers (between repetitions / configurations).
+    pub fn reset_observers(&self) {
+        self.cachesim.reset();
+        self.trace.reset();
+    }
+}
+
+/// Prints a formatted table: a header row followed by data rows, columns padded to equal width.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Prints rows as CSV with the given header.
+pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Prints either a table or CSV depending on `csv`.
+pub fn emit(csv: bool, headers: &[&str], rows: &[Vec<String>]) {
+    if csv {
+        print_csv(headers, rows);
+    } else {
+        print_table(headers, rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_are_sane() {
+        let args = CommonArgs::default();
+        assert!(args.cores >= 1);
+        assert_eq!(args.repeat, 1);
+        assert!(!args.full && !args.quick && !args.csv);
+    }
+
+    #[test]
+    fn instrumented_runtime_collects_observations() {
+        let inst = InstrumentedRuntime::new(2);
+        inst.runtime.run(|ctx| {
+            let data = weakdep_core::SharedSlice::<f64>::new(1024);
+            let d = data.clone();
+            ctx.task().inout(data.region(0..1024)).label("bench-smoke").spawn(move |t| {
+                d.write(t, 0..1024)[0] = 1.0;
+            });
+        });
+        assert_eq!(inst.trace.len(), 1);
+        assert!(inst.cachesim.total_stats().accesses() > 0);
+        inst.reset_observers();
+        assert_eq!(inst.trace.len(), 0);
+        assert_eq!(inst.cachesim.total_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn table_formatting_does_not_panic() {
+        print_table(&["a", "bbbb"], &[vec!["1".into(), "2".into()]]);
+        print_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        emit(true, &["a"], &[vec!["x".into()]]);
+        emit(false, &["a"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Public dependency-declaration types: access types (including the paper's weak variants),
+//! dependency declarations, wait modes and declared-footprint normalisation.
+
+use weakdep_regions::{RangeUpdate, Region, RegionMap};
+
+/// The access type of a dependency declaration, mirroring the contents of the OpenMP `depend`
+/// clause plus the three weak variants proposed in §VI of the paper.
+///
+/// * `In` / `Out` / `InOut` — the task itself reads / writes / reads-and-writes the region.
+/// * `WeakIn` / `WeakOut` / `WeakInOut` — the task does **not** touch the region itself; only its
+///   (deeply nested) subtasks may. Weak accesses never defer the task's execution; they only link
+///   the task's inner dependency domain to its parent's domain.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AccessType {
+    /// Strong read (`depend(in: ...)`).
+    In,
+    /// Strong write (`depend(out: ...)`).
+    Out,
+    /// Strong read-write (`depend(inout: ...)`).
+    InOut,
+    /// Weak read (`depend(weakin: ...)`).
+    WeakIn,
+    /// Weak write (`depend(weakout: ...)`).
+    WeakOut,
+    /// Weak read-write (`depend(weakinout: ...)`).
+    WeakInOut,
+}
+
+impl AccessType {
+    /// `true` for the weak variants (the task does not access the data directly).
+    pub fn is_weak(self) -> bool {
+        matches!(self, AccessType::WeakIn | AccessType::WeakOut | AccessType::WeakInOut)
+    }
+
+    /// `true` if the access type implies a write for dependency-ordering purposes.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessType::Out
+                | AccessType::InOut
+                | AccessType::WeakOut
+                | AccessType::WeakInOut
+        )
+    }
+
+    /// The strong counterpart of a weak type (identity for strong types).
+    pub fn strengthened(self) -> AccessType {
+        match self {
+            AccessType::WeakIn => AccessType::In,
+            AccessType::WeakOut => AccessType::Out,
+            AccessType::WeakInOut => AccessType::InOut,
+            other => other,
+        }
+    }
+
+    /// A short human-readable name matching the paper's clause spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessType::In => "in",
+            AccessType::Out => "out",
+            AccessType::InOut => "inout",
+            AccessType::WeakIn => "weakin",
+            AccessType::WeakOut => "weakout",
+            AccessType::WeakInOut => "weakinout",
+        }
+    }
+}
+
+/// One entry of a task's `depend` clause: an access type applied to a region.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Depend {
+    /// The declared access type.
+    pub access: AccessType,
+    /// The region the access applies to.
+    pub region: Region,
+}
+
+impl Depend {
+    /// Convenience constructor.
+    pub fn new(access: AccessType, region: Region) -> Self {
+        Depend { access, region }
+    }
+}
+
+/// How the end of the task body relates to the completion of its children, per §IV–§V of the
+/// paper.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum WaitMode {
+    /// Plain OpenMP semantics: the task's dependencies are released when its body finishes,
+    /// regardless of still-running children (each child lives in its own isolated domain).
+    /// Codes that need ordering across nesting levels must call `taskwait` explicitly.
+    #[default]
+    None,
+    /// The `wait` clause (§IV): a detached taskwait. The body returns (and its stack is
+    /// released), but the task only completes — and releases all of its dependencies, at once —
+    /// when all of its descendants have completed.
+    Wait,
+    /// The `weakwait` clause (§V): like `wait`, but dependencies are released *incrementally*:
+    /// as soon as the body finishes, every fragment of the task's declared regions that is not
+    /// covered by a live child access is released; the remaining fragments are handed over to the
+    /// children and released as they finish. Equivalent to merging the task's inner dependency
+    /// domain into its parent's.
+    WeakWait,
+}
+
+/// A normalised dependency declaration: disjoint regions, each with a combined access mode.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NormalizedDep {
+    /// The region (disjoint from all other normalised entries of the same task).
+    pub region: Region,
+    /// Whether the combined access implies a write.
+    pub is_write: bool,
+    /// Whether the combined access is weak (only true if *every* overlapping declaration was
+    /// weak).
+    pub weak: bool,
+}
+
+/// Normalises a task's declared dependencies: overlapping declarations are fragmented and
+/// combined (write wins over read, strong wins over weak), empty regions are dropped.
+///
+/// The OpenMP specification leaves overlapping entries of a single `depend` clause undefined;
+/// combining them with an upgrade rule is the conservative choice and what the Nanos6 runtime
+/// does in practice.
+pub fn normalize_deps(deps: &[Depend]) -> Vec<NormalizedDep> {
+    #[derive(Clone, PartialEq)]
+    struct Combined {
+        is_write: bool,
+        weak: bool,
+    }
+
+    let mut map: RegionMap<Combined> = RegionMap::new();
+    for dep in deps {
+        if dep.region.is_empty() {
+            continue;
+        }
+        let is_write = dep.access.is_write();
+        let weak = dep.access.is_weak();
+        map.update(&dep.region, |_, existing| match existing {
+            Some(prev) => RangeUpdate::Set(Combined {
+                is_write: prev.is_write || is_write,
+                weak: prev.weak && weak,
+            }),
+            None => RangeUpdate::Set(Combined { is_write, weak }),
+        });
+    }
+    map.coalesce();
+    map.iter()
+        .map(|(region, c)| NormalizedDep { region, is_write: c.is_write, weak: c.weak })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakdep_regions::SpaceId;
+
+    fn r(start: usize, end: usize) -> Region {
+        Region::new(SpaceId(1), start, end)
+    }
+
+    #[test]
+    fn access_type_predicates() {
+        assert!(!AccessType::In.is_weak());
+        assert!(!AccessType::In.is_write());
+        assert!(AccessType::Out.is_write());
+        assert!(AccessType::InOut.is_write());
+        assert!(AccessType::WeakIn.is_weak());
+        assert!(!AccessType::WeakIn.is_write());
+        assert!(AccessType::WeakOut.is_weak());
+        assert!(AccessType::WeakOut.is_write());
+        assert!(AccessType::WeakInOut.is_weak());
+        assert!(AccessType::WeakInOut.is_write());
+        assert_eq!(AccessType::WeakInOut.strengthened(), AccessType::InOut);
+        assert_eq!(AccessType::In.strengthened(), AccessType::In);
+        assert_eq!(AccessType::WeakOut.name(), "weakout");
+    }
+
+    #[test]
+    fn normalize_disjoint_declarations() {
+        let deps = vec![
+            Depend::new(AccessType::In, r(0, 10)),
+            Depend::new(AccessType::Out, r(20, 30)),
+        ];
+        let norm = normalize_deps(&deps);
+        assert_eq!(
+            norm,
+            vec![
+                NormalizedDep { region: r(0, 10), is_write: false, weak: false },
+                NormalizedDep { region: r(20, 30), is_write: true, weak: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_upgrades_overlaps() {
+        // in + weakinout over the same range: the overlap becomes a strong write.
+        let deps = vec![
+            Depend::new(AccessType::In, r(0, 10)),
+            Depend::new(AccessType::WeakInOut, r(5, 15)),
+        ];
+        let norm = normalize_deps(&deps);
+        assert_eq!(
+            norm,
+            vec![
+                NormalizedDep { region: r(0, 5), is_write: false, weak: false },
+                NormalizedDep { region: r(5, 10), is_write: true, weak: false },
+                NormalizedDep { region: r(10, 15), is_write: true, weak: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_merges_adjacent_equal_entries() {
+        let deps = vec![
+            Depend::new(AccessType::In, r(0, 10)),
+            Depend::new(AccessType::In, r(10, 20)),
+        ];
+        let norm = normalize_deps(&deps);
+        assert_eq!(norm, vec![NormalizedDep { region: r(0, 20), is_write: false, weak: false }]);
+    }
+
+    #[test]
+    fn normalize_drops_empty_regions() {
+        let deps = vec![Depend::new(AccessType::InOut, r(5, 5))];
+        assert!(normalize_deps(&deps).is_empty());
+    }
+
+    #[test]
+    fn weak_only_if_all_weak() {
+        let deps = vec![
+            Depend::new(AccessType::WeakIn, r(0, 10)),
+            Depend::new(AccessType::WeakOut, r(0, 10)),
+        ];
+        let norm = normalize_deps(&deps);
+        assert_eq!(norm, vec![NormalizedDep { region: r(0, 10), is_write: true, weak: true }]);
+    }
+
+    #[test]
+    fn wait_mode_default_is_none() {
+        assert_eq!(WaitMode::default(), WaitMode::None);
+    }
+}

@@ -1,0 +1,1315 @@
+//! The dependency engine: nested dependency domains, weak accesses, and the fine-grained
+//! (per-fragment) release of dependencies across nesting levels.
+//!
+//! This module is the heart of the reproduction. It is a *pure* state machine — no threads, no
+//! locks — driven by four entry points called by the runtime under a single mutex:
+//!
+//! * [`DependencyEngine::register_task`] — a task is created with its declared dependencies;
+//! * [`DependencyEngine::body_finished`] — a task's body returned;
+//! * [`DependencyEngine::release_region`] — the `release` directive (§V of the paper);
+//! * deep completion bookkeeping, driven internally when descendants finish.
+//!
+//! # Model
+//!
+//! Every task owns a *dependency domain* for its children, represented by a **bottom map**:
+//! `region fragment → latest accessor group` (a writer, or the group of readers since the last
+//! writer). A task's own declared accesses are seeded into its bottom map, so a child access that
+//! finds no earlier sibling naturally links to the parent's access — this is how the outer domain
+//! reaches into the inner one (§VI).
+//!
+//! Every declared access tracks three per-fragment state sets:
+//!
+//! * `unsatisfied` — fragments whose predecessor has not yet produced the data;
+//! * `uncompleted` — fragments the task (or its live children) may still access;
+//! * `unreleased`  — fragments not yet handed to successors.
+//!
+//! A fragment is **released** exactly when it is both satisfied and completed. Releasing a
+//! fragment satisfies successor accesses in the same domain (release edges). Becoming satisfied
+//! is additionally forwarded *downwards* to child accesses that inherited the dependency through
+//! the parent's access (satisfaction edges) — that is the §VI propagation of dependencies into
+//! the inner domain. Completion policy depends on the wait mode:
+//!
+//! * [`WaitMode::None`]: all fragments complete when the body finishes (OpenMP default);
+//! * [`WaitMode::Wait`]: all fragments complete when the task *deeply* completes (§IV);
+//! * [`WaitMode::WeakWait`]: fragments complete as soon as the body has finished **and** no live
+//!   child access covers them; the rest complete one by one as children release them (§V).
+//!
+//! The `release` directive arms selected fragments for early completion regardless of the wait
+//! mode.
+//!
+//! Readiness: a task becomes ready when every **strong** access is fully satisfied; weak accesses
+//! never defer the task (§VI), they only link domains.
+
+use std::collections::VecDeque;
+
+use weakdep_regions::{CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet};
+
+use crate::access::{normalize_deps, Depend, WaitMode};
+
+/// Identifier of a task inside the engine (and the runtime).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TaskId(pub usize);
+
+/// Identifier of a data access (one per normalised dependency declaration of a task).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AccessId(pub usize);
+
+/// Effects of an engine transition that the runtime must act upon.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Tasks that became ready to execute (all strong accesses satisfied), in the order their
+    /// last dependency was released. The runtime schedules the first one onto the releasing
+    /// worker's immediate-successor slot (the locality policy of §VIII-A).
+    pub ready: Vec<TaskId>,
+    /// Tasks that became *deeply complete* (body finished and all descendants deeply complete).
+    /// The runtime uses this to wake `taskwait`s and to finish `Runtime::run`.
+    pub deeply_completed: Vec<TaskId>,
+}
+
+impl Effects {
+    /// `true` if the transition had no externally visible effect.
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty() && self.deeply_completed.is_empty()
+    }
+}
+
+/// Aggregate counters describing the work the engine has performed.
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    /// Tasks registered (including roots).
+    pub tasks_registered: usize,
+    /// Data accesses registered (after normalisation).
+    pub accesses_registered: usize,
+    /// Dependency edges created between accesses of the same domain.
+    pub release_edges: usize,
+    /// Satisfaction-forwarding edges created from a parent access to a child access.
+    pub satisfaction_edges: usize,
+    /// Tasks that were ready at registration time.
+    pub ready_at_registration: usize,
+    /// Fragments released through the incremental (weakwait / release-directive) path.
+    pub incremental_releases: usize,
+}
+
+/// What kind of event an edge waits for.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum EdgeFlavor {
+    /// Satisfied when the source access *releases* the overlapping fragments (same-domain
+    /// data-flow edge).
+    Release,
+    /// Satisfied when the source access becomes *satisfied* on the overlapping fragments
+    /// (parent-to-child forwarding edge across domains).
+    Satisfaction,
+}
+
+/// Outgoing edges of an access, indexed by region fragment so that satisfying or releasing one
+/// fragment only touches the successors that actually overlap it (an access with thousands of
+/// successors — e.g. a whole-array weak access with one child per block — must not be scanned
+/// linearly on every block release).
+type EdgeMap = RegionMap<Vec<AccessId>>;
+
+#[derive(Debug)]
+struct AccessState {
+    task: TaskId,
+    region: Region,
+    is_write: bool,
+    weak: bool,
+    /// Per-fragment count of predecessors that have not delivered the data yet. A fragment is
+    /// *satisfied* when its count drops to zero (several predecessors — e.g. a group of readers —
+    /// can cover the same fragment).
+    unsatisfied: CoverageCounter,
+    /// Fragments the task or its live children may still access.
+    uncompleted: RegionSet,
+    /// Fragments not yet released to successors.
+    unreleased: RegionSet,
+    /// Fragments armed for early completion by the `release` directive.
+    early_release: RegionSet,
+    /// Live child accesses covering fragments of this access.
+    child_coverage: CoverageCounter,
+    /// Same-domain successors (satisfied by my release), by pending fragment.
+    release_edges: EdgeMap,
+    /// Child accesses that inherited my dependency (satisfied by my satisfaction), by pending
+    /// fragment.
+    satisfaction_edges: EdgeMap,
+    /// Parent accesses whose coverage this access contributes to, with the overlap region.
+    parent_coverage: Vec<(AccessId, Region)>,
+}
+
+impl AccessState {
+    fn new(task: TaskId, region: Region, is_write: bool, weak: bool) -> Self {
+        AccessState {
+            task,
+            region,
+            is_write,
+            weak,
+            unsatisfied: CoverageCounter::new(),
+            uncompleted: RegionSet::from_region(region),
+            unreleased: RegionSet::from_region(region),
+            early_release: RegionSet::new(),
+            child_coverage: CoverageCounter::new(),
+            release_edges: EdgeMap::new(),
+            satisfaction_edges: EdgeMap::new(),
+            parent_coverage: Vec::new(),
+        }
+    }
+}
+
+/// The "latest accessor" of a bottom-map fragment: the last writer plus the readers registered
+/// since. The parent's own access is seeded as the initial writer so children link to it.
+#[derive(Debug, Clone, Default)]
+struct BottomEntry {
+    last_writer: Option<AccessId>,
+    readers: Vec<AccessId>,
+}
+
+#[derive(Debug)]
+struct TaskNode {
+    parent: Option<TaskId>,
+    wait_mode: WaitMode,
+    accesses: Vec<AccessId>,
+    /// This task's own declared accesses, by region (used for coverage bookkeeping).
+    own_map: RegionMap<AccessId>,
+    /// The dependency domain for this task's children.
+    bottom_map: RegionMap<BottomEntry>,
+    /// Number of strong accesses not yet fully satisfied.
+    pending_strong: usize,
+    /// The task has been reported ready (or was ready at registration).
+    scheduled: bool,
+    body_finished: bool,
+    /// Direct children that have not yet deeply completed.
+    live_children: usize,
+    deeply_completed: bool,
+}
+
+/// Internal cascade events, processed iteratively to keep the call stack flat.
+#[derive(Debug)]
+enum Event {
+    Satisfy { access: AccessId, parts: Vec<Region> },
+    Complete { access: AccessId, parts: Vec<Region> },
+}
+
+/// The dependency engine. See the module documentation for the model.
+#[derive(Debug, Default)]
+pub struct DependencyEngine {
+    tasks: Vec<TaskNode>,
+    accesses: Vec<AccessState>,
+    stats: EngineStats,
+}
+
+impl DependencyEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a root task: no parent, no dependencies, its body is about to run.
+    pub fn register_root(&mut self) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(TaskNode {
+            parent: None,
+            wait_mode: WaitMode::Wait,
+            accesses: Vec::new(),
+            own_map: RegionMap::new(),
+            bottom_map: RegionMap::new(),
+            pending_strong: 0,
+            scheduled: true,
+            body_finished: false,
+            live_children: 0,
+            deeply_completed: false,
+        });
+        self.stats.tasks_registered += 1;
+        id
+    }
+
+    /// Registers a new task as a child of `parent`, with the given declared dependencies and
+    /// wait mode. Returns the new task id and whether the task is immediately ready to run.
+    pub fn register_task(
+        &mut self,
+        parent: TaskId,
+        deps: &[Depend],
+        wait_mode: WaitMode,
+    ) -> (TaskId, bool) {
+        let _probe_start = std::time::Instant::now();
+        assert!(parent.0 < self.tasks.len(), "unknown parent task {parent:?}");
+        assert!(
+            !self.tasks[parent.0].deeply_completed,
+            "cannot create a child of a deeply completed task"
+        );
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(TaskNode {
+            parent: Some(parent),
+            wait_mode,
+            accesses: Vec::new(),
+            own_map: RegionMap::new(),
+            bottom_map: RegionMap::new(),
+            pending_strong: 0,
+            scheduled: false,
+            body_finished: false,
+            live_children: 0,
+            deeply_completed: false,
+        });
+        self.tasks[parent.0].live_children += 1;
+        self.stats.tasks_registered += 1;
+
+        let mut _t_link = std::time::Duration::ZERO;
+        let mut _t_cov = std::time::Duration::ZERO;
+        for dep in normalize_deps(deps) {
+            let access_id = AccessId(self.accesses.len());
+            self.accesses
+                .push(AccessState::new(id, dep.region, dep.is_write, dep.weak));
+            self.stats.accesses_registered += 1;
+            self.tasks[id.0].accesses.push(access_id);
+            self.tasks[id.0].own_map.insert(&dep.region, access_id);
+
+            let _p1 = std::time::Instant::now();
+            self.link_into_parent_domain(parent, access_id);
+            _t_link += _p1.elapsed();
+            let _p2 = std::time::Instant::now();
+            self.register_parent_coverage(parent, access_id);
+            _t_cov += _p2.elapsed();
+
+            // Seed the new task's own bottom map with this access, so its future children link
+            // to it (the cross-domain linking point of §VI).
+            let region = self.accesses[access_id.0].region;
+            self.tasks[id.0].bottom_map.insert(
+                &region,
+                BottomEntry { last_writer: Some(access_id), readers: Vec::new() },
+            );
+
+            // Count the access towards readiness if it is strong and has pending predecessors.
+            let access = &self.accesses[access_id.0];
+            if !access.weak && !access.unsatisfied.is_empty() {
+                self.tasks[id.0].pending_strong += 1;
+            }
+        }
+
+        let ready = self.tasks[id.0].pending_strong == 0;
+        if ready {
+            self.tasks[id.0].scheduled = true;
+            self.stats.ready_at_registration += 1;
+        }
+        // Optional debugging probe (set WEAKDEP_PROBE=1): reports registrations that take
+        // unexpectedly long, together with the sizes of the structures involved.
+        static PROBE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *PROBE.get_or_init(|| std::env::var_os("WEAKDEP_PROBE").is_some()) {
+            let elapsed = _probe_start.elapsed();
+            if elapsed.as_micros() > 500 {
+                eprintln!(
+                    "slow register: task {:?} parent {:?} took {} us (link {} us, coverage {} us); parent bottom_map {} own_map {} accesses_total {}",
+                    id, parent, elapsed.as_micros(), _t_link.as_micros(), _t_cov.as_micros(),
+                    self.tasks[parent.0].bottom_map.len(),
+                    self.tasks[parent.0].own_map.len(),
+                    self.accesses.len()
+                );
+            }
+        }
+        (id, ready)
+    }
+
+    /// The task's body has finished executing. Returns the ready / deeply-completed effects.
+    pub fn body_finished(&mut self, task: TaskId) -> Effects {
+        let mut effects = Effects::default();
+        let mut queue = VecDeque::new();
+
+        assert!(!self.tasks[task.0].body_finished, "body_finished called twice for {task:?}");
+        self.tasks[task.0].body_finished = true;
+
+        let wait_mode = self.tasks[task.0].wait_mode;
+        let access_ids = self.tasks[task.0].accesses.clone();
+        match wait_mode {
+            WaitMode::None => {
+                // OpenMP default: the task's dependencies are released when the body finishes.
+                for access_id in access_ids {
+                    let region = self.accesses[access_id.0].region;
+                    queue.push_back(Event::Complete { access: access_id, parts: vec![region] });
+                }
+            }
+            WaitMode::Wait => {
+                // All dependencies are held until deep completion (handled below / later).
+            }
+            WaitMode::WeakWait => {
+                // Fine-grained release: fragments not covered by live child accesses complete
+                // now; covered fragments are handed over to the children.
+                for access_id in access_ids {
+                    let region = self.accesses[access_id.0].region;
+                    let uncovered = self.accesses[access_id.0].child_coverage.uncovered_parts(&region);
+                    if !uncovered.is_empty() {
+                        self.stats.incremental_releases += uncovered.len();
+                        queue.push_back(Event::Complete { access: access_id, parts: uncovered });
+                    }
+                }
+            }
+        }
+
+        if self.tasks[task.0].live_children == 0 {
+            self.deep_complete(task, &mut queue, &mut effects);
+        }
+
+        self.process(&mut queue, &mut effects);
+        effects
+    }
+
+    /// The `release` directive (§V): the running task asserts it (and its *future* subtasks) will
+    /// no longer access `region`. The overlapping fragments of its declared accesses are armed
+    /// for early completion; fragments not covered by live child accesses complete immediately.
+    pub fn release_region(&mut self, task: TaskId, region: Region) -> Effects {
+        let mut effects = Effects::default();
+        let mut queue = VecDeque::new();
+
+        let access_ids = self.tasks[task.0].accesses.clone();
+        for access_id in access_ids {
+            let overlap = match self.accesses[access_id.0].region.intersection(&region) {
+                Some(o) => o,
+                None => continue,
+            };
+            self.accesses[access_id.0].early_release.add(&overlap);
+            let uncovered: Vec<Region> = self.accesses[access_id.0]
+                .child_coverage
+                .uncovered_parts(&overlap);
+            if !uncovered.is_empty() {
+                self.stats.incremental_releases += uncovered.len();
+                queue.push_back(Event::Complete { access: access_id, parts: uncovered });
+            }
+        }
+
+        self.process(&mut queue, &mut effects);
+        effects
+    }
+
+    /// Number of direct children of `task` that have not yet deeply completed.
+    pub fn live_children(&self, task: TaskId) -> usize {
+        self.tasks[task.0].live_children
+    }
+
+    /// `true` once `task`'s body has finished and all of its descendants have deeply completed.
+    pub fn is_deeply_completed(&self, task: TaskId) -> bool {
+        self.tasks[task.0].deeply_completed
+    }
+
+    /// `true` if the task has been reported ready (or executed).
+    pub fn is_scheduled(&self, task: TaskId) -> bool {
+        self.tasks[task.0].scheduled
+    }
+
+    /// The parent of `task`, if any.
+    pub fn parent(&self, task: TaskId) -> Option<TaskId> {
+        self.tasks[task.0].parent
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of tasks ever registered.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    // ------------------------------------------------------------------------------------------
+    // Registration helpers
+    // ------------------------------------------------------------------------------------------
+
+    /// Links a freshly created access into its parent's dependency domain (bottom map),
+    /// fragmenting against existing entries and creating the required edges.
+    fn link_into_parent_domain(&mut self, parent: TaskId, access_id: AccessId) {
+        let region = self.accesses[access_id.0].region;
+        let is_write = self.accesses[access_id.0].is_write;
+
+        // First pass (immutable wrt accesses): fragment the region against the parent's bottom
+        // map, record which edges to create and compute the new entry for every fragment.
+        struct PlannedEdge {
+            from: AccessId,
+            over: Region,
+        }
+        let mut planned: Vec<PlannedEdge> = Vec::new();
+
+        // We need to take the bottom map out of the parent node to appease the borrow checker
+        // (we only touch `planned` inside the closure).
+        let mut bottom_map = std::mem::take(&mut self.tasks[parent.0].bottom_map);
+        bottom_map.update(&region, |fragment, existing| {
+            let new_entry = match existing {
+                Some(entry) => {
+                    if is_write {
+                        // A writer waits for the readers since the last writer, or for the last
+                        // writer when there are none.
+                        if entry.readers.is_empty() {
+                            if let Some(w) = entry.last_writer {
+                                planned.push(PlannedEdge { from: w, over: fragment });
+                            }
+                        } else {
+                            for &r in &entry.readers {
+                                planned.push(PlannedEdge { from: r, over: fragment });
+                            }
+                        }
+                        BottomEntry { last_writer: Some(access_id), readers: Vec::new() }
+                    } else {
+                        // A reader waits for the last writer only; concurrent readers group.
+                        if let Some(w) = entry.last_writer {
+                            planned.push(PlannedEdge { from: w, over: fragment });
+                        }
+                        let mut readers = entry.readers.clone();
+                        readers.push(access_id);
+                        BottomEntry { last_writer: entry.last_writer, readers }
+                    }
+                }
+                None => {
+                    // Nothing accessed this fragment in the parent's domain before: there is no
+                    // predecessor (the parent's own accesses are pre-seeded, so a gap really
+                    // means "untracked by the parent").
+                    if is_write {
+                        BottomEntry { last_writer: Some(access_id), readers: Vec::new() }
+                    } else {
+                        BottomEntry { last_writer: None, readers: vec![access_id] }
+                    }
+                }
+            };
+            RangeUpdate::Set(new_entry)
+        });
+        self.tasks[parent.0].bottom_map = bottom_map;
+
+        for edge in planned {
+            self.add_edge(edge.from, access_id, &edge.over, parent);
+        }
+    }
+
+    /// Creates a dependency edge from `from` to `to` over `over`. The flavor is derived from the
+    /// relationship: an edge whose source belongs to `parent` itself is a cross-domain
+    /// (satisfaction-forwarding) edge; otherwise it is a same-domain release edge.
+    fn add_edge(&mut self, from: AccessId, to: AccessId, over: &Region, parent: TaskId) {
+        if from == to {
+            return;
+        }
+        let flavor = if self.accesses[from.0].task == parent {
+            EdgeFlavor::Satisfaction
+        } else {
+            EdgeFlavor::Release
+        };
+        let pending: Vec<Region> = match flavor {
+            EdgeFlavor::Satisfaction => self.accesses[from.0]
+                .unsatisfied
+                .covered_parts(over)
+                .into_iter()
+                .map(|(region, _count)| region)
+                .collect(),
+            EdgeFlavor::Release => self.accesses[from.0].unreleased.intersection(over),
+        };
+        if pending.is_empty() {
+            return;
+        }
+        for part in &pending {
+            self.accesses[to.0].unsatisfied.increment(part);
+        }
+        let edge_map = match flavor {
+            EdgeFlavor::Satisfaction => {
+                self.stats.satisfaction_edges += 1;
+                &mut self.accesses[from.0].satisfaction_edges
+            }
+            EdgeFlavor::Release => {
+                self.stats.release_edges += 1;
+                &mut self.accesses[from.0].release_edges
+            }
+        };
+        for part in &pending {
+            edge_map.update(part, |_, existing| {
+                let mut targets = existing.cloned().unwrap_or_default();
+                targets.push(to);
+                RangeUpdate::Set(targets)
+            });
+        }
+    }
+
+    /// Records that the new access covers parts of its parent's own accesses (used for the
+    /// fine-grained hand-over of §V).
+    fn register_parent_coverage(&mut self, parent: TaskId, access_id: AccessId) {
+        let region = self.accesses[access_id.0].region;
+        let overlaps: Vec<(Region, AccessId)> = self.tasks[parent.0].own_map.query_vec(&region);
+        for (overlap, parent_access) in overlaps {
+            self.accesses[parent_access.0].child_coverage.increment(&overlap);
+            self.accesses[access_id.0].parent_coverage.push((parent_access, overlap));
+        }
+    }
+
+    // ------------------------------------------------------------------------------------------
+    // Cascade processing
+    // ------------------------------------------------------------------------------------------
+
+    fn process(&mut self, queue: &mut VecDeque<Event>, effects: &mut Effects) {
+        while let Some(event) = queue.pop_front() {
+            match event {
+                Event::Satisfy { access, parts } => self.do_satisfy(access, &parts, queue, effects),
+                Event::Complete { access, parts } => self.do_complete(access, &parts, queue, effects),
+            }
+        }
+    }
+
+    /// Marks `parts` of `access` as satisfied (predecessor data delivered): forwards the
+    /// satisfaction to child accesses, updates task readiness and tries to release.
+    fn do_satisfy(
+        &mut self,
+        access: AccessId,
+        parts: &[Region],
+        queue: &mut VecDeque<Event>,
+        effects: &mut Effects,
+    ) {
+        let mut newly = Vec::new();
+        for part in parts {
+            newly.extend(self.accesses[access.0].unsatisfied.decrement(part));
+        }
+        if newly.is_empty() {
+            return;
+        }
+
+        // Task readiness: a strong access that just became fully satisfied reduces the task's
+        // pending count.
+        let task = self.accesses[access.0].task;
+        if !self.accesses[access.0].weak && self.accesses[access.0].unsatisfied.is_empty() {
+            let node = &mut self.tasks[task.0];
+            debug_assert!(node.pending_strong > 0, "pending_strong underflow for {task:?}");
+            node.pending_strong -= 1;
+            if node.pending_strong == 0 && !node.scheduled {
+                node.scheduled = true;
+                effects.ready.push(task);
+            }
+        }
+
+        // Forward the satisfaction to child accesses that inherited this dependency. Only the
+        // edge fragments overlapping the newly satisfied parts are touched (and consumed).
+        for part in &newly {
+            let delivered = self.accesses[access.0].satisfaction_edges.remove(part);
+            for (fragment, targets) in delivered {
+                for to in targets {
+                    queue.push_back(Event::Satisfy { access: to, parts: vec![fragment] });
+                }
+            }
+        }
+
+        // Fragments that were already completed can now be released.
+        self.try_release(access, &newly, queue);
+    }
+
+    /// Marks `parts` of `access` as completed (the task and its live children will no longer
+    /// touch them) and tries to release them.
+    fn do_complete(
+        &mut self,
+        access: AccessId,
+        parts: &[Region],
+        queue: &mut VecDeque<Event>,
+        _effects: &mut Effects,
+    ) {
+        let mut newly = Vec::new();
+        for part in parts {
+            newly.extend(self.accesses[access.0].uncompleted.remove(part));
+        }
+        if newly.is_empty() {
+            return;
+        }
+        self.try_release(access, &newly, queue);
+    }
+
+    /// Releases the fragments of `candidates` that are both satisfied and completed, notifying
+    /// successors and the parent hand-over bookkeeping.
+    fn try_release(&mut self, access: AccessId, candidates: &[Region], queue: &mut VecDeque<Event>) {
+        // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted
+        let mut releasable: Vec<Region> = Vec::new();
+        {
+            let state = &self.accesses[access.0];
+            for candidate in candidates {
+                for part in state.unreleased.intersection(candidate) {
+                    // Remove the still-unsatisfied and still-uncompleted portions.
+                    let blocked_by_satisfaction: Vec<Region> = state
+                        .unsatisfied
+                        .covered_parts(&part)
+                        .into_iter()
+                        .map(|(region, _count)| region)
+                        .collect();
+                    let blocked_by_completion: Vec<Region> = state.uncompleted.intersection(&part);
+                    let mut pieces = vec![part];
+                    for blockers in [blocked_by_satisfaction, blocked_by_completion] {
+                        let mut next = Vec::new();
+                        for piece in pieces {
+                            let mut rest = vec![piece];
+                            for blocker in &blockers {
+                                let mut tmp = Vec::new();
+                                for r in rest {
+                                    tmp.extend(r.subtract(blocker));
+                                }
+                                rest = tmp;
+                            }
+                            next.extend(rest);
+                        }
+                        pieces = next;
+                    }
+                    releasable.extend(pieces);
+                }
+            }
+        }
+        if releasable.is_empty() {
+            return;
+        }
+
+        let mut actually_released = Vec::new();
+        for part in &releasable {
+            actually_released.extend(self.accesses[access.0].unreleased.remove(part));
+        }
+        if actually_released.is_empty() {
+            return;
+        }
+
+        // Notify same-domain successors: consume exactly the edge fragments that overlap the
+        // released parts.
+        for part in &actually_released {
+            let delivered = self.accesses[access.0].release_edges.remove(part);
+            for (fragment, targets) in delivered {
+                for to in targets {
+                    queue.push_back(Event::Satisfy { access: to, parts: vec![fragment] });
+                }
+            }
+        }
+
+        // Hand-over bookkeeping: this access no longer covers the overlapping parts of its
+        // parent's accesses. Fragments whose coverage drops to zero may complete on the parent
+        // access if its policy allows it (weakwait after body end, or the release directive).
+        let parent_coverage = self.accesses[access.0].parent_coverage.clone();
+        for (parent_access, overlap) in parent_coverage {
+            let mut zeroed_all = Vec::new();
+            for part in &actually_released {
+                if let Some(sub) = overlap.intersection(part) {
+                    zeroed_all.extend(self.accesses[parent_access.0].child_coverage.decrement(&sub));
+                }
+            }
+            if zeroed_all.is_empty() {
+                continue;
+            }
+            let parent_task = self.accesses[parent_access.0].task;
+            let parent_node = &self.tasks[parent_task.0];
+            let weakwait_active =
+                parent_node.body_finished && parent_node.wait_mode == WaitMode::WeakWait;
+            let mut completable = Vec::new();
+            for part in zeroed_all {
+                if weakwait_active {
+                    completable.push(part);
+                } else {
+                    // Early-release armed fragments complete as soon as coverage drops, even if
+                    // the body is still running.
+                    completable.extend(
+                        self.accesses[parent_access.0].early_release.intersection(&part),
+                    );
+                }
+            }
+            if !completable.is_empty() {
+                self.stats.incremental_releases += completable.len();
+                queue.push_back(Event::Complete { access: parent_access, parts: completable });
+            }
+        }
+    }
+
+    /// Marks `task` deeply complete, completes its accesses if its wait mode deferred them, and
+    /// propagates to ancestors whose last live child this was.
+    fn deep_complete(&mut self, task: TaskId, queue: &mut VecDeque<Event>, effects: &mut Effects) {
+        debug_assert!(!self.tasks[task.0].deeply_completed);
+        debug_assert!(self.tasks[task.0].body_finished);
+        debug_assert_eq!(self.tasks[task.0].live_children, 0);
+        self.tasks[task.0].deeply_completed = true;
+        effects.deeply_completed.push(task);
+
+        // Whatever has not completed yet completes now (Wait mode releases everything here;
+        // WeakWait may have residual fragments if a child declared less than it covered).
+        let access_ids = self.tasks[task.0].accesses.clone();
+        for access_id in access_ids {
+            let region = self.accesses[access_id.0].region;
+            queue.push_back(Event::Complete { access: access_id, parts: vec![region] });
+        }
+
+        if let Some(parent) = self.tasks[task.0].parent {
+            let parent_node = &mut self.tasks[parent.0];
+            debug_assert!(parent_node.live_children > 0);
+            parent_node.live_children -= 1;
+            if parent_node.live_children == 0
+                && parent_node.body_finished
+                && !parent_node.deeply_completed
+            {
+                self.deep_complete(parent, queue, effects);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessType;
+    use weakdep_regions::SpaceId;
+
+    fn r(space: u64, start: usize, end: usize) -> Region {
+        Region::new(SpaceId(space), start, end)
+    }
+
+    fn dep(access: AccessType, region: Region) -> Depend {
+        Depend::new(access, region)
+    }
+
+    /// Helper wrapping the engine to make the test scenarios readable.
+    struct Harness {
+        engine: DependencyEngine,
+        root: TaskId,
+        ready: Vec<TaskId>,
+        completed: Vec<TaskId>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            let mut engine = DependencyEngine::new();
+            let root = engine.register_root();
+            Harness { engine, root, ready: Vec::new(), completed: Vec::new() }
+        }
+
+        fn spawn(&mut self, parent: TaskId, deps: &[Depend], mode: WaitMode) -> TaskId {
+            let (id, ready) = self.engine.register_task(parent, deps, mode);
+            if ready {
+                self.ready.push(id);
+            }
+            id
+        }
+
+        fn spawn_root(&mut self, deps: &[Depend], mode: WaitMode) -> TaskId {
+            self.spawn(self.root, deps, mode)
+        }
+
+        fn finish(&mut self, task: TaskId) {
+            let effects = self.engine.body_finished(task);
+            self.ready.extend(effects.ready);
+            self.completed.extend(effects.deeply_completed);
+        }
+
+        fn release(&mut self, task: TaskId, region: Region) {
+            let effects = self.engine.release_region(task, region);
+            self.ready.extend(effects.ready);
+            self.completed.extend(effects.deeply_completed);
+        }
+
+        fn is_ready(&self, task: TaskId) -> bool {
+            self.ready.contains(&task)
+        }
+    }
+
+    const A: Region = Region { space: SpaceId(1), start: 0, end: 8 };
+    const B: Region = Region { space: SpaceId(1), start: 8, end: 16 };
+    const C: Region = Region { space: SpaceId(1), start: 16, end: 24 };
+    const D: Region = Region { space: SpaceId(1), start: 24, end: 32 };
+
+    #[test]
+    fn independent_tasks_are_ready_at_registration() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        let t2 = h.spawn_root(&[dep(AccessType::InOut, B)], WaitMode::None);
+        assert!(h.is_ready(t1));
+        assert!(h.is_ready(t2));
+    }
+
+    #[test]
+    fn raw_dependency_defers_successor() {
+        let mut h = Harness::new();
+        let writer = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        let reader = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        assert!(h.is_ready(writer));
+        assert!(!h.is_ready(reader));
+        h.finish(writer);
+        assert!(h.is_ready(reader));
+    }
+
+    #[test]
+    fn readers_run_concurrently_then_writer_waits_for_all() {
+        let mut h = Harness::new();
+        let w = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        h.finish(w);
+        let r1 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let r2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let w2 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        assert!(h.is_ready(r1));
+        assert!(h.is_ready(r2));
+        assert!(!h.is_ready(w2));
+        h.finish(r1);
+        assert!(!h.is_ready(w2), "the second reader is still live");
+        h.finish(r2);
+        assert!(h.is_ready(w2));
+    }
+
+    #[test]
+    fn war_dependency_orders_writer_after_reader() {
+        let mut h = Harness::new();
+        let reader = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let writer = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        assert!(h.is_ready(reader));
+        assert!(!h.is_ready(writer));
+        h.finish(reader);
+        assert!(h.is_ready(writer));
+    }
+
+    #[test]
+    fn partially_overlapping_regions_create_partial_dependencies() {
+        let mut h = Harness::new();
+        let whole = r(1, 0, 16);
+        let left = r(1, 0, 8);
+        let right = r(1, 8, 16);
+        let w = h.spawn_root(&[dep(AccessType::Out, whole)], WaitMode::None);
+        let rl = h.spawn_root(&[dep(AccessType::In, left)], WaitMode::None);
+        let rr = h.spawn_root(&[dep(AccessType::In, right)], WaitMode::None);
+        assert!(!h.is_ready(rl));
+        assert!(!h.is_ready(rr));
+        h.finish(w);
+        assert!(h.is_ready(rl));
+        assert!(h.is_ready(rr));
+    }
+
+    /// Listing 2 of the paper: a weakwait task hands each fragment over to the child that still
+    /// uses it; successors become ready as soon as *that child* finishes.
+    #[test]
+    fn listing2_weakwait_hands_over_to_live_children() {
+        let mut h = Harness::new();
+        // T1: inout a, b — weakwait
+        let t1 = h.spawn_root(
+            &[dep(AccessType::InOut, A), dep(AccessType::InOut, B)],
+            WaitMode::WeakWait,
+        );
+        // T2: in a ; T3: in b
+        let t2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let t3 = h.spawn_root(&[dep(AccessType::In, B)], WaitMode::None);
+        assert!(h.is_ready(t1));
+        assert!(!h.is_ready(t2));
+        assert!(!h.is_ready(t3));
+
+        // T1 runs and spawns T1.1 (inout a) and T1.2 (inout b).
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        let t12 = h.spawn(t1, &[dep(AccessType::InOut, B)], WaitMode::None);
+        assert!(h.is_ready(t11));
+        assert!(h.is_ready(t12));
+
+        // T1's body exits (weakwait): nothing is released yet, both fragments are covered.
+        h.finish(t1);
+        assert!(!h.is_ready(t2));
+        assert!(!h.is_ready(t3));
+
+        // T1.1 finishes: the dependency T1 -> T2 over `a` has become T1.1 -> T2 and is released.
+        h.finish(t11);
+        assert!(h.is_ready(t2), "T2 must be ready once T1.1 finished (fine-grained release)");
+        assert!(!h.is_ready(t3), "T3 still waits for T1.2");
+
+        h.finish(t12);
+        assert!(h.is_ready(t3));
+        // With all children done, T1 deeply completes.
+        assert!(h.engine.is_deeply_completed(t1));
+    }
+
+    /// The same structure as listing 2 but with a regular `wait` clause: everything is released
+    /// only when *all* children have finished (coarse release).
+    #[test]
+    fn wait_clause_releases_everything_at_once() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(
+            &[dep(AccessType::InOut, A), dep(AccessType::InOut, B)],
+            WaitMode::Wait,
+        );
+        let t2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let t3 = h.spawn_root(&[dep(AccessType::In, B)], WaitMode::None);
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        let t12 = h.spawn(t1, &[dep(AccessType::InOut, B)], WaitMode::None);
+        h.finish(t1);
+        h.finish(t11);
+        assert!(!h.is_ready(t2), "wait clause must not release a before every child finished");
+        assert!(!h.is_ready(t3));
+        h.finish(t12);
+        assert!(h.is_ready(t2));
+        assert!(h.is_ready(t3));
+    }
+
+    /// Weak accesses never defer the task itself (§VI), but strong accesses of its children
+    /// inherit the outer dependency through them.
+    #[test]
+    fn weak_accesses_do_not_defer_but_children_inherit() {
+        let mut h = Harness::new();
+        // T1: inout a (strong).
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::WeakWait);
+        // T2: weakin a — ready immediately even though `a` is not available yet.
+        let t2 = h.spawn_root(&[dep(AccessType::WeakIn, A)], WaitMode::WeakWait);
+        assert!(h.is_ready(t1));
+        assert!(h.is_ready(t2), "weak dependencies must not defer the task");
+
+        // T2 starts and creates T2.1 (in a): it must NOT be ready (inherits the dependency on T1).
+        let t21 = h.spawn(t2, &[dep(AccessType::In, A)], WaitMode::None);
+        assert!(!h.is_ready(t21), "the child's strong access inherits the outer dependency");
+
+        // T1 spawns its own child that writes `a` and uses weakwait.
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        h.finish(t1);
+        assert!(!h.is_ready(t21));
+        h.finish(t11);
+        assert!(h.is_ready(t21), "satisfaction must propagate through the weak access to T2.1");
+    }
+
+    /// Listing 3 / Figure 2 of the paper (reduced to the a/c chain): the behaviour must be
+    /// equivalent to a single dependency domain: T2.1 becomes ready as soon as T1.1 finishes,
+    /// and T4.1 waits for T2.1 through the weak `c` access of T2 and T4.
+    #[test]
+    fn listing3_single_domain_equivalence() {
+        let mut h = Harness::new();
+        // Outer tasks.
+        let t1 = h.spawn_root(
+            &[dep(AccessType::InOut, A), dep(AccessType::InOut, B)],
+            WaitMode::WeakWait,
+        );
+        let t2 = h.spawn_root(
+            &[
+                dep(AccessType::WeakIn, A),
+                dep(AccessType::WeakIn, B),
+                dep(AccessType::WeakOut, C),
+                dep(AccessType::WeakOut, D),
+            ],
+            WaitMode::WeakWait,
+        );
+        let t4 = h.spawn_root(
+            &[dep(AccessType::WeakIn, C), dep(AccessType::WeakIn, D)],
+            WaitMode::WeakWait,
+        );
+        // All outer tasks are ready: no strong conflicts among them (Fig. 2a).
+        assert!(h.is_ready(t1) && h.is_ready(t2) && h.is_ready(t4));
+
+        // Inner tasks are instantiated in parallel (Fig. 2b).
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        let t12 = h.spawn(t1, &[dep(AccessType::InOut, B)], WaitMode::None);
+        let t21 = h.spawn(
+            t2,
+            &[dep(AccessType::In, A), dep(AccessType::Out, C)],
+            WaitMode::None,
+        );
+        let t22 = h.spawn(
+            t2,
+            &[dep(AccessType::In, B), dep(AccessType::Out, D)],
+            WaitMode::None,
+        );
+        let t41 = h.spawn(t4, &[dep(AccessType::In, C)], WaitMode::None);
+        let t42 = h.spawn(t4, &[dep(AccessType::In, D)], WaitMode::None);
+
+        assert!(h.is_ready(t11) && h.is_ready(t12));
+        assert!(!h.is_ready(t21) && !h.is_ready(t22));
+        assert!(!h.is_ready(t41) && !h.is_ready(t42));
+
+        // Outer bodies finish (they only instantiate subtasks).
+        h.finish(t1);
+        h.finish(t2);
+        h.finish(t4);
+
+        // T1.1 finishes -> only T2.1 (which needs `a`) becomes ready (Fig. 2c).
+        h.finish(t11);
+        assert!(h.is_ready(t21), "T2.1 must be ready right after T1.1");
+        assert!(!h.is_ready(t22), "T2.2 needs b which is still being written by T1.2");
+        assert!(!h.is_ready(t41));
+
+        // T2.1 finishes -> c is released through T2's weakout -> T4.1 becomes ready.
+        h.finish(t21);
+        assert!(h.is_ready(t41), "T4.1 must see c through the weak accesses of T2 and T4");
+        assert!(!h.is_ready(t42));
+
+        // The remaining chain: T1.2 -> T2.2 -> T4.2.
+        h.finish(t12);
+        assert!(h.is_ready(t22));
+        h.finish(t22);
+        assert!(h.is_ready(t42));
+        h.finish(t41);
+        h.finish(t42);
+
+        assert!(h.engine.is_deeply_completed(t1));
+        assert!(h.engine.is_deeply_completed(t2));
+        assert!(h.engine.is_deeply_completed(t4));
+    }
+
+    /// The nest-depend situation (no weak accesses, strong outer deps): the outer task itself is
+    /// deferred and children cannot even be instantiated until the whole predecessor finished —
+    /// the behaviour the paper wants to avoid.
+    #[test]
+    fn strong_nesting_defers_outer_task_instantiation() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A), dep(AccessType::InOut, B)], WaitMode::None);
+        // T2 declares strong in over a and b (it only needs them for its subtasks).
+        let t2 = h.spawn_root(
+            &[dep(AccessType::In, A), dep(AccessType::In, B), dep(AccessType::Out, C)],
+            WaitMode::None,
+        );
+        assert!(h.is_ready(t1));
+        assert!(!h.is_ready(t2), "strong outer dependencies defer the whole task");
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        h.finish(t11);
+        assert!(!h.is_ready(t2), "t2 needs both a and b");
+        // T1 still has a live child? No: t11 finished. Finish t1's body -> releases a and b
+        // (WaitMode::None releases at body end).
+        h.finish(t1);
+        assert!(h.is_ready(t2));
+    }
+
+    /// The `release` directive frees fragments before the body ends (§V).
+    #[test]
+    fn release_directive_releases_early() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A), dep(AccessType::InOut, B)], WaitMode::None);
+        let t2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let t3 = h.spawn_root(&[dep(AccessType::In, B)], WaitMode::None);
+        assert!(!h.is_ready(t2) && !h.is_ready(t3));
+        // T1 is running; it asserts it will no longer touch `a`.
+        h.release(t1, A);
+        assert!(h.is_ready(t2), "release directive must free a immediately");
+        assert!(!h.is_ready(t3));
+        h.finish(t1);
+        assert!(h.is_ready(t3));
+    }
+
+    /// The `release` directive combined with live children: the released region is handed over
+    /// to the live child covering it, not released outright.
+    #[test]
+    fn release_directive_respects_live_children() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::WeakWait);
+        let t2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let t11 = h.spawn(t1, &[dep(AccessType::InOut, A)], WaitMode::None);
+        assert!(h.is_ready(t11));
+        // T1 releases `a` while T1.1 is still running: T2 must stay deferred.
+        h.release(t1, A);
+        assert!(!h.is_ready(t2));
+        h.finish(t11);
+        assert!(h.is_ready(t2), "after the covering child finishes the hand-over completes");
+        h.finish(t1);
+    }
+
+    /// Weakwait with partially overlapping child regions: each sub-block is handed over and
+    /// released individually (the axpy pattern of §VII).
+    #[test]
+    fn weakwait_partial_overlap_releases_per_block() {
+        let mut h = Harness::new();
+        let whole = r(1, 0, 32);
+        let blocks: Vec<Region> = (0..4).map(|i| r(1, i * 8, (i + 1) * 8)).collect();
+
+        // Call 1: outer weakinout over the whole array, children per block.
+        let outer1 = h.spawn_root(&[dep(AccessType::WeakInOut, whole)], WaitMode::WeakWait);
+        let children1: Vec<TaskId> = blocks
+            .iter()
+            .map(|b| h.spawn(outer1, &[dep(AccessType::InOut, *b)], WaitMode::None))
+            .collect();
+        // Call 2: same structure, depends on call 1 per block.
+        let outer2 = h.spawn_root(&[dep(AccessType::WeakInOut, whole)], WaitMode::WeakWait);
+        let children2: Vec<TaskId> = blocks
+            .iter()
+            .map(|b| h.spawn(outer2, &[dep(AccessType::InOut, *b)], WaitMode::None))
+            .collect();
+
+        assert!(h.is_ready(outer1) && h.is_ready(outer2), "outer tasks carry only weak deps");
+        for c in &children1 {
+            assert!(h.is_ready(*c));
+        }
+        for c in &children2 {
+            assert!(!h.is_ready(*c), "call-2 blocks depend on call-1 blocks");
+        }
+
+        h.finish(outer1);
+        h.finish(outer2);
+
+        // Finishing block 2 of call 1 readies exactly block 2 of call 2.
+        h.finish(children1[2]);
+        assert!(h.is_ready(children2[2]));
+        assert!(!h.is_ready(children2[0]));
+        assert!(!h.is_ready(children2[1]));
+        assert!(!h.is_ready(children2[3]));
+
+        h.finish(children1[0]);
+        h.finish(children1[1]);
+        h.finish(children1[3]);
+        for c in &children2 {
+            assert!(h.is_ready(*c));
+        }
+        for c in children2.clone() {
+            h.finish(c);
+        }
+        assert!(h.engine.is_deeply_completed(outer1));
+        assert!(h.engine.is_deeply_completed(outer2));
+    }
+
+    /// Nested weak dependencies across three levels: satisfaction must flow through every level.
+    #[test]
+    fn three_level_nesting_propagates_satisfaction() {
+        let mut h = Harness::new();
+        let producer = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        let outer = h.spawn_root(&[dep(AccessType::WeakIn, A)], WaitMode::WeakWait);
+        let middle = h.spawn(outer, &[dep(AccessType::WeakIn, A)], WaitMode::WeakWait);
+        let leaf = h.spawn(middle, &[dep(AccessType::In, A)], WaitMode::None);
+        assert!(h.is_ready(producer));
+        assert!(h.is_ready(outer));
+        assert!(h.is_ready(middle));
+        assert!(!h.is_ready(leaf));
+        h.finish(producer);
+        assert!(h.is_ready(leaf), "satisfaction must traverse two weak levels");
+        h.finish(leaf);
+        h.finish(middle);
+        h.finish(outer);
+        assert!(h.engine.is_deeply_completed(outer));
+    }
+
+    /// Release flows upwards across three levels: an outer successor waits for the deepest leaf.
+    #[test]
+    fn three_level_nesting_propagates_release_upwards() {
+        let mut h = Harness::new();
+        let outer = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::WeakWait);
+        let successor = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let middle = h.spawn(outer, &[dep(AccessType::WeakInOut, A)], WaitMode::WeakWait);
+        let leaf = h.spawn(middle, &[dep(AccessType::InOut, A)], WaitMode::None);
+        h.finish(outer);
+        h.finish(middle);
+        assert!(!h.is_ready(successor), "the leaf still holds a");
+        h.finish(leaf);
+        assert!(h.is_ready(successor), "release must climb from the leaf through both levels");
+    }
+
+    /// Deep completion: parents complete only after all descendants, and the effects report it.
+    #[test]
+    fn deep_completion_propagates_to_ancestors() {
+        let mut h = Harness::new();
+        let outer = h.spawn_root(&[], WaitMode::Wait);
+        let middle = h.spawn(outer, &[], WaitMode::Wait);
+        let leaf = h.spawn(middle, &[], WaitMode::None);
+        h.finish(outer);
+        h.finish(middle);
+        assert!(!h.engine.is_deeply_completed(outer));
+        assert!(!h.engine.is_deeply_completed(middle));
+        h.finish(leaf);
+        assert!(h.engine.is_deeply_completed(leaf));
+        assert!(h.engine.is_deeply_completed(middle));
+        assert!(h.engine.is_deeply_completed(outer));
+        assert!(h.completed.contains(&outer));
+        assert_eq!(h.engine.live_children(outer), 0);
+    }
+
+    #[test]
+    fn live_children_counts_direct_children_only() {
+        let mut h = Harness::new();
+        let outer = h.spawn_root(&[], WaitMode::Wait);
+        let _c1 = h.spawn(outer, &[], WaitMode::None);
+        let c2 = h.spawn(outer, &[], WaitMode::Wait);
+        let _g1 = h.spawn(c2, &[], WaitMode::None);
+        assert_eq!(h.engine.live_children(outer), 2);
+        assert_eq!(h.engine.live_children(c2), 1);
+    }
+
+    #[test]
+    fn out_and_inout_behave_as_writes() {
+        let mut h = Harness::new();
+        let w1 = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        let w2 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        let w3 = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        assert!(h.is_ready(w1));
+        assert!(!h.is_ready(w2));
+        assert!(!h.is_ready(w3));
+        h.finish(w1);
+        assert!(h.is_ready(w2));
+        assert!(!h.is_ready(w3));
+        h.finish(w2);
+        assert!(h.is_ready(w3));
+    }
+
+    #[test]
+    fn tasks_without_dependencies_complete_standalone() {
+        let mut h = Harness::new();
+        let t = h.spawn_root(&[], WaitMode::None);
+        assert!(h.is_ready(t));
+        h.finish(t);
+        assert!(h.engine.is_deeply_completed(t));
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::WeakWait);
+        let _t2 = h.spawn_root(&[dep(AccessType::In, A)], WaitMode::None);
+        let _t11 = h.spawn(t1, &[dep(AccessType::Out, A)], WaitMode::None);
+        let stats = h.engine.stats();
+        assert_eq!(stats.tasks_registered, 4); // root + 3
+        assert_eq!(stats.accesses_registered, 3);
+        assert!(stats.release_edges >= 1);
+        assert!(stats.ready_at_registration >= 1);
+    }
+
+    /// Randomised single-domain dependency check: execute tasks in any legal engine order and
+    /// verify that conflicting accesses respect program order.
+    #[test]
+    fn randomized_flat_graphs_respect_program_order() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut h = Harness::new();
+            let n_tasks = 30;
+            let n_regions = 6usize;
+            // Random declarations.
+            let mut decls: Vec<Vec<Depend>> = Vec::new();
+            let mut ids = Vec::new();
+            for _ in 0..n_tasks {
+                let mut deps = Vec::new();
+                let count = rng.gen_range(1..=3);
+                for _ in 0..count {
+                    let region_idx = rng.gen_range(0..n_regions);
+                    let region = r(1, region_idx * 10, region_idx * 10 + 10);
+                    let access = match rng.gen_range(0..3) {
+                        0 => AccessType::In,
+                        1 => AccessType::Out,
+                        _ => AccessType::InOut,
+                    };
+                    deps.push(Depend::new(access, region));
+                }
+                decls.push(deps);
+            }
+            for deps in &decls {
+                let id = h.spawn_root(deps, WaitMode::None);
+                ids.push(id);
+            }
+            // Execute: repeatedly finish a random ready-but-unfinished task.
+            let mut finished = vec![false; n_tasks];
+            let mut finish_order = Vec::new();
+            loop {
+                let candidates: Vec<usize> = (0..n_tasks)
+                    .filter(|&i| !finished[i] && h.is_ready(ids[i]))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let pick = candidates[rng.gen_range(0..candidates.len())];
+                finished[pick] = true;
+                finish_order.push(pick);
+                h.finish(ids[pick]);
+            }
+            assert!(finished.iter().all(|&f| f), "seed {seed}: all tasks must eventually run");
+            // Check pairwise ordering of conflicting accesses: if task i precedes task j in
+            // program order and they conflict (same region, at least one write), then i must
+            // finish before j starts; since we only track finish order and tasks are atomic in
+            // this model, i must appear before j in finish_order.
+            let position: Vec<usize> = {
+                let mut pos = vec![0; n_tasks];
+                for (p, &t) in finish_order.iter().enumerate() {
+                    pos[t] = p;
+                }
+                pos
+            };
+            for i in 0..n_tasks {
+                for j in (i + 1)..n_tasks {
+                    let conflict = decls[i].iter().any(|a| {
+                        decls[j].iter().any(|b| {
+                            a.region.intersects(&b.region)
+                                && (a.access.is_write() || b.access.is_write())
+                        })
+                    });
+                    if conflict {
+                        assert!(
+                            position[i] < position[j],
+                            "seed {seed}: task {i} must complete before task {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

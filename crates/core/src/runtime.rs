@@ -1,0 +1,879 @@
+//! The task runtime: spawning, scheduling, `taskwait`, the `wait`/`weakwait` clauses and the
+//! `release` directive, glued to the dependency engine and the work-stealing worker pool.
+//!
+//! # Mapping from the paper's pragmas to this API
+//!
+//! | OpenMP (paper)                                   | `weakdep` API                                     |
+//! |--------------------------------------------------|---------------------------------------------------|
+//! | `#pragma omp task depend(in: x[a:n])`            | `ctx.task().input(x.region(a..a+n)).spawn(...)`    |
+//! | `depend(out: ...)` / `depend(inout: ...)`        | `.output(...)` / `.inout(...)`                     |
+//! | `depend(weakin/weakout/weakinout: ...)` (§VI)    | `.weak_input(...)` / `.weak_output(...)` / `.weak_inout(...)` |
+//! | `wait` clause (§IV)                              | `.wait()`                                          |
+//! | `weakwait` clause (§V)                           | `.weakwait()`                                      |
+//! | `#pragma omp taskwait`                           | `ctx.taskwait()`                                   |
+//! | `#pragma omp release depend(...)` (§V)           | `ctx.release(region)`                              |
+//!
+//! # Scheduling policy
+//!
+//! When a finishing task releases a dependency and that makes successors ready, the first
+//! successor is placed in the releasing worker's *immediate-successor slot* and the rest on its
+//! LIFO deque. This is the locality policy described in §VIII-A of the paper ("the scheduler …
+//! can use this information to dispatch a successor to the same core"), and is what produces the
+//! lower L2 miss ratios of the `nest-weak*` and `flat-depend` variants in Figure 3.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use weakdep_regions::{Region, RegionSet};
+use weakdep_threadpool::{ThreadPool, WorkerContext};
+
+use crate::access::{AccessType, Depend, WaitMode};
+use crate::engine::{DependencyEngine, Effects, EngineStats, TaskId};
+use crate::observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
+
+/// Configuration for [`Runtime::new`].
+pub struct RuntimeConfig {
+    workers: usize,
+    observers: Vec<Arc<dyn RuntimeObserver>>,
+    locality_scheduling: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        RuntimeConfig { workers, observers: Vec::new(), locality_scheduling: true }
+    }
+}
+
+impl RuntimeConfig {
+    /// Default configuration: one worker per available hardware thread, no observers,
+    /// locality-aware scheduling enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Registers an observer (tracing, cache simulation, ...).
+    pub fn observer(mut self, observer: Arc<dyn RuntimeObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Enables or disables the locality-aware successor scheduling (§VIII-A: dispatching a task
+    /// whose last dependency was just released to the releasing worker). Disabling it is the
+    /// ablation used to quantify the cache effects of Figure 3; ready tasks then always go to
+    /// the global injector.
+    pub fn locality_scheduling(mut self, enabled: bool) -> Self {
+        self.locality_scheduling = enabled;
+        self
+    }
+}
+
+/// Snapshot of runtime-wide statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Statistics of the dependency engine.
+    pub engine: EngineStats,
+    /// Tasks executed by the worker pool.
+    pub tasks_executed: usize,
+    /// Ready tasks that were dispatched through the immediate-successor slot (locality hits).
+    pub successor_slot_hits: usize,
+    /// Tasks taken from a worker's own deque.
+    pub local_pops: usize,
+    /// Tasks stolen from another worker.
+    pub steals: usize,
+    /// Cumulative wall time spent creating tasks (dependency registration included), in ns.
+    pub spawn_ns: u64,
+    /// Cumulative wall time spent executing task bodies, in ns.
+    pub body_ns: u64,
+    /// Cumulative wall time spent retiring tasks (dependency release + scheduling), in ns.
+    pub retire_ns: u64,
+}
+
+type BodyFn = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
+
+/// Internal record of a spawned task (shared between the scheduler queues and the engine).
+pub(crate) struct TaskRecord {
+    id: TaskId,
+    label: &'static str,
+    body: Mutex<Option<BodyFn>>,
+    footprint: Vec<FootprintEntry>,
+}
+
+struct State {
+    engine: DependencyEngine,
+    /// Records of registered-but-not-yet-ready tasks, removed when they become ready.
+    pending: HashMap<TaskId, Arc<TaskRecord>>,
+}
+
+/// Cumulative phase timers (nanoseconds), kept with relaxed atomics: they are statistics, not
+/// synchronisation.
+#[derive(Default)]
+struct PhaseTimers {
+    spawn_ns: std::sync::atomic::AtomicU64,
+    body_ns: std::sync::atomic::AtomicU64,
+    retire_ns: std::sync::atomic::AtomicU64,
+}
+
+impl PhaseTimers {
+    fn add(counter: &std::sync::atomic::AtomicU64, start: Instant) {
+        counter.fetch_add(
+            start.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+}
+
+struct Inner {
+    pool: ThreadPool<Arc<TaskRecord>>,
+    state: Mutex<State>,
+    completion: Condvar,
+    observers: Vec<Arc<dyn RuntimeObserver>>,
+    panic_message: Mutex<Option<String>>,
+    locality_scheduling: bool,
+    timers: PhaseTimers,
+}
+
+/// The task runtime. Create one with [`Runtime::new`], then call [`Runtime::run`] with the root
+/// task body; `run` returns when every task created (transitively) inside has completed.
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let observers = config.observers.clone();
+        let inner = Arc::new_cyclic(|weak: &std::sync::Weak<Inner>| {
+            let weak_for_pool = weak.clone();
+            let pool = ThreadPool::new(config.workers, move |record: Arc<TaskRecord>, wctx| {
+                if let Some(inner) = weak_for_pool.upgrade() {
+                    execute_task(&inner, record, wctx);
+                }
+            });
+            Inner {
+                pool,
+                state: Mutex::new(State { engine: DependencyEngine::new(), pending: HashMap::new() }),
+                completion: Condvar::new(),
+                observers,
+                panic_message: Mutex::new(None),
+                locality_scheduling: config.locality_scheduling,
+                timers: PhaseTimers::default(),
+            }
+        });
+        for obs in &inner.observers {
+            obs.runtime_started(inner.pool.worker_count());
+        }
+        Runtime { inner }
+    }
+
+    /// Creates a runtime with `workers` worker threads and no observers.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(RuntimeConfig::new().workers(workers))
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.inner.pool.worker_count()
+    }
+
+    /// Executes `body` as the root task and waits for it *and every descendant task* to finish
+    /// (the implicit barrier of the paper's evaluation codes).
+    ///
+    /// If any task body panics, the panic is captured, the remaining tasks are still executed
+    /// (so the runtime stays consistent) and the panic is re-raised here.
+    pub fn run<R>(&self, body: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
+        let root_id = { self.inner.state.lock().engine.register_root() };
+        let root_record = Arc::new(TaskRecord {
+            id: root_id,
+            label: "root",
+            body: Mutex::new(None),
+            footprint: Vec::new(),
+        });
+        let ctx = TaskCtx { inner: &self.inner, record: root_record.clone(), worker: None };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+
+        let effects = { self.inner.state.lock().engine.body_finished(root_id) };
+        schedule_effects(&self.inner, effects, None);
+        let _ = &root_record;
+
+        // Wait until the root (and therefore every descendant) deeply completes.
+        {
+            let mut state = self.inner.state.lock();
+            while !state.engine.is_deeply_completed(root_id) {
+                self.inner
+                    .completion
+                    .wait_for(&mut state, Duration::from_millis(2));
+            }
+        }
+
+        if let Some(message) = self.inner.panic_message.lock().take() {
+            panic!("a task panicked: {message}");
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Runtime-wide statistics (dependency engine + scheduler counters).
+    pub fn stats(&self) -> RuntimeStats {
+        use std::sync::atomic::Ordering;
+        let engine = self.inner.state.lock().engine.stats().clone();
+        let pool_stats = self.inner.pool.stats();
+        RuntimeStats {
+            engine,
+            tasks_executed: pool_stats.executed.load(Ordering::Relaxed),
+            successor_slot_hits: pool_stats.from_successor_slot.load(Ordering::Relaxed),
+            local_pops: pool_stats.from_local.load(Ordering::Relaxed),
+            steals: pool_stats.stolen.load(Ordering::Relaxed),
+            spawn_ns: self.inner.timers.spawn_ns.load(Ordering::Relaxed),
+            body_ns: self.inner.timers.body_ns.load(Ordering::Relaxed),
+            retire_ns: self.inner.timers.retire_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        for obs in &self.inner.observers {
+            obs.runtime_shutdown();
+        }
+    }
+}
+
+/// Execution context of a task body (also the root body inside [`Runtime::run`]).
+pub struct TaskCtx<'a> {
+    inner: &'a Arc<Inner>,
+    record: Arc<TaskRecord>,
+    worker: Option<&'a WorkerContext<'a, Arc<TaskRecord>>>,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Starts building a child task of the current task.
+    pub fn task(&self) -> TaskBuilder<'_> {
+        TaskBuilder {
+            ctx: self,
+            deps: Vec::new(),
+            hints: Vec::new(),
+            wait_mode: WaitMode::None,
+            label: "task",
+        }
+    }
+
+    /// The current task's identifier.
+    pub fn task_id(&self) -> TaskId {
+        self.record.id
+    }
+
+    /// The current task's label.
+    pub fn label(&self) -> &'static str {
+        self.record.label
+    }
+
+    /// The index of the worker executing this task, or `None` for the root body (which runs on
+    /// the caller's thread).
+    pub fn worker_index(&self) -> Option<usize> {
+        self.worker.map(|w| w.index())
+    }
+
+    /// Number of workers of the runtime executing this task.
+    pub fn worker_count(&self) -> usize {
+        self.inner.pool.worker_count()
+    }
+
+    /// The OpenMP `taskwait`: blocks until every *direct child* created so far by the current
+    /// task has deeply completed. While waiting, the calling worker keeps executing other ready
+    /// tasks (work-conserving wait), so `taskwait` never deadlocks the pool.
+    pub fn taskwait(&self) {
+        loop {
+            {
+                let state = self.inner.state.lock();
+                if state.engine.live_children(self.record.id) == 0 {
+                    return;
+                }
+            }
+            if let Some(worker) = self.worker {
+                if worker.help_one() {
+                    continue;
+                }
+            }
+            let mut state = self.inner.state.lock();
+            if state.engine.live_children(self.record.id) == 0 {
+                return;
+            }
+            self.inner
+                .completion
+                .wait_for(&mut state, Duration::from_millis(1));
+        }
+    }
+
+    /// The `release` directive (§V of the paper): asserts that the current task and its *future*
+    /// subtasks will no longer access `region`, allowing the overlapping fragments of its
+    /// declared dependencies to be released early.
+    ///
+    /// Tasks made ready here are pushed onto the local deque (not the immediate-successor slot):
+    /// the current task is still running, so other workers must be able to steal them.
+    pub fn release(&self, region: Region) {
+        let effects = { self.inner.state.lock().engine.release_region(self.record.id, region) };
+        schedule_effects(self.inner, effects, self.worker.map(|w| (w, false)));
+    }
+
+    /// Releases several regions at once (convenience wrapper over [`TaskCtx::release`]).
+    pub fn release_all(&self, regions: impl IntoIterator<Item = Region>) {
+        for region in regions {
+            self.release(region);
+        }
+    }
+
+    /// `true` if the current task declared a strong dependency covering `region` (read access).
+    pub(crate) fn covers_read(&self, region: &Region) -> bool {
+        covered_by(&self.record.footprint, region, false)
+    }
+
+    /// `true` if the current task declared a strong write dependency covering `region`.
+    pub(crate) fn covers_write(&self, region: &Region) -> bool {
+        covered_by(&self.record.footprint, region, true)
+    }
+}
+
+fn covered_by(footprint: &[FootprintEntry], region: &Region, needs_write: bool) -> bool {
+    let mut qualifying = RegionSet::new();
+    for entry in footprint {
+        if entry.weak {
+            continue;
+        }
+        if needs_write && !entry.write {
+            continue;
+        }
+        qualifying.add(&entry.region);
+    }
+    qualifying.contains_all(region)
+}
+
+/// Builder for a child task; mirrors the clauses of the extended `task` construct.
+pub struct TaskBuilder<'a> {
+    ctx: &'a TaskCtx<'a>,
+    deps: Vec<Depend>,
+    hints: Vec<FootprintEntry>,
+    wait_mode: WaitMode,
+    label: &'static str,
+}
+
+impl<'a> TaskBuilder<'a> {
+    /// Adds a dependency with an explicit access type.
+    pub fn depend(mut self, access: AccessType, region: Region) -> Self {
+        self.deps.push(Depend::new(access, region));
+        self
+    }
+
+    /// `depend(in: region)` — the task reads the region.
+    pub fn input(self, region: Region) -> Self {
+        self.depend(AccessType::In, region)
+    }
+
+    /// `depend(out: region)` — the task writes the region.
+    pub fn output(self, region: Region) -> Self {
+        self.depend(AccessType::Out, region)
+    }
+
+    /// `depend(inout: region)` — the task reads and writes the region.
+    pub fn inout(self, region: Region) -> Self {
+        self.depend(AccessType::InOut, region)
+    }
+
+    /// `depend(weakin: region)` — only subtasks read the region (§VI).
+    pub fn weak_input(self, region: Region) -> Self {
+        self.depend(AccessType::WeakIn, region)
+    }
+
+    /// `depend(weakout: region)` — only subtasks write the region (§VI).
+    pub fn weak_output(self, region: Region) -> Self {
+        self.depend(AccessType::WeakOut, region)
+    }
+
+    /// `depend(weakinout: region)` — only subtasks read/write the region (§VI).
+    pub fn weak_inout(self, region: Region) -> Self {
+        self.depend(AccessType::WeakInOut, region)
+    }
+
+    /// The `wait` clause (§IV): perform a detached taskwait when the body exits.
+    pub fn wait(mut self) -> Self {
+        self.wait_mode = WaitMode::Wait;
+        self
+    }
+
+    /// The `weakwait` clause (§V): release dependencies incrementally once the body exits.
+    pub fn weakwait(mut self) -> Self {
+        self.wait_mode = WaitMode::WeakWait;
+        self
+    }
+
+    /// Sets an explicit wait mode.
+    pub fn wait_mode(mut self, mode: WaitMode) -> Self {
+        self.wait_mode = mode;
+        self
+    }
+
+    /// Labels the task (used by traces, timelines and error messages).
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Declares a region the task will touch *without* creating a dependency on it.
+    ///
+    /// This exists for codes that coordinate through explicit synchronisation instead of
+    /// dependencies (e.g. the paper's `flat-taskwait` baseline): the data accessors and the
+    /// observers (cache model, traces) still see the footprint, but the dependency engine does
+    /// not order anything on it.
+    pub fn footprint_hint(mut self, region: Region, write: bool) -> Self {
+        self.hints.push(FootprintEntry { region, write, weak: false });
+        self
+    }
+
+    /// Creates the task. The body runs asynchronously once all strong dependencies are
+    /// satisfied. Returns the new task's id.
+    pub fn spawn(self, body: impl FnOnce(&TaskCtx<'_>) + Send + 'static) -> TaskId {
+        let TaskBuilder { ctx, deps, hints, wait_mode, label } = self;
+        let spawn_start = Instant::now();
+        let mut footprint: Vec<FootprintEntry> = crate::access::normalize_deps(&deps)
+            .into_iter()
+            .map(|d| FootprintEntry { region: d.region, write: d.is_write, weak: d.weak })
+            .collect();
+        footprint.extend(hints);
+
+        let lock_start = Instant::now();
+        let (record, ready) = {
+            let mut state = ctx.inner.state.lock();
+            let lock_acquired = Instant::now();
+            let (id, ready) = state.engine.register_task(ctx.record.id, &deps, wait_mode);
+            eprintln_timing(lock_start, lock_acquired);
+            let record = Arc::new(TaskRecord {
+                id,
+                label,
+                body: Mutex::new(Some(Box::new(body))),
+                footprint,
+            });
+            if !ready {
+                state.pending.insert(id, Arc::clone(&record));
+            }
+            (record, ready)
+        };
+
+        let info = TaskInfo {
+            id: record.id,
+            label,
+            parent: Some(ctx.record.id),
+            footprint: &record.footprint,
+            ready_at_creation: ready,
+        };
+        for obs in &ctx.inner.observers {
+            obs.task_created(&info);
+        }
+
+        if ready {
+            match ctx.worker {
+                Some(worker) => worker.push_local(Arc::clone(&record)),
+                None => ctx.inner.pool.submit(Arc::clone(&record)),
+            }
+        }
+        PhaseTimers::add(&ctx.inner.timers.spawn_ns, spawn_start);
+        record.id
+    }
+}
+
+/// Executes one task body on a worker and feeds the outcome back into the dependency engine.
+fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContext<'_, Arc<TaskRecord>>) {
+    let start = Instant::now();
+    let body = record.body.lock().take();
+    if let Some(body) = body {
+        let ctx = TaskCtx { inner, record: Arc::clone(&record), worker: Some(wctx) };
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+        if let Err(payload) = outcome {
+            // Note the explicit reborrow: `&payload` would coerce the `Box` itself into
+            // `&dyn Any` and make every downcast fail.
+            let message = panic_message(&*payload);
+            let mut slot = inner.panic_message.lock();
+            if slot.is_none() {
+                *slot = Some(message);
+            }
+        }
+    }
+    let end = Instant::now();
+    PhaseTimers::add(&inner.timers.body_ns, start);
+
+    let execution = TaskExecution {
+        id: record.id,
+        label: record.label,
+        worker: wctx.index(),
+        start,
+        end,
+        footprint: &record.footprint,
+    };
+    for obs in &inner.observers {
+        obs.task_executed(&execution);
+    }
+
+    let retire_start = Instant::now();
+    let effects = { inner.state.lock().engine.body_finished(record.id) };
+    schedule_effects(inner, effects, Some((wctx, true)));
+    PhaseTimers::add(&inner.timers.retire_ns, retire_start);
+}
+
+#[doc(hidden)]
+static REG_WAIT_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+#[doc(hidden)]
+static REG_HELD_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+fn eprintln_timing(lock_start: Instant, lock_acquired: Instant) {
+    REG_WAIT_NS.fetch_add((lock_acquired - lock_start).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+    REG_HELD_NS.fetch_add(lock_acquired.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+}
+#[doc(hidden)]
+/// Internal debugging helper: (lock wait ns, engine register ns) accumulated across all spawns.
+pub fn debug_register_timing() -> (u64, u64) {
+    (REG_WAIT_NS.load(std::sync::atomic::Ordering::Relaxed), REG_HELD_NS.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<Box<str>>() {
+        s.to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Applies engine effects: wakes `taskwait`/`run` waiters and schedules newly ready tasks.
+///
+/// When the effects come from a finished body (`use_successor_slot == true`), the first ready
+/// task goes to the releasing worker's immediate-successor slot (temporal locality, §VIII-A) and
+/// the rest to its LIFO deque. Effects produced mid-body (the `release` directive) only use the
+/// deque, so other workers can steal them while the current task keeps running. Effects produced
+/// outside a worker (root body) go to the global injector.
+fn schedule_effects(
+    inner: &Arc<Inner>,
+    effects: Effects,
+    worker: Option<(&WorkerContext<'_, Arc<TaskRecord>>, bool)>,
+) {
+    if !effects.deeply_completed.is_empty() {
+        inner.completion.notify_all();
+    }
+    if effects.ready.is_empty() {
+        return;
+    }
+    let records: Vec<Arc<TaskRecord>> = {
+        let mut state = inner.state.lock();
+        effects
+            .ready
+            .iter()
+            .filter_map(|id| state.pending.remove(id))
+            .collect()
+    };
+    match worker {
+        Some((wctx, use_successor_slot)) if inner.locality_scheduling => {
+            let mut iter = records.into_iter();
+            if use_successor_slot {
+                if let Some(first) = iter.next() {
+                    wctx.schedule_next(first);
+                }
+            }
+            for record in iter {
+                wctx.push_local(record);
+            }
+        }
+        _ => {
+            for record in records {
+                inner.pool.submit(record);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SharedSlice;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_root_body_and_returns_value() {
+        let rt = Runtime::with_workers(2);
+        let value = rt.run(|_ctx| 40 + 2);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn independent_tasks_all_execute() {
+        let rt = Runtime::with_workers(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        rt.run(|ctx| {
+            for _ in 0..200 {
+                let c = Arc::clone(&counter);
+                ctx.task().label("inc").spawn(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let rt = Runtime::with_workers(4);
+        let data = SharedSlice::<u64>::new(1);
+        for _ in 0..20 {
+            let d = data.clone();
+            rt.run(move |ctx| {
+                // A chain of 50 read-modify-write tasks over the same cell must serialise.
+                for i in 0..50u64 {
+                    let d2 = d.clone();
+                    ctx.task()
+                        .inout(d.region(0..1))
+                        .label("chain")
+                        .spawn(move |tctx| {
+                            let cell = d2.write(tctx, 0..1);
+                            cell[0] = cell[0].wrapping_mul(3).wrapping_add(i);
+                        });
+                }
+            });
+        }
+        // The chain is deterministic because every task reads the previous value.
+        let mut expected = 0u64;
+        for _ in 0..20 {
+            for i in 0..50u64 {
+                expected = expected.wrapping_mul(3).wrapping_add(i);
+            }
+        }
+        assert_eq!(data.snapshot()[0], expected);
+    }
+
+    #[test]
+    fn taskwait_waits_for_direct_children() {
+        let rt = Runtime::with_workers(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        rt.run(|ctx| {
+            for _ in 0..32 {
+                let c = Arc::clone(&counter);
+                ctx.task().spawn(move |_| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            assert_eq!(counter.load(Ordering::SeqCst), 32);
+        });
+    }
+
+    #[test]
+    fn nested_tasks_and_weakwait_produce_correct_data() {
+        // The Listing-2 pattern: weakwait parent, two children, two consumers.
+        let rt = Runtime::with_workers(4);
+        let a = SharedSlice::<i64>::filled(1, 1);
+        let b = SharedSlice::<i64>::filled(1, 10);
+        let out_a = SharedSlice::<i64>::new(1);
+        let out_b = SharedSlice::<i64>::new(1);
+        {
+            let (a, b, out_a, out_b) = (a.clone(), b.clone(), out_a.clone(), out_b.clone());
+            rt.run(move |ctx| {
+                let (a2, b2) = (a.clone(), b.clone());
+                ctx.task()
+                    .inout(a.region(0..1))
+                    .inout(b.region(0..1))
+                    .weakwait()
+                    .label("T1")
+                    .spawn(move |tctx| {
+                        let (a3, b3) = (a2.clone(), b2.clone());
+                        tctx.task().inout(a2.region(0..1)).label("T1.1").spawn(move |c| {
+                            a3.write(c, 0..1)[0] += 100;
+                        });
+                        tctx.task().inout(b2.region(0..1)).label("T1.2").spawn(move |c| {
+                            b3.write(c, 0..1)[0] += 200;
+                        });
+                    });
+                let (a4, oa) = (a.clone(), out_a.clone());
+                ctx.task()
+                    .input(a.region(0..1))
+                    .output(out_a.region(0..1))
+                    .label("T2")
+                    .spawn(move |c| {
+                        out_a.write(c, 0..1)[0] = a4.read(c, 0..1)[0] * 2;
+                        let _ = &oa;
+                    });
+                let (b4, ob) = (b.clone(), out_b.clone());
+                ctx.task()
+                    .input(b.region(0..1))
+                    .output(out_b.region(0..1))
+                    .label("T3")
+                    .spawn(move |c| {
+                        out_b.write(c, 0..1)[0] = b4.read(c, 0..1)[0] * 2;
+                        let _ = &ob;
+                    });
+            });
+        }
+        assert_eq!(a.snapshot()[0], 101);
+        assert_eq!(b.snapshot()[0], 210);
+        assert_eq!(out_a.snapshot()[0], 202);
+        assert_eq!(out_b.snapshot()[0], 420);
+    }
+
+    #[test]
+    fn release_directive_unblocks_consumers_early() {
+        let rt = Runtime::with_workers(2);
+        let x = SharedSlice::<u64>::new(2);
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        {
+            let (x, order) = (x.clone(), order.clone());
+            rt.run(move |ctx| {
+                let x_producer = x.clone();
+                let order_p = order.clone();
+                ctx.task()
+                    .inout(x.region(0..2))
+                    .label("producer")
+                    .spawn(move |c| {
+                        x_producer.write(c, 0..1)[0] = 7;
+                        order_p.lock().push("produced-first-half");
+                        // The first element will not be touched again: release it.
+                        c.release(x_producer.region(0..1));
+                        // Keep the task alive a little so the consumer can only overtake via the
+                        // released region.
+                        std::thread::sleep(Duration::from_millis(20));
+                        x_producer.write(c, 1..2)[0] = 9;
+                        order_p.lock().push("producer-done");
+                    });
+                let x_consumer = x.clone();
+                let order_c = order.clone();
+                ctx.task()
+                    .input(x.region(0..1))
+                    .label("consumer")
+                    .spawn(move |c| {
+                        assert_eq!(x_consumer.read(c, 0..1)[0], 7);
+                        order_c.lock().push("consumed");
+                    });
+            });
+        }
+        let order = order.lock().clone();
+        let consumed_pos = order.iter().position(|s| *s == "consumed").unwrap();
+        let done_pos = order.iter().position(|s| *s == "producer-done").unwrap();
+        assert!(
+            consumed_pos < done_pos,
+            "the consumer must run before the producer finishes (got {order:?})"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_execution() {
+        let rt = Runtime::with_workers(2);
+        rt.run(|ctx| {
+            for _ in 0..10 {
+                ctx.task().spawn(|_| {});
+            }
+        });
+        let stats = rt.stats();
+        assert_eq!(stats.tasks_executed, 10);
+        assert_eq!(stats.engine.tasks_registered, 11); // root + 10
+    }
+
+    #[test]
+    fn task_panic_is_reported_from_run() {
+        let rt = Runtime::with_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.run(|ctx| {
+                ctx.task().label("boom").spawn(|_| panic!("deliberate failure"));
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate out of run()");
+        // The runtime stays usable afterwards.
+        let value = rt.run(|_ctx| 5);
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a covering strong dependency")]
+    fn undeclared_access_is_detected() {
+        let rt = Runtime::with_workers(1);
+        let x = SharedSlice::<u8>::new(4);
+        let x2 = x.clone();
+        rt.run(move |ctx| {
+            ctx.task().label("bad").spawn(move |c| {
+                let _ = x2.read(c, 0..1); // no dependency declared
+            });
+        });
+    }
+
+    #[test]
+    fn single_worker_runtime_makes_progress_with_nested_taskwaits() {
+        let rt = Runtime::with_workers(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        rt.run(|ctx| {
+            for _ in 0..4 {
+                let c = Arc::clone(&counter);
+                ctx.task().label("outer").spawn(move |tctx| {
+                    for _ in 0..4 {
+                        let c2 = Arc::clone(&c);
+                        tctx.task().label("inner").spawn(move |_| {
+                            c2.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    tctx.taskwait();
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn locality_scheduling_can_be_disabled() {
+        // With the locality policy disabled, the successor slot is never used; with it enabled,
+        // a dependency chain uses it for every hand-over.
+        for enabled in [true, false] {
+            let rt = Runtime::new(RuntimeConfig::new().workers(2).locality_scheduling(enabled));
+            let data = SharedSlice::<u64>::new(1);
+            let d = data.clone();
+            rt.run(move |ctx| {
+                for _ in 0..64 {
+                    let d2 = d.clone();
+                    ctx.task().inout(d.region(0..1)).label("chain").spawn(move |t| {
+                        d2.write(t, 0..1)[0] += 1;
+                    });
+                }
+            });
+            assert_eq!(data.snapshot()[0], 64);
+            let hits = rt.stats().successor_slot_hits;
+            if enabled {
+                assert!(hits > 0, "the chain must use the immediate-successor slot");
+            } else {
+                assert_eq!(hits, 0, "the ablation must bypass the successor slot");
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_is_reusable_across_runs() {
+        let rt = Runtime::with_workers(2);
+        for round in 0..5usize {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            rt.run(move |ctx| {
+                for _ in 0..round + 1 {
+                    let c2 = Arc::clone(&c);
+                    ctx.task().spawn(move |_| {
+                        c2.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), round + 1);
+        }
+    }
+}

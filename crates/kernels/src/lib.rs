@@ -1,0 +1,44 @@
+//! The evaluation workloads of the paper, in every variant the paper evaluates.
+//!
+//! | Benchmark | Paper section | Variants | Module |
+//! |---|---|---|---|
+//! | Multiple AXPY (20 calls over the same vectors) | §VIII-A, Table I, Fig. 3–4 | `nest-weak-release`, `nest-weak`, `nest-depend`, `flat-depend`, `flat-taskwait` | [`axpy`] |
+//! | Gauss-Seidel heat propagation (2-D stencil) | §VIII-B, Fig. 5–6 | `nest-weak`, `nest-weak-release`, `flat-depend`, `nest-depend` | [`gauss_seidel`] |
+//! | Quicksort followed by prefix sum | §VIII-C, Fig. 7 | `weak` (weakwait + weak deps), `strong` (taskwait + regular deps) | [`sort_scan`] |
+//!
+//! Every module provides:
+//! * a runner that executes the kernel on a [`weakdep_core::Runtime`] and returns a
+//!   [`KernelRun`] with timing and operation counts,
+//! * a sequential reference implementation, and
+//! * verification helpers used by the test suite.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod axpy;
+pub mod gauss_seidel;
+pub mod sort_scan;
+
+use std::time::Duration;
+
+/// Timing and volume of one kernel execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelRun {
+    /// Wall-clock time of the parallel section.
+    pub elapsed: Duration,
+    /// Floating-point (or element) operations performed.
+    pub operations: f64,
+    /// Number of runtime tasks the kernel instantiated (outer + inner).
+    pub tasks: usize,
+}
+
+impl KernelRun {
+    /// Throughput in giga-operations per second (GFlop/s for the floating-point kernels).
+    pub fn gops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.operations / self.elapsed.as_secs_f64() / 1e9
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Quicksort followed by a prefix sum (§VIII-C of the paper, Listing 7).
+//!
+//! Both algorithms are recursive and taskified:
+//!
+//! * the quicksort partitions in the current task (its accesses are therefore strong) and spawns
+//!   one subtask per partition, releasing dependencies at the granularity of the insertion-sort
+//!   base case thanks to `weakwait`;
+//! * the prefix sum divides the array into blocks, computes block-local prefix sums, recursively
+//!   scans the block totals with a larger stride and finally accumulates the carry of each block
+//!   into the next one. All non-leaf tasks use weak dependencies.
+//!
+//! When both run back to back over the same array (the `weak` variant), the leaf tasks of the
+//! prefix sum connect directly to the quicksort leaves that produced their data, so the two
+//! algorithms overlap — the effect shown in Figure 7. The `strong` variant replaces `weakwait`
+//! with a `taskwait` and the weak dependencies with regular ones, which forces the prefix sum to
+//! wait for the whole sort.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use weakdep_core::{Runtime, SharedSlice, TaskCtx};
+
+use crate::KernelRun;
+
+/// The element type of the sorted array (the paper's generic `type`).
+pub type Elem = i64;
+
+/// The two variants compared in Figure 7.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SortScanVariant {
+    /// `weakwait` + weak dependencies (bottom timeline of Figure 7).
+    Weak,
+    /// Regular dependencies + `taskwait` (top timeline of Figure 7).
+    Strong,
+}
+
+impl SortScanVariant {
+    /// Both variants.
+    pub fn all() -> [SortScanVariant; 2] {
+        [SortScanVariant::Weak, SortScanVariant::Strong]
+    }
+
+    /// The name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortScanVariant::Weak => "weakwait+weak-deps",
+            SortScanVariant::Strong => "taskwait+regular-deps",
+        }
+    }
+}
+
+/// Problem configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SortScanConfig {
+    /// Number of elements.
+    pub n: usize,
+    /// Base-case size (elements) for both the sort and the scan.
+    pub ts: usize,
+    /// Seed of the random input permutation.
+    pub seed: u64,
+}
+
+impl SortScanConfig {
+    /// A configuration sized for unit tests.
+    pub fn small() -> Self {
+        SortScanConfig { n: 4_000, ts: 256, seed: 42 }
+    }
+
+    /// A benchmark-sized configuration.
+    pub fn default_bench() -> Self {
+        SortScanConfig { n: 1 << 21, ts: 1 << 14, seed: 7 }
+    }
+
+    /// Element operations performed (n·log2(n) comparisons + n additions, used for rates only).
+    pub fn operations(&self) -> f64 {
+        let n = self.n as f64;
+        n * n.log2() + n
+    }
+}
+
+/// Generates the input array for a configuration (values are kept small so the prefix sums do not
+/// overflow an `i64`).
+pub fn generate_input(cfg: &SortScanConfig) -> Vec<Elem> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.n).map(|_| rng.gen_range(0..1_000) as Elem).collect()
+}
+
+fn median_of_three(a: Elem, b: Elem, c: Elem) -> Elem {
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    v[1]
+}
+
+/// Partitions `data` around a median-of-three pivot, returning a split index `p` (`1 <= p < n`)
+/// such that every element of `data[..p]` is `<=` every element of `data[p..]`.
+///
+/// A three-way (less / equal / greater) partition keeps the invariant simple and guarantees
+/// progress even for constant inputs.
+fn partition(data: &mut [Elem]) -> usize {
+    let n = data.len();
+    debug_assert!(n >= 2);
+    let pivot = median_of_three(data[0], data[n / 2], data[n - 1]);
+    let mut less = Vec::with_capacity(n);
+    let mut equal = Vec::new();
+    let mut greater = Vec::with_capacity(n);
+    for &value in data.iter() {
+        if value < pivot {
+            less.push(value);
+        } else if value > pivot {
+            greater.push(value);
+        } else {
+            equal.push(value);
+        }
+    }
+    let split = (less.len() + equal.len()).clamp(1, n - 1);
+    let mut cursor = 0;
+    for value in less.into_iter().chain(equal).chain(greater) {
+        data[cursor] = value;
+        cursor += 1;
+    }
+    split
+}
+
+/// Recursive taskified quicksort (Listing 7, `quick_sort`).
+///
+/// `ctx` must hold a strong `inout` dependency over `data[offset..offset+n]` (the recursion
+/// spawns the nested tasks so that this always holds).
+fn quick_sort(ctx: &TaskCtx<'_>, data: &SharedSlice<Elem>, offset: usize, n: usize, ts: usize, weak: bool) {
+    if n == 0 {
+        return;
+    }
+    if n <= ts {
+        // Base case: an insertion-sort task over the whole range.
+        let d = data.clone();
+        ctx.task()
+            .inout(data.region(offset..offset + n))
+            .label("insertion_sort")
+            .spawn(move |t| {
+                let slice = d.write(t, offset..offset + n);
+                insertion_sort(slice);
+            });
+        return;
+    }
+
+    // The partition is performed by the *current* task, which owns a strong inout over the range.
+    let pivot_index = {
+        let slice = data.write(ctx, offset..offset + n);
+        partition(slice)
+    };
+
+    // Left part.
+    if pivot_index > 0 {
+        let d = data.clone();
+        let builder = ctx
+            .task()
+            .inout(data.region(offset..offset + pivot_index))
+            .label("quick_sort");
+        let builder = if weak { builder.weakwait() } else { builder };
+        builder.spawn(move |t| {
+            quick_sort(t, &d, offset, pivot_index, ts, weak);
+            if !weak {
+                t.taskwait();
+            }
+        });
+    }
+    // Right part.
+    if pivot_index < n {
+        let d = data.clone();
+        let builder = ctx
+            .task()
+            .inout(data.region(offset + pivot_index..offset + n))
+            .label("quick_sort");
+        let builder = if weak { builder.weakwait() } else { builder };
+        builder.spawn(move |t| {
+            quick_sort(t, &d, offset + pivot_index, n - pivot_index, ts, weak);
+            if !weak {
+                t.taskwait();
+            }
+        });
+    }
+}
+
+fn insertion_sort(data: &mut [Elem]) {
+    for i in 1..data.len() {
+        let value = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > value {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = value;
+    }
+}
+
+/// Recursive taskified prefix sum (Listing 7, `prefix_sum`), operating on the elements
+/// `offset + k·stride` for `k·stride < n`.
+fn prefix_sum(
+    ctx: &TaskCtx<'_>,
+    data: &SharedSlice<Elem>,
+    offset: usize,
+    n: usize,
+    ts: usize,
+    stride: usize,
+    weak: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    // Base case: a single task scanning the strided elements.
+    if n <= ts * stride {
+        if n <= stride {
+            return;
+        }
+        let d = data.clone();
+        ctx.task()
+            .input(data.region(offset..offset + 1))
+            .inout(data.region(offset + stride..offset + n))
+            .label("prefix_sum")
+            .spawn(move |t| {
+                let mut i = stride;
+                while i < n {
+                    let prev = d.read(t, offset + i - stride..offset + i - stride + 1)[0];
+                    d.write(t, offset + i..offset + i + 1)[0] += prev;
+                    i += stride;
+                }
+            });
+        return;
+    }
+
+    // Compute the blocks independently (plain recursive calls producing base-case tasks).
+    let block = ts * stride;
+    let mut i = 0;
+    while i < n {
+        let size = block.min(n - i);
+        prefix_sum(ctx, data, offset + i, size, ts, stride, weak);
+        i += block;
+    }
+
+    // Index of the last element of the first block.
+    let substart = (ts - 1) * stride;
+
+    // Prefix sum over the last element of each block, with a larger stride.
+    {
+        let d = data.clone();
+        let region = data.region(offset + substart..offset + n);
+        let builder = ctx.task().label("prefix_sum_rec");
+        let builder = if weak {
+            builder.weak_inout(region).weakwait()
+        } else {
+            builder.inout(region)
+        };
+        builder.spawn(move |t| {
+            prefix_sum(t, &d, offset + substart, n - substart, ts, block, weak);
+            if !weak {
+                t.taskwait();
+            }
+        });
+    }
+
+    // Accumulate the last element of each block over the elements of the following block.
+    let mut i = substart;
+    while i + stride < n {
+        let size = block.min(n - i);
+        let d = data.clone();
+        ctx.task()
+            .input(data.region(offset + i..offset + i + 1))
+            .inout(data.region(offset + i + stride..offset + i + size))
+            .label("accumulation")
+            .spawn(move |t| {
+                let carry = d.read(t, offset + i..offset + i + 1)[0];
+                let mut j = stride;
+                while j < size {
+                    d.write(t, offset + i + j..offset + i + j + 1)[0] += carry;
+                    j += stride;
+                }
+            });
+        i += block;
+    }
+}
+
+/// Runs the full benchmark (quicksort, then prefix sum, over the same array) in the given
+/// variant. Returns timing information and the final array.
+pub fn run(rt: &Runtime, variant: SortScanVariant, cfg: &SortScanConfig) -> (KernelRun, Vec<Elem>) {
+    let input = generate_input(cfg);
+    let data = SharedSlice::from_vec(input);
+    let result = run_on(rt, variant, cfg, &data);
+    (result, data.snapshot())
+}
+
+/// Runs the benchmark over an existing array (modified in place).
+pub fn run_on(
+    rt: &Runtime,
+    variant: SortScanVariant,
+    cfg: &SortScanConfig,
+    data: &SharedSlice<Elem>,
+) -> KernelRun {
+    assert_eq!(data.len(), cfg.n);
+    let weak = variant == SortScanVariant::Weak;
+    let cfg = *cfg;
+    let data_outer = data.clone();
+    let start_time = Instant::now();
+    rt.run(move |root| {
+        let n = cfg.n;
+        // Listing 7 line 1: the quicksort wrapper (strong inout: it partitions the data itself).
+        {
+            let d = data_outer.clone();
+            let builder = root
+                .task()
+                .inout(data_outer.region(0..n))
+                .label("quick_sort");
+            let builder = if weak { builder.weakwait() } else { builder };
+            builder.spawn(move |t| {
+                quick_sort(t, &d, 0, n, cfg.ts, weak);
+                if !weak {
+                    t.taskwait();
+                }
+            });
+        }
+        // Listing 7 line 4: the prefix-sum wrapper (weak: it never touches the data directly).
+        {
+            let d = data_outer.clone();
+            let region = data_outer.region(0..n);
+            let builder = root.task().label("prefix_sum_root");
+            let builder = if weak {
+                builder.weak_inout(region).weakwait()
+            } else {
+                builder.inout(region)
+            };
+            builder.spawn(move |t| {
+                prefix_sum(t, &d, 0, n, cfg.ts, 1, weak);
+                if !weak {
+                    t.taskwait();
+                }
+            });
+        }
+    });
+    KernelRun { elapsed: start_time.elapsed(), operations: cfg.operations(), tasks: 0 }
+}
+
+/// Sequential reference: sort the generated input and take inclusive prefix sums.
+pub fn reference(cfg: &SortScanConfig) -> Vec<Elem> {
+    let mut data = generate_input(cfg);
+    data.sort_unstable();
+    for i in 1..data.len() {
+        data[i] += data[i - 1];
+    }
+    data
+}
+
+/// `true` if `result` equals the sequential reference.
+pub fn verify(cfg: &SortScanConfig, result: &[Elem]) -> bool {
+    reference(cfg) == result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakdep_core::Runtime;
+
+    #[test]
+    fn partition_splits_and_orders() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..60);
+            let mut v: Vec<Elem> = (0..n).map(|_| rng.gen_range(0..50) as Elem).collect();
+            let original = v.clone();
+            let p = partition(&mut v);
+            assert!(p >= 1 && p < n, "both sides must be non-empty (n={n}, p={p})");
+            let max_left = v[..p].iter().max().unwrap();
+            let min_right = v[p..].iter().min().unwrap();
+            assert!(max_left <= min_right, "partition property violated: {original:?} -> {v:?} at {p}");
+        }
+    }
+
+    #[test]
+    fn insertion_sort_sorts() {
+        let mut v = vec![5, 3, 9, 1, 1, 7, 0];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn both_variants_match_the_reference() {
+        let rt = Runtime::with_workers(4);
+        let cfg = SortScanConfig::small();
+        for variant in SortScanVariant::all() {
+            let (_run, result) = run(&rt, variant, &cfg);
+            assert!(verify(&cfg, &result), "variant {} produced a wrong result", variant.name());
+        }
+    }
+
+    #[test]
+    fn tiny_and_odd_sizes_work() {
+        let rt = Runtime::with_workers(2);
+        for n in [1usize, 2, 3, 17, 255, 1023] {
+            let cfg = SortScanConfig { n, ts: 8, seed: 3 };
+            let (_run, result) = run(&rt, SortScanVariant::Weak, &cfg);
+            assert!(verify(&cfg, &result), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_constant_inputs() {
+        let rt = Runtime::with_workers(2);
+        // Constant input exercises the pivot/partition edge cases.
+        let cfg = SortScanConfig { n: 2_048, ts: 64, seed: 0 };
+        let data = SharedSlice::from_vec(vec![7 as Elem; cfg.n]);
+        run_on(&rt, SortScanVariant::Weak, &cfg, &data);
+        let expected: Vec<Elem> = (1..=cfg.n as Elem).map(|i| 7 * i).collect();
+        assert_eq!(data.snapshot(), expected);
+    }
+
+    #[test]
+    fn single_worker_matches_reference() {
+        let rt = Runtime::with_workers(1);
+        let cfg = SortScanConfig { n: 3_000, ts: 128, seed: 9 };
+        for variant in SortScanVariant::all() {
+            let (_run, result) = run(&rt, variant, &cfg);
+            assert!(verify(&cfg, &result), "variant {}", variant.name());
+        }
+    }
+
+    #[test]
+    fn operations_metric_is_positive() {
+        assert!(SortScanConfig::small().operations() > 0.0);
+    }
+}

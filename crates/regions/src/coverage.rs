@@ -1,0 +1,145 @@
+//! [`CoverageCounter`]: a multiset of regions.
+//!
+//! The dependency engine needs to know, for every data access of a task, which of its sub-regions
+//! are currently covered by *live child accesses*. Several children may cover the same fragment
+//! at the same time (e.g. two sibling readers of the same block), so plain set semantics are not
+//! enough — the counter keeps a per-fragment count and reports exactly the fragments whose count
+//! drops back to zero, which is the trigger for the fine-grained release of §V of the paper.
+
+use crate::{RangeUpdate, Region, RegionMap};
+
+/// A region multiset: every fragment carries the number of times it has been added.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageCounter {
+    map: RegionMap<usize>,
+}
+
+impl CoverageCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        CoverageCounter { map: RegionMap::new() }
+    }
+
+    /// Increments the count of every coordinate in `region`.
+    pub fn increment(&mut self, region: &Region) {
+        self.map.update(region, |_, v| match v {
+            Some(&count) => RangeUpdate::Set(count + 1),
+            None => RangeUpdate::Set(1),
+        });
+    }
+
+    /// Decrements the count of every coordinate in `region`, returning the fragments whose count
+    /// reached zero (they are removed from the counter).
+    ///
+    /// Coordinates of `region` that were not present are ignored (their count is already zero and
+    /// they are **not** reported: the caller only wants *transitions* to zero).
+    pub fn decrement(&mut self, region: &Region) -> Vec<Region> {
+        let mut zeroed = Vec::new();
+        self.map.update(region, |r, v| match v {
+            Some(&count) if count > 1 => RangeUpdate::Set(count - 1),
+            Some(_) => {
+                zeroed.push(r);
+                RangeUpdate::Remove
+            }
+            None => RangeUpdate::Keep,
+        });
+        zeroed
+    }
+
+    /// `true` if at least one coordinate of `region` has a non-zero count.
+    pub fn intersects(&self, region: &Region) -> bool {
+        self.map.intersects(region)
+    }
+
+    /// The fragments of `region` with a count of zero (i.e. not covered).
+    pub fn uncovered_parts(&self, region: &Region) -> Vec<Region> {
+        self.map.gaps(region)
+    }
+
+    /// The fragments of `region` with a non-zero count, together with their counts.
+    pub fn covered_parts(&self, region: &Region) -> Vec<(Region, usize)> {
+        self.map.query_vec(region)
+    }
+
+    /// `true` if no coordinate has a non-zero count.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total length of coordinates with a non-zero count.
+    pub fn covered_len(&self) -> usize {
+        self.map.covered_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceId;
+
+    fn r(start: usize, end: usize) -> Region {
+        Region::new(SpaceId(1), start, end)
+    }
+
+    #[test]
+    fn increment_then_decrement_reports_zeroed() {
+        let mut c = CoverageCounter::new();
+        c.increment(&r(0, 10));
+        assert!(c.intersects(&r(5, 6)));
+        let zeroed = c.decrement(&r(0, 10));
+        assert_eq!(zeroed, vec![r(0, 10)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn nested_counts_require_matching_decrements() {
+        let mut c = CoverageCounter::new();
+        c.increment(&r(0, 10));
+        c.increment(&r(0, 10));
+        assert!(c.decrement(&r(0, 10)).is_empty());
+        assert_eq!(c.decrement(&r(0, 10)), vec![r(0, 10)]);
+    }
+
+    #[test]
+    fn partial_overlap_counts_fragment_wise() {
+        let mut c = CoverageCounter::new();
+        c.increment(&r(0, 10));
+        c.increment(&r(5, 15));
+        // [0,5): 1, [5,10): 2, [10,15): 1
+        assert_eq!(c.covered_len(), 15);
+        let zeroed = c.decrement(&r(0, 15));
+        // Only the count-1 parts drop to zero.
+        assert_eq!(zeroed, vec![r(0, 5), r(10, 15)]);
+        assert_eq!(c.covered_parts(&r(0, 15)), vec![(r(5, 10), 1)]);
+        let zeroed = c.decrement(&r(5, 10));
+        assert_eq!(zeroed, vec![r(5, 10)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn decrement_of_absent_region_is_ignored() {
+        let mut c = CoverageCounter::new();
+        c.increment(&r(0, 10));
+        let zeroed = c.decrement(&r(20, 30));
+        assert!(zeroed.is_empty());
+        assert_eq!(c.covered_len(), 10);
+    }
+
+    #[test]
+    fn uncovered_parts() {
+        let mut c = CoverageCounter::new();
+        c.increment(&r(10, 20));
+        assert_eq!(c.uncovered_parts(&r(0, 30)), vec![r(0, 10), r(20, 30)]);
+        assert!(c.uncovered_parts(&r(12, 18)).is_empty());
+    }
+
+    #[test]
+    fn multi_space_independence() {
+        let mut c = CoverageCounter::new();
+        c.increment(&Region::new(SpaceId(1), 0, 10));
+        c.increment(&Region::new(SpaceId(2), 0, 10));
+        let zeroed = c.decrement(&Region::new(SpaceId(1), 0, 10));
+        assert_eq!(zeroed, vec![Region::new(SpaceId(1), 0, 10)]);
+        assert!(c.intersects(&Region::new(SpaceId(2), 0, 10)));
+    }
+}

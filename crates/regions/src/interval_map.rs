@@ -1,0 +1,384 @@
+//! [`IntervalMap`]: an ordered map from disjoint half-open ranges of a single address space to
+//! values, with fragmentation (entry splitting) on update.
+//!
+//! This is the workhorse behind the dependency engine's *bottom maps* and per-access coverage
+//! tracking: updating a range that partially overlaps existing entries splits those entries at the
+//! update boundaries, so the caller always observes maximal fragments that are either fully inside
+//! one existing entry or fully inside a gap.
+
+use std::collections::BTreeMap;
+
+/// Decision returned by the visitor passed to [`IntervalMap::update_range`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeUpdate<V> {
+    /// Leave the fragment as it is (existing value stays, gap stays empty).
+    Keep,
+    /// Set (or replace) the value of the fragment.
+    Set(V),
+    /// Remove the fragment (no-op for gaps).
+    Remove,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<V> {
+    end: usize,
+    value: V,
+}
+
+/// An ordered map from disjoint half-open ranges `[start, end)` to values.
+///
+/// Invariants maintained by every operation:
+/// * entries never overlap;
+/// * entries are never empty (`start < end`).
+///
+/// Adjacent entries with equal values are *not* automatically coalesced (values are often
+/// non-`Eq` containers); use [`IntervalMap::coalesce`] when desired.
+#[derive(Debug, Clone)]
+pub struct IntervalMap<V> {
+    entries: BTreeMap<usize, Entry<V>>,
+}
+
+impl<V> Default for IntervalMap<V> {
+    fn default() -> Self {
+        IntervalMap { entries: BTreeMap::new() }
+    }
+}
+
+impl<V> IntervalMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IntervalMap { entries: BTreeMap::new() }
+    }
+
+    /// Number of stored fragments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the map holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total covered length (sum of fragment lengths).
+    pub fn covered_len(&self) -> usize {
+        self.entries.values().map(|e| e.end).sum::<usize>()
+            - self.entries.keys().sum::<usize>()
+    }
+
+    /// Iterates over all fragments as `(start, end, &value)` in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &V)> {
+        self.entries.iter().map(|(&s, e)| (s, e.end, &e.value))
+    }
+
+    /// Iterates mutably over all fragments as `(start, end, &mut value)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, usize, &mut V)> {
+        self.entries.iter_mut().map(|(&s, e)| (s, e.end, &mut e.value))
+    }
+
+    /// Removes all fragments.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Visits every part of `[start, end)` that overlaps a stored fragment, clipped to the query
+    /// range, as `(start, end, &value)`.
+    pub fn query_range(&self, start: usize, end: usize, mut f: impl FnMut(usize, usize, &V)) {
+        if start >= end {
+            return;
+        }
+        // The first candidate entry is the one containing `start` (if any): it starts at or
+        // before `start`.
+        let first = self
+            .entries
+            .range(..=start)
+            .next_back()
+            .filter(|(_, e)| e.end > start)
+            .map(|(&s, _)| s);
+        let from = first.unwrap_or(start);
+        for (&s, e) in self.entries.range(from..end) {
+            let cs = s.max(start);
+            let ce = e.end.min(end);
+            if cs < ce {
+                f(cs, ce, &e.value);
+            }
+        }
+    }
+
+    /// `true` if every coordinate of `[start, end)` is covered by some fragment.
+    pub fn covers(&self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return true;
+        }
+        let mut cursor = start;
+        self.query_range(start, end, |s, e, _| {
+            if s == cursor {
+                cursor = e;
+            }
+        });
+        cursor >= end
+    }
+
+    /// Returns the sub-ranges of `[start, end)` **not** covered by any fragment.
+    pub fn gaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut gaps = Vec::new();
+        if start >= end {
+            return gaps;
+        }
+        let mut cursor = start;
+        self.query_range(start, end, |s, e, _| {
+            if s > cursor {
+                gaps.push((cursor, s));
+            }
+            cursor = cursor.max(e);
+        });
+        if cursor < end {
+            gaps.push((cursor, end));
+        }
+        gaps
+    }
+}
+
+impl<V: Clone> IntervalMap<V> {
+    /// Splits any entry straddling `pos` into two entries meeting at `pos`.
+    fn split_at(&mut self, pos: usize) {
+        let candidate = self
+            .entries
+            .range(..pos)
+            .next_back()
+            .filter(|(_, e)| e.end > pos)
+            .map(|(&s, _)| s);
+        if let Some(s) = candidate {
+            let entry = self.entries.get_mut(&s).expect("entry disappeared");
+            let right = Entry { end: entry.end, value: entry.value.clone() };
+            entry.end = pos;
+            self.entries.insert(pos, right);
+        }
+    }
+
+    /// Visits every maximal fragment of `[start, end)` — either fully inside one existing entry
+    /// (visited with `Some(&value)`) or fully inside a gap (visited with `None`) — and applies the
+    /// decision returned by the visitor.
+    ///
+    /// Existing entries partially overlapping the query range are split at the range boundaries
+    /// first, so decisions never affect coordinates outside `[start, end)`.
+    pub fn update_range(
+        &mut self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize, usize, Option<&V>) -> RangeUpdate<V>,
+    ) {
+        if start >= end {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+
+        // Collect the existing fragments inside the range (all fully contained after splitting).
+        let existing: Vec<(usize, usize)> = self
+            .entries
+            .range(start..end)
+            .map(|(&s, e)| (s, e.end))
+            .collect();
+
+        let mut cursor = start;
+        let mut plan: Vec<(usize, usize, bool)> = Vec::new(); // (start, end, is_existing)
+        for (s, e) in existing {
+            if s > cursor {
+                plan.push((cursor, s, false));
+            }
+            plan.push((s, e, true));
+            cursor = e;
+        }
+        if cursor < end {
+            plan.push((cursor, end, false));
+        }
+
+        for (s, e, is_existing) in plan {
+            let decision = if is_existing {
+                let v = &self.entries.get(&s).expect("planned entry missing").value;
+                f(s, e, Some(v))
+            } else {
+                f(s, e, None)
+            };
+            match decision {
+                RangeUpdate::Keep => {}
+                RangeUpdate::Set(v) => {
+                    self.entries.insert(s, Entry { end: e, value: v });
+                }
+                RangeUpdate::Remove => {
+                    if is_existing {
+                        self.entries.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sets `[start, end)` to `value`, overwriting any overlapping fragments.
+    pub fn insert_range(&mut self, start: usize, end: usize, value: V) {
+        self.update_range(start, end, |_, _, _| RangeUpdate::Set(value.clone()));
+    }
+
+    /// Removes `[start, end)` and returns the removed fragments clipped to the range.
+    pub fn remove_range(&mut self, start: usize, end: usize) -> Vec<(usize, usize, V)> {
+        let mut removed = Vec::new();
+        self.update_range(start, end, |s, e, v| {
+            if let Some(v) = v {
+                removed.push((s, e, v.clone()));
+                RangeUpdate::Remove
+            } else {
+                RangeUpdate::Keep
+            }
+        });
+        removed
+    }
+
+    /// Merges adjacent fragments holding equal values (requires `V: PartialEq`).
+    pub fn coalesce(&mut self)
+    where
+        V: PartialEq,
+    {
+        let keys: Vec<usize> = self.entries.keys().copied().collect();
+        for key in keys {
+            // The entry may already have been merged away.
+            let Some(cur) = self.entries.get(&key) else { continue };
+            let mut cur_end = cur.end;
+            // Keep absorbing the immediate neighbour while its value matches, so that runs of
+            // three or more equal fragments collapse into one.
+            while let Some(next) = self.entries.get(&cur_end) {
+                if next.value != self.entries[&key].value {
+                    break;
+                }
+                let next_end = next.end;
+                self.entries.remove(&cur_end);
+                self.entries.get_mut(&key).expect("current entry").end = next_end;
+                cur_end = next_end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect<V: Clone>(m: &IntervalMap<V>) -> Vec<(usize, usize, V)> {
+        m.iter().map(|(s, e, v)| (s, e, v.clone())).collect()
+    }
+
+    #[test]
+    fn insert_into_empty() {
+        let mut m = IntervalMap::new();
+        m.insert_range(10, 20, 'a');
+        assert_eq!(collect(&m), vec![(10, 20, 'a')]);
+        assert_eq!(m.covered_len(), 10);
+    }
+
+    #[test]
+    fn insert_overlapping_splits() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'a');
+        m.insert_range(5, 15, 'b');
+        assert_eq!(collect(&m), vec![(0, 5, 'a'), (5, 10, 'b'), (10, 15, 'b')]);
+    }
+
+    #[test]
+    fn insert_inside_splits_both_sides() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 30, 'a');
+        m.insert_range(10, 20, 'b');
+        assert_eq!(collect(&m), vec![(0, 10, 'a'), (10, 20, 'b'), (20, 30, 'a')]);
+    }
+
+    #[test]
+    fn update_visits_gaps_and_entries() {
+        let mut m = IntervalMap::new();
+        m.insert_range(10, 20, 1);
+        m.insert_range(30, 40, 2);
+        let mut visited = Vec::new();
+        m.update_range(0, 50, |s, e, v| {
+            visited.push((s, e, v.copied()));
+            RangeUpdate::Keep
+        });
+        assert_eq!(
+            visited,
+            vec![
+                (0, 10, None),
+                (10, 20, Some(1)),
+                (20, 30, None),
+                (30, 40, Some(2)),
+                (40, 50, None)
+            ]
+        );
+    }
+
+    #[test]
+    fn update_partial_overlap_only_touches_query_range() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 100, 'a');
+        m.update_range(40, 60, |_, _, _| RangeUpdate::Set('b'));
+        assert_eq!(collect(&m), vec![(0, 40, 'a'), (40, 60, 'b'), (60, 100, 'a')]);
+    }
+
+    #[test]
+    fn remove_range_returns_clipped_fragments() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'a');
+        m.insert_range(20, 30, 'b');
+        let removed = m.remove_range(5, 25);
+        assert_eq!(removed, vec![(5, 10, 'a'), (20, 25, 'b')]);
+        assert_eq!(collect(&m), vec![(0, 5, 'a'), (25, 30, 'b')]);
+    }
+
+    #[test]
+    fn covers_and_gaps() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, ());
+        m.insert_range(20, 30, ());
+        assert!(m.covers(0, 10));
+        assert!(m.covers(2, 8));
+        assert!(!m.covers(5, 25));
+        assert_eq!(m.gaps(0, 40), vec![(10, 20), (30, 40)]);
+        assert_eq!(m.gaps(5, 25), vec![(10, 20)]);
+        assert_eq!(m.gaps(12, 18), vec![(12, 18)]);
+        assert!(m.gaps(2, 8).is_empty());
+    }
+
+    #[test]
+    fn query_range_clips() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 100, 7);
+        let mut seen = Vec::new();
+        m.query_range(30, 60, |s, e, v| seen.push((s, e, *v)));
+        assert_eq!(seen, vec![(30, 60, 7)]);
+    }
+
+    #[test]
+    fn coalesce_merges_equal_neighbours() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'a');
+        m.insert_range(10, 20, 'a');
+        m.insert_range(20, 30, 'b');
+        m.coalesce();
+        assert_eq!(collect(&m), vec![(0, 20, 'a'), (20, 30, 'b')]);
+    }
+
+    #[test]
+    fn empty_range_operations_are_noops() {
+        let mut m: IntervalMap<u32> = IntervalMap::new();
+        m.insert_range(5, 5, 1);
+        assert!(m.is_empty());
+        m.update_range(10, 10, |_, _, _| panic!("must not be visited"));
+        assert!(m.remove_range(3, 3).is_empty());
+        assert!(m.covers(4, 4));
+    }
+
+    #[test]
+    fn covered_len_accounts_for_all_fragments() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'x');
+        m.insert_range(20, 25, 'y');
+        assert_eq!(m.covered_len(), 15);
+    }
+}

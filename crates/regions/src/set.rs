@@ -1,0 +1,183 @@
+//! [`RegionSet`]: a set of regions (a union of disjoint fragments, possibly across spaces).
+//!
+//! The dependency engine uses region sets to track, per data access, which sub-regions are still
+//! unsatisfied, uncompleted or unreleased, and to represent the remaining extent of dependency
+//! edges under the fine-grained (per-fragment) release of §V of the paper.
+
+use crate::{Region, RegionMap};
+
+/// A set of coordinates grouped into disjoint region fragments.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSet {
+    map: RegionMap<()>,
+}
+
+impl RegionSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RegionSet { map: RegionMap::new() }
+    }
+
+    /// Creates a set containing a single region.
+    pub fn from_region(region: Region) -> Self {
+        let mut s = Self::new();
+        s.add(&region);
+        s
+    }
+
+    /// Creates a set containing all the given regions.
+    pub fn from_regions<'a>(regions: impl IntoIterator<Item = &'a Region>) -> Self {
+        let mut s = Self::new();
+        for r in regions {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Adds a region to the set (union).
+    pub fn add(&mut self, region: &Region) {
+        if region.is_empty() {
+            return;
+        }
+        self.map.insert(region, ());
+        self.map.coalesce();
+    }
+
+    /// Removes a region from the set; returns the fragments that were actually removed.
+    pub fn remove(&mut self, region: &Region) -> Vec<Region> {
+        self.map.remove(region).into_iter().map(|(r, ())| r).collect()
+    }
+
+    /// `true` if the set contains no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total length of all contained fragments.
+    pub fn total_len(&self) -> usize {
+        self.map.covered_len()
+    }
+
+    /// `true` if every coordinate of `region` is in the set.
+    pub fn contains_all(&self, region: &Region) -> bool {
+        self.map.covers(region)
+    }
+
+    /// `true` if at least one coordinate of `region` is in the set.
+    pub fn intersects(&self, region: &Region) -> bool {
+        self.map.intersects(region)
+    }
+
+    /// The fragments of `region` that are in the set.
+    pub fn intersection(&self, region: &Region) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.map.query(region, |r, ()| out.push(r));
+        out
+    }
+
+    /// The fragments of `region` that are **not** in the set.
+    pub fn missing_parts(&self, region: &Region) -> Vec<Region> {
+        self.map.gaps(region)
+    }
+
+    /// All fragments of the set.
+    pub fn iter(&self) -> impl Iterator<Item = Region> + '_ {
+        self.map.iter().map(|(r, ())| r)
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl FromIterator<Region> for RegionSet {
+    fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> Self {
+        let mut s = RegionSet::new();
+        for r in iter {
+            s.add(&r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceId;
+
+    fn r(start: usize, end: usize) -> Region {
+        Region::new(SpaceId(1), start, end)
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut s = RegionSet::new();
+        s.add(&r(0, 100));
+        assert!(s.contains_all(&r(0, 100)));
+        assert_eq!(s.total_len(), 100);
+        let removed = s.remove(&r(20, 30));
+        assert_eq!(removed, vec![r(20, 30)]);
+        assert!(!s.contains_all(&r(0, 100)));
+        assert!(s.contains_all(&r(0, 20)));
+        assert!(s.contains_all(&r(30, 100)));
+        assert_eq!(s.total_len(), 90);
+    }
+
+    #[test]
+    fn union_coalesces_adjacent_fragments() {
+        let mut s = RegionSet::new();
+        s.add(&r(0, 10));
+        s.add(&r(10, 20));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![r(0, 20)]);
+    }
+
+    #[test]
+    fn overlapping_add_is_idempotent() {
+        let mut s = RegionSet::new();
+        s.add(&r(0, 50));
+        s.add(&r(25, 75));
+        assert_eq!(s.total_len(), 75);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![r(0, 75)]);
+    }
+
+    #[test]
+    fn intersection_and_missing_parts() {
+        let mut s = RegionSet::new();
+        s.add(&r(10, 20));
+        s.add(&r(40, 50));
+        assert_eq!(s.intersection(&r(0, 100)), vec![r(10, 20), r(40, 50)]);
+        assert_eq!(
+            s.missing_parts(&r(0, 60)),
+            vec![r(0, 10), r(20, 40), r(50, 60)]
+        );
+        assert!(s.intersects(&r(15, 45)));
+        assert!(!s.intersects(&r(20, 40)));
+    }
+
+    #[test]
+    fn remove_everything_empties_the_set() {
+        let mut s = RegionSet::from_region(r(5, 15));
+        s.remove(&r(0, 20));
+        assert!(s.is_empty());
+        assert_eq!(s.total_len(), 0);
+    }
+
+    #[test]
+    fn multi_space_sets() {
+        let mut s = RegionSet::new();
+        s.add(&Region::new(SpaceId(1), 0, 10));
+        s.add(&Region::new(SpaceId(2), 0, 10));
+        assert_eq!(s.total_len(), 20);
+        s.remove(&Region::new(SpaceId(1), 0, 10));
+        assert_eq!(s.total_len(), 10);
+        assert!(s.contains_all(&Region::new(SpaceId(2), 3, 7)));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RegionSet = vec![r(0, 5), r(5, 10), r(20, 30)].into_iter().collect();
+        assert_eq!(s.total_len(), 20);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![r(0, 10), r(20, 30)]);
+    }
+}

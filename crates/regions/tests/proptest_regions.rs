@@ -1,0 +1,169 @@
+//! Property-based tests for the region containers.
+//!
+//! The reference model for every container is a plain per-coordinate representation
+//! (`Vec<Option<V>>` / `Vec<usize>`): slow, but obviously correct. All operations on the real
+//! container must agree with the model coordinate by coordinate.
+
+use proptest::prelude::*;
+use weakdep_regions::{CoverageCounter, IntervalMap, RangeUpdate, Region, RegionSet, SpaceId};
+
+const UNIVERSE: usize = 200;
+
+fn region_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(usize, usize, u8),
+    Remove(usize, usize),
+}
+
+fn map_op_strategy() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (region_strategy(), any::<u8>()).prop_map(|((s, e), v)| MapOp::Insert(s, e, v)),
+        region_strategy().prop_map(|(s, e)| MapOp::Remove(s, e)),
+    ]
+}
+
+proptest! {
+    /// IntervalMap agrees with a per-coordinate model under arbitrary insert/remove sequences.
+    #[test]
+    fn interval_map_matches_model(ops in proptest::collection::vec(map_op_strategy(), 0..40)) {
+        let mut map: IntervalMap<u8> = IntervalMap::new();
+        let mut model: Vec<Option<u8>> = vec![None; UNIVERSE];
+        for op in ops {
+            match op {
+                MapOp::Insert(s, e, v) => {
+                    map.insert_range(s, e, v);
+                    for slot in &mut model[s..e] { *slot = Some(v); }
+                }
+                MapOp::Remove(s, e) => {
+                    map.remove_range(s, e);
+                    for slot in &mut model[s..e] { *slot = None; }
+                }
+            }
+            // Compare coordinate by coordinate.
+            let mut reconstructed: Vec<Option<u8>> = vec![None; UNIVERSE];
+            for (s, e, v) in map.iter() {
+                prop_assert!(s < e, "empty fragment stored");
+                prop_assert!(e <= UNIVERSE);
+                for slot in &mut reconstructed[s..e] {
+                    prop_assert!(slot.is_none(), "overlapping fragments stored");
+                    *slot = Some(*v);
+                }
+            }
+            prop_assert_eq!(&reconstructed, &model);
+            // covered_len must equal the number of Some coordinates.
+            prop_assert_eq!(map.covered_len(), model.iter().filter(|v| v.is_some()).count());
+        }
+    }
+
+    /// Fragmentation via update_range visits every coordinate of the query exactly once.
+    #[test]
+    fn update_range_visits_query_exactly_once(
+        ops in proptest::collection::vec(map_op_strategy(), 0..20),
+        (qs, qe) in region_strategy(),
+    ) {
+        let mut map: IntervalMap<u8> = IntervalMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(s, e, v) => map.insert_range(s, e, v),
+                MapOp::Remove(s, e) => { map.remove_range(s, e); }
+            }
+        }
+        let mut visited = vec![0u32; UNIVERSE];
+        map.update_range(qs, qe, |s, e, _| {
+            for slot in &mut visited[s..e] { *slot += 1; }
+            RangeUpdate::Keep
+        });
+        for (i, count) in visited.iter().enumerate() {
+            let expected = if i >= qs && i < qe { 1 } else { 0 };
+            prop_assert_eq!(*count, expected, "coordinate {} visited {} times", i, count);
+        }
+    }
+
+    /// RegionSet add/remove agrees with a boolean per-coordinate model, and fragments stay
+    /// disjoint and coalesced.
+    #[test]
+    fn region_set_matches_model(ops in proptest::collection::vec(
+        (any::<bool>(), region_strategy()), 0..40)
+    ) {
+        let space = SpaceId(7);
+        let mut set = RegionSet::new();
+        let mut model = vec![false; UNIVERSE];
+        for (add, (s, e)) in ops {
+            let region = Region::new(space, s, e);
+            if add {
+                set.add(&region);
+                for slot in &mut model[s..e] { *slot = true; }
+            } else {
+                set.remove(&region);
+                for slot in &mut model[s..e] { *slot = false; }
+            }
+            let mut reconstructed = vec![false; UNIVERSE];
+            let mut prev_end: Option<usize> = None;
+            for frag in set.iter() {
+                prop_assert!(!frag.is_empty());
+                if let Some(pe) = prev_end {
+                    prop_assert!(frag.start > pe, "adjacent fragments must be coalesced");
+                }
+                prev_end = Some(frag.end);
+                for slot in &mut reconstructed[frag.start..frag.end] { *slot = true; }
+            }
+            prop_assert_eq!(&reconstructed, &model);
+            prop_assert_eq!(set.total_len(), model.iter().filter(|&&b| b).count());
+        }
+    }
+
+    /// CoverageCounter agrees with a per-coordinate count model and reports exactly the
+    /// transitions to zero.
+    #[test]
+    fn coverage_counter_matches_model(ops in proptest::collection::vec(
+        (any::<bool>(), region_strategy()), 0..40)
+    ) {
+        let space = SpaceId(3);
+        let mut counter = CoverageCounter::new();
+        let mut model = vec![0usize; UNIVERSE];
+        for (inc, (s, e)) in ops {
+            let region = Region::new(space, s, e);
+            if inc {
+                counter.increment(&region);
+                for slot in &mut model[s..e] { *slot += 1; }
+            } else {
+                let zeroed = counter.decrement(&region);
+                let mut expected_zeroed = vec![false; UNIVERSE];
+                for (i, slot) in model.iter_mut().enumerate().take(e).skip(s) {
+                    if *slot > 0 {
+                        *slot -= 1;
+                        if *slot == 0 {
+                            expected_zeroed[i] = true;
+                        }
+                    }
+                }
+                let mut got_zeroed = vec![false; UNIVERSE];
+                for frag in zeroed {
+                    for slot in &mut got_zeroed[frag.start..frag.end] { *slot = true; }
+                }
+                prop_assert_eq!(&got_zeroed, &expected_zeroed);
+            }
+            // Covered length must equal the number of coordinates with non-zero count.
+            prop_assert_eq!(counter.covered_len(), model.iter().filter(|&&c| c > 0).count());
+        }
+    }
+
+    /// Region::subtract never loses or duplicates coordinates.
+    #[test]
+    fn region_subtract_is_exact((s1, e1) in region_strategy(), (s2, e2) in region_strategy()) {
+        let space = SpaceId(1);
+        let a = Region::new(space, s1, e1);
+        let b = Region::new(space, s2, e2);
+        let pieces = a.subtract(&b);
+        for i in 0..UNIVERSE {
+            let in_a = i >= s1 && i < e1;
+            let in_b = i >= s2 && i < e2;
+            let in_pieces = pieces.iter().any(|p| p.contains_point(i));
+            prop_assert_eq!(in_pieces, in_a && !in_b, "coordinate {}", i);
+        }
+    }
+}

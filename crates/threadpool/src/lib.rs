@@ -1,0 +1,506 @@
+//! A work-stealing worker pool tailored to the `weakdep` task runtime.
+//!
+//! The pool is deliberately lower level than `rayon`: the task runtime built on top needs to
+//! control *where* ready tasks are enqueued, because the paper's scheduling policy ("dispatch a
+//! successor to the same core that released its dependency", §VIII-A) is what produces the
+//! temporal-locality / cache-miss-ratio effect of Figure 3.
+//!
+//! Design (following the idioms of *Rust Atomics and Locks* and the crossbeam ecosystem):
+//!
+//! * one OS thread per worker, each owning a [`crossbeam_deque::Worker`] LIFO deque;
+//! * a global [`crossbeam_deque::Injector`] for submissions from outside the pool;
+//! * an *immediate-successor slot* per worker: the highest-priority, single-entry slot a job can
+//!   be placed in from within the executor, bypassing all queues (the locality hint);
+//! * random-victim stealing when a worker runs dry;
+//! * a mutex/condvar sleep protocol with an epoch counter so wake-ups are never lost.
+//!
+//! The pool is generic over the job type `T` and executes jobs through a caller-provided
+//! executor callback, which receives a [`WorkerContext`] usable to schedule follow-up jobs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod sleep;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sleep::SleepState;
+
+/// The executor callback: invoked once per job on a worker thread.
+pub type Executor<T> = dyn Fn(T, &WorkerContext<'_, T>) + Send + Sync;
+
+/// Statistics counters exposed by the pool (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Jobs executed, across all workers.
+    pub executed: AtomicUsize,
+    /// Jobs taken from the immediate-successor slot.
+    pub from_successor_slot: AtomicUsize,
+    /// Jobs popped from the worker's own deque.
+    pub from_local: AtomicUsize,
+    /// Jobs taken from the global injector.
+    pub from_injector: AtomicUsize,
+    /// Jobs stolen from another worker.
+    pub stolen: AtomicUsize,
+    /// Times a worker went to sleep.
+    pub sleeps: AtomicUsize,
+}
+
+impl PoolStats {
+    fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the executed-jobs counter.
+    pub fn executed_jobs(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared<T: Send + 'static> {
+    injector: Injector<T>,
+    stealers: Vec<Stealer<T>>,
+    sleep: SleepState,
+    shutdown: AtomicBool,
+    stats: PoolStats,
+    workers: usize,
+}
+
+/// A handle to the worker pool. Dropping the pool shuts it down and joins all worker threads;
+/// jobs still queued at that point are dropped without being executed.
+pub struct ThreadPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    executor: Arc<Executor<T>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Per-worker context handed to the executor callback. Used to schedule follow-up jobs with
+/// explicit placement and to help execute queued jobs while waiting (work-conserving waits).
+pub struct WorkerContext<'a, T: Send + 'static> {
+    shared: &'a Shared<T>,
+    executor: &'a Executor<T>,
+    deque: &'a Deque<T>,
+    successor_slot: &'a Cell<Option<T>>,
+    rng: &'a RefCell<SmallRng>,
+    index: usize,
+}
+
+impl<T: Send + 'static> ThreadPool<T> {
+    /// Creates a pool with `workers` worker threads executing jobs through `executor`.
+    ///
+    /// `workers` is clamped to at least 1.
+    pub fn new<F>(workers: usize, executor: F) -> Self
+    where
+        F: Fn(T, &WorkerContext<'_, T>) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let deques: Vec<Deque<T>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep: SleepState::new(),
+            shutdown: AtomicBool::new(false),
+            stats: PoolStats::default(),
+            workers,
+        });
+        let executor: Arc<Executor<T>> = Arc::new(executor);
+
+        let mut handles = Vec::with_capacity(workers);
+        for (index, deque) in deques.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            let handle = std::thread::Builder::new()
+                .name(format!("weakdep-worker-{index}"))
+                .spawn(move || worker_main(index, deque, shared, executor))
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        ThreadPool { shared, executor, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Submits a job from outside the pool (goes to the global injector).
+    pub fn submit(&self, job: T) {
+        self.shared.injector.push(job);
+        self.shared.sleep.notify_one();
+    }
+
+    /// Submits many jobs at once, waking as many workers as needed.
+    pub fn submit_batch(&self, jobs: impl IntoIterator<Item = T>) {
+        let mut count = 0usize;
+        for job in jobs {
+            self.shared.injector.push(job);
+            count += 1;
+        }
+        if count > 0 {
+            self.shared.sleep.notify_many(count);
+        }
+    }
+
+    /// Access to the pool statistics counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.shared.stats
+    }
+
+    /// Requests shutdown and joins all workers. Queued jobs that have not started are dropped.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.sleep.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for ThreadPool<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Drain jobs left in the injector so their destructors run deterministically.
+        while let Steal::Success(_job) = self.shared.injector.steal() {}
+        let _ = &self.executor;
+    }
+}
+
+impl<'a, T: Send + 'static> WorkerContext<'a, T> {
+    /// Index of the current worker (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of workers in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Schedules `job` to run *next* on this worker (the locality hint used when a finishing
+    /// task releases a dependency and its successor should reuse the warm cache).
+    ///
+    /// If the slot is already occupied, the previously stored job is demoted to the local deque.
+    pub fn schedule_next(&self, job: T) {
+        if let Some(previous) = self.successor_slot.replace(Some(job)) {
+            self.deque.push(previous);
+            self.shared.sleep.notify_one();
+        }
+    }
+
+    /// Pushes `job` onto this worker's LIFO deque (recently produced work, likely cache warm).
+    pub fn push_local(&self, job: T) {
+        self.deque.push(job);
+        self.shared.sleep.notify_one();
+    }
+
+    /// Pushes `job` onto the global injector (oldest-first, any worker may pick it up).
+    pub fn push_global(&self, job: T) {
+        self.shared.injector.push(job);
+        self.shared.sleep.notify_one();
+    }
+
+    /// Tries to find one queued job (including the successor slot, which only this worker can
+    /// see) and executes it inline.
+    ///
+    /// Returns `true` if a job was executed. Used to keep workers productive while they wait for
+    /// a condition (e.g. a `taskwait`), instead of blocking the OS thread.
+    pub fn help_one(&self) -> bool {
+        if let Some(job) = self.find_work(true) {
+            self.run(job);
+            return true;
+        }
+        false
+    }
+
+    fn run(&self, job: T) {
+        PoolStats::bump(&self.shared.stats.executed);
+        (self.executor)(job, self);
+    }
+
+    /// Looks for work: successor slot (if `use_successor_slot`), local deque, injector, steal.
+    fn find_work(&self, use_successor_slot: bool) -> Option<T> {
+        if use_successor_slot {
+            if let Some(job) = self.successor_slot.take() {
+                PoolStats::bump(&self.shared.stats.from_successor_slot);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.deque.pop() {
+            PoolStats::bump(&self.shared.stats.from_local);
+            return Some(job);
+        }
+        // Retry loop around the lock-free structures that can return `Steal::Retry`.
+        loop {
+            let mut retry = false;
+            match self.shared.injector.steal_batch_and_pop(self.deque) {
+                Steal::Success(job) => {
+                    PoolStats::bump(&self.shared.stats.from_injector);
+                    return Some(job);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            // Steal from a random victim, then scan the rest.
+            let victims = self.shared.stealers.len();
+            let start = self.rng.borrow_mut().gen_range(0..victims.max(1));
+            for offset in 0..victims {
+                let victim = (start + offset) % victims;
+                if victim == self.index {
+                    continue;
+                }
+                match self.shared.stealers[victim].steal_batch_and_pop(self.deque) {
+                    Steal::Success(job) => {
+                        PoolStats::bump(&self.shared.stats.stolen);
+                        return Some(job);
+                    }
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn worker_main<T: Send + 'static>(
+    index: usize,
+    deque: Deque<T>,
+    shared: Arc<Shared<T>>,
+    executor: Arc<Executor<T>>,
+) {
+    let successor_slot = Cell::new(None);
+    let rng = RefCell::new(SmallRng::seed_from_u64(0x9E3779B97F4A7C15 ^ index as u64));
+    let ctx = WorkerContext {
+        shared: &shared,
+        executor: executor.as_ref(),
+        deque: &deque,
+        successor_slot: &successor_slot,
+        rng: &rng,
+        index,
+    };
+
+    loop {
+        // Record the sleep epoch *before* scanning, so a submission racing with the scan is
+        // guaranteed to be observed either by the scan or by the epoch check before sleeping.
+        let epoch = shared.sleep.current_epoch();
+        if let Some(job) = ctx.find_work(true) {
+            ctx.run(job);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        PoolStats::bump(&shared.stats.sleeps);
+        shared.sleep.sleep(epoch, || shared.shutdown.load(Ordering::SeqCst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn wait_for(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < timeout {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pred()
+    }
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool: ThreadPool<usize> = ThreadPool::new(4, move |job, _ctx| {
+            c.fetch_add(job, Ordering::SeqCst);
+        });
+        for i in 0..100 {
+            pool.submit(i);
+        }
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == (0..100).sum(), Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn follow_up_jobs_from_executor_run() {
+        // Each job spawns two children until depth 0; count total executions = 2^(d+1)-1.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool: ThreadPool<u32> = ThreadPool::new(4, move |depth, ctx| {
+            c.fetch_add(1, Ordering::SeqCst);
+            if depth > 0 {
+                ctx.push_local(depth - 1);
+                ctx.push_global(depth - 1);
+            }
+        });
+        pool.submit(10);
+        let expected = (1usize << 11) - 1;
+        assert!(wait_for(
+            || counter.load(Ordering::SeqCst) == expected,
+            Duration::from_secs(10)
+        ));
+    }
+
+    #[test]
+    fn schedule_next_runs_on_same_worker() {
+        // The follow-up job scheduled via schedule_next must execute on the same worker index.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let ok_c = Arc::clone(&ok);
+        let done_c = Arc::clone(&done);
+        let pool: ThreadPool<(u32, usize)> = ThreadPool::new(4, move |(step, origin), ctx| {
+            if step == 0 {
+                ctx.schedule_next((1, ctx.index()));
+            } else {
+                if ctx.index() == origin {
+                    ok_c.fetch_add(1, Ordering::SeqCst);
+                }
+                done_c.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..64 {
+            pool.submit((0, usize::MAX));
+        }
+        assert!(wait_for(|| done.load(Ordering::SeqCst) == 64, Duration::from_secs(5)));
+        assert_eq!(ok.load(Ordering::SeqCst), 64, "successor jobs must stay on the releasing worker");
+    }
+
+    #[test]
+    fn help_one_executes_queued_work() {
+        // A job that blocks until a side job (queued behind it) has run, by helping.
+        let side_done = Arc::new(AtomicUsize::new(0));
+        let all_done = Arc::new(AtomicUsize::new(0));
+        let side_c = Arc::clone(&side_done);
+        let all_c = Arc::clone(&all_done);
+        // Single worker: without help_one this would deadlock.
+        let pool: ThreadPool<u8> = ThreadPool::new(1, move |job, ctx| {
+            match job {
+                0 => {
+                    ctx.push_local(1);
+                    while side_c.load(Ordering::SeqCst) == 0 {
+                        assert!(ctx.help_one(), "the helper must find the queued job");
+                    }
+                }
+                _ => {
+                    side_c.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            all_c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.submit(0);
+        assert!(wait_for(|| all_done.load(Ordering::SeqCst) == 2, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let pool: ThreadPool<usize> = ThreadPool::new(2, |_job, _ctx| {});
+        for i in 0..50 {
+            pool.submit(i);
+        }
+        assert!(wait_for(
+            || pool.stats().executed_jobs() == 50,
+            Duration::from_secs(5)
+        ));
+        let stats = pool.stats();
+        assert_eq!(stats.executed.load(Ordering::Relaxed), 50);
+        assert!(
+            stats.from_injector.load(Ordering::Relaxed) + stats.from_local.load(Ordering::Relaxed)
+                + stats.stolen.load(Ordering::Relaxed)
+                >= 50
+        );
+    }
+
+    #[test]
+    fn shutdown_with_idle_workers_terminates() {
+        let mut pool: ThreadPool<usize> = ThreadPool::new(8, |_job, _ctx| {});
+        std::thread::sleep(Duration::from_millis(20));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_without_explicit_shutdown_terminates() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        {
+            let pool: ThreadPool<usize> = ThreadPool::new(3, move |_job, _ctx| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            for i in 0..10 {
+                pool.submit(i);
+            }
+            assert!(wait_for(|| counter.load(Ordering::SeqCst) == 10, Duration::from_secs(5)));
+        }
+        // Pool dropped: all threads joined, no hang.
+    }
+
+    #[test]
+    fn submit_batch_wakes_enough_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool: ThreadPool<usize> = ThreadPool::new(4, move |_job, _ctx| {
+            std::thread::sleep(Duration::from_millis(1));
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        // Let the workers fall asleep first.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.submit_batch(0..200);
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == 200, Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn single_worker_pool_executes_every_job_exactly_once() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let pool: ThreadPool<usize> = ThreadPool::new(1, move |job, _ctx| {
+            o.lock().push(job);
+        });
+        for i in 0..20 {
+            pool.submit(i);
+        }
+        assert!(wait_for(|| order.lock().len() == 20, Duration::from_secs(5)));
+        let got = order.lock().clone();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heavy_concurrent_submissions() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool = Arc::new(ThreadPool::new(4, move |_job: usize, _ctx| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000 {
+                    pool.submit(t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == 20_000, Duration::from_secs(20)));
+    }
+}

@@ -1,0 +1,132 @@
+//! The sleep/wake protocol for idle workers.
+//!
+//! The protocol follows the classic epoch-guarded condition-variable pattern (see *Rust Atomics
+//! and Locks*, ch. 9): a worker records the wake epoch *before* scanning the queues; if the scan
+//! finds nothing it re-checks the epoch under the mutex and only then waits. Every submission
+//! bumps the epoch under the same mutex, so a submission that races with the scan either is seen
+//! by the scan or changes the epoch and prevents the sleep — wake-ups are never lost.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared sleep state for all workers of a pool.
+pub(crate) struct SleepState {
+    epoch: Mutex<u64>,
+    condvar: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl SleepState {
+    pub(crate) fn new() -> Self {
+        SleepState {
+            epoch: Mutex::new(0),
+            condvar: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// The current wake epoch. Workers read this before scanning for work.
+    pub(crate) fn current_epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Signals that one unit of work became available.
+    pub(crate) fn notify_one(&self) {
+        let mut epoch = self.epoch.lock();
+        *epoch += 1;
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Signals that `count` units of work became available, waking up to `count` workers.
+    pub(crate) fn notify_many(&self, count: usize) {
+        let mut epoch = self.epoch.lock();
+        *epoch += 1;
+        let sleepers = self.sleepers.load(Ordering::Relaxed);
+        if sleepers == 0 {
+            return;
+        }
+        if count >= sleepers {
+            self.condvar.notify_all();
+        } else {
+            for _ in 0..count {
+                self.condvar.notify_one();
+            }
+        }
+    }
+
+    /// Wakes every worker (used for shutdown).
+    pub(crate) fn notify_all(&self) {
+        let mut epoch = self.epoch.lock();
+        *epoch += 1;
+        self.condvar.notify_all();
+    }
+
+    /// Blocks the current worker until the epoch advances past `seen_epoch` (or immediately
+    /// returns if it already has, or if `should_exit` is true).
+    pub(crate) fn sleep(&self, seen_epoch: u64, should_exit: impl Fn() -> bool) {
+        let mut epoch = self.epoch.lock();
+        if *epoch != seen_epoch || should_exit() {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::Relaxed);
+        self.condvar.wait(&mut epoch);
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn sleep_returns_when_epoch_already_advanced() {
+        let s = SleepState::new();
+        let epoch = s.current_epoch();
+        s.notify_one();
+        // Must not block.
+        s.sleep(epoch, || false);
+    }
+
+    #[test]
+    fn sleep_returns_when_exit_requested() {
+        let s = SleepState::new();
+        let epoch = s.current_epoch();
+        s.sleep(epoch, || true);
+    }
+
+    #[test]
+    fn notify_wakes_a_sleeper() {
+        let s = Arc::new(SleepState::new());
+        let s2 = Arc::clone(&s);
+        let handle = std::thread::spawn(move || {
+            let epoch = s2.current_epoch();
+            s2.sleep(epoch, || false);
+        });
+        // Give the thread a moment to actually sleep, then wake it.
+        std::thread::sleep(Duration::from_millis(50));
+        s.notify_one();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn notify_many_wakes_all_needed() {
+        let s = Arc::new(SleepState::new());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s2 = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let epoch = s2.current_epoch();
+                s2.sleep(epoch, || false);
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        s.notify_many(10);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The trace collector: an observer that records one event per executed task.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use weakdep_core::{RuntimeObserver, TaskExecution};
+
+/// One executed task, with nanosecond timestamps relative to the collector's origin.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Index of the worker that executed the task.
+    pub worker: usize,
+    /// The task label (as passed to `TaskBuilder::label`).
+    pub label: String,
+    /// Start of the task body, in nanoseconds since the trace origin.
+    pub start_ns: u64,
+    /// End of the task body, in nanoseconds since the trace origin.
+    pub end_ns: u64,
+}
+
+impl TraceEvent {
+    /// Duration of the task body in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+struct Inner {
+    origin: Instant,
+    events: Vec<TraceEvent>,
+    workers: usize,
+}
+
+/// Collects [`TraceEvent`]s from a running [`weakdep_core::Runtime`].
+///
+/// Register it with `RuntimeConfig::observer(collector.clone())`; the same collector can be
+/// shared with the analysis code because it is internally synchronised.
+pub struct TraceCollector {
+    inner: Mutex<Inner>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// Creates an empty collector. The trace origin is the creation time.
+    pub fn new() -> Self {
+        TraceCollector {
+            inner: Mutex::new(Inner { origin: Instant::now(), events: Vec::new(), workers: 0 }),
+        }
+    }
+
+    /// Creates a collector wrapped in an [`Arc`], ready to be passed as an observer.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Clears all recorded events and resets the trace origin (use between benchmark repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.origin = Instant::now();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// `true` if no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of workers of the traced runtime (0 if the runtime never started).
+    pub fn worker_count(&self) -> usize {
+        self.inner.lock().workers
+    }
+
+    /// A snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Serialises the trace to a JSON array.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events()).expect("trace serialisation cannot fail")
+    }
+
+    /// Serialises the trace to CSV (`worker,label,start_ns,end_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("worker,label,start_ns,end_ns\n");
+        for e in self.events() {
+            out.push_str(&format!("{},{},{},{}\n", e.worker, e.label, e.start_ns, e.end_ns));
+        }
+        out
+    }
+
+    /// Records an event directly (useful for tests and for importing external traces).
+    pub fn record(&self, event: TraceEvent) {
+        self.inner.lock().events.push(event);
+    }
+}
+
+impl RuntimeObserver for TraceCollector {
+    fn runtime_started(&self, workers: usize) {
+        self.inner.lock().workers = workers;
+    }
+
+    fn task_executed(&self, execution: &TaskExecution<'_>) {
+        let mut inner = self.inner.lock();
+        let start_ns = execution.start.saturating_duration_since(inner.origin).as_nanos() as u64;
+        let end_ns = execution.end.saturating_duration_since(inner.origin).as_nanos() as u64;
+        let event = TraceEvent {
+            worker: execution.worker,
+            label: execution.label.to_string(),
+            start_ns,
+            end_ns,
+        };
+        inner.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = TraceCollector::new();
+        assert!(c.is_empty());
+        c.record(TraceEvent { worker: 0, label: "a".into(), start_ns: 0, end_ns: 10 });
+        c.record(TraceEvent { worker: 1, label: "b".into(), start_ns: 5, end_ns: 25 });
+        assert_eq!(c.len(), 2);
+        let events = c.events();
+        assert_eq!(events[1].duration_ns(), 20);
+        let csv = c.to_csv();
+        assert!(csv.contains("1,b,5,25"));
+        let json = c.to_json();
+        assert!(json.contains("\"label\": \"b\""));
+    }
+
+    #[test]
+    fn reset_clears_events() {
+        let c = TraceCollector::new();
+        c.record(TraceEvent { worker: 0, label: "a".into(), start_ns: 0, end_ns: 10 });
+        c.reset();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn collects_from_a_real_runtime() {
+        use weakdep_core::{Runtime, RuntimeConfig};
+        let collector = TraceCollector::shared();
+        let rt = Runtime::new(RuntimeConfig::new().workers(2).observer(collector.clone()));
+        rt.run(|ctx| {
+            for _ in 0..10 {
+                ctx.task().label("traced").spawn(|_| {
+                    std::hint::black_box(0u64);
+                });
+            }
+        });
+        assert_eq!(collector.len(), 10);
+        assert_eq!(collector.worker_count(), 2);
+        assert!(collector.events().iter().all(|e| e.label == "traced"));
+        assert!(collector.events().iter().all(|e| e.end_ns >= e.start_ns));
+    }
+}

@@ -1,0 +1,27 @@
+//! Execution tracing for the `weakdep` runtime.
+//!
+//! The paper's evaluation uses two trace-derived artefacts:
+//!
+//! * **Figure 6** reports *effective parallelism* (how many cores are doing useful work on
+//!   average) for Gauss-Seidel strong-scaling runs;
+//! * **Figure 7** shows a Paraver execution timeline of the quicksort + prefix-sum benchmark,
+//!   colouring each thread by the kind of task it executes over time.
+//!
+//! This crate reproduces both from an in-memory event trace collected through the runtime's
+//! observer interface: [`TraceCollector`] implements [`weakdep_core::RuntimeObserver`] and
+//! records one [`TraceEvent`] per executed task. Analysis helpers compute effective parallelism,
+//! per-label statistics and an ASCII timeline (our substitute for Paraver).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod analysis;
+mod collector;
+mod timeline;
+
+pub use analysis::{
+    effective_parallelism, parallelism_profile, summarize, LabelStats, ParallelismProfile,
+    TraceSummary,
+};
+pub use collector::{TraceCollector, TraceEvent};
+pub use timeline::{render_timeline, TimelineOptions};

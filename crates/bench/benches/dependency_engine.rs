@@ -12,7 +12,7 @@ fn region(start: usize, end: usize) -> Region {
 /// Registers and immediately completes a chain of `n` tasks with an `inout` dependency over the
 /// same block (the axpy inter-call pattern).
 fn chain(n: usize) {
-    let mut engine = DependencyEngine::new();
+    let engine = DependencyEngine::new();
     let root = engine.register_root();
     let mut ids = Vec::with_capacity(n);
     for _ in 0..n {
@@ -33,7 +33,7 @@ fn chain(n: usize) {
 fn nested_weak(calls: usize, blocks: usize) {
     let block_bytes = 1024usize;
     let total = blocks * block_bytes;
-    let mut engine = DependencyEngine::new();
+    let engine = DependencyEngine::new();
     let root = engine.register_root();
     let mut order = Vec::new();
     for _ in 0..calls {

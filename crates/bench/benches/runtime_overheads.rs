@@ -4,7 +4,7 @@
 //! comparing `flat-taskwait` (no dependency calculation) with the dependency-tracking variants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use weakdep_core::{Runtime, SharedSlice};
+use weakdep_core::{Runtime, SharedSlice, TaskSpec};
 
 fn bench_spawn(c: &mut Criterion) {
     let mut group = c.benchmark_group("spawn");
@@ -64,6 +64,65 @@ fn bench_dependency_chain(c: &mut Criterion) {
     group.finish();
 }
 
+/// Spawn throughput across worker counts, batched vs. unbatched: the contention benchmark of
+/// the lock-sharding refactor. Unbatched takes the parent-domain lock once per task while the
+/// workers' retire path fights for it; batched takes it once per wave.
+fn bench_spawn_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn-throughput");
+    group.sample_size(10);
+    let tasks = 10_000usize;
+    for &workers in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        // A fresh runtime per iteration: the engine retains per-task entries for its lifetime
+        // (see ROADMAP), so reusing one runtime across iterations would grow memory without
+        // bound and skew later iterations. Construction cost is noise next to the 10k spawns.
+        group.bench_with_input(
+            BenchmarkId::new("unbatched", workers),
+            &workers,
+            |b, &workers| {
+                let data = SharedSlice::<u8>::new(tasks);
+                b.iter(|| {
+                    let rt = Runtime::with_workers(workers);
+                    let d = data.clone();
+                    rt.run(move |ctx| {
+                        for i in 0..tasks {
+                            ctx.task().inout(d.region(i..i + 1)).label("spawn").spawn(|_| {});
+                        }
+                    });
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", workers),
+            &workers,
+            |b, &workers| {
+                let data = SharedSlice::<u8>::new(tasks);
+                b.iter(|| {
+                    let rt = Runtime::with_workers(workers);
+                    let d = data.clone();
+                    rt.run(move |ctx| {
+                        let mut i = 0;
+                        while i < tasks {
+                            let end = (i + 1_000).min(tasks);
+                            let specs: Vec<TaskSpec> = (i..end)
+                                .map(|k| {
+                                    ctx.task()
+                                        .inout(d.region(k..k + 1))
+                                        .label("spawn")
+                                        .stage(|_| {})
+                                })
+                                .collect();
+                            ctx.spawn_batch(specs);
+                            i = end;
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_taskwait(c: &mut Criterion) {
     let mut group = c.benchmark_group("taskwait");
     group.sample_size(10);
@@ -81,5 +140,11 @@ fn bench_taskwait(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spawn, bench_dependency_chain, bench_taskwait);
+criterion_group!(
+    benches,
+    bench_spawn,
+    bench_spawn_throughput,
+    bench_dependency_chain,
+    bench_taskwait
+);
 criterion_main!(benches);

@@ -1,0 +1,314 @@
+//! Spawn-throughput benchmark for the sharded dependency engine, with machine-readable output.
+//!
+//! Measures tasks/second for the task-creation hot path across worker counts, comparing:
+//!
+//! * `spawn-unbatched`  — one `TaskBuilder::spawn` call per task (one parent-domain lock
+//!   acquisition each), from the root context;
+//! * `spawn-batched`    — the same tasks registered through `TaskCtx::spawn_batch` in waves
+//!   (one parent-domain lock acquisition per wave);
+//! * `nested-unbatched` / `nested-batched` — several spawner tasks running on different workers,
+//!   each spawning children into its *own* dependency domain (the access pattern per-domain
+//!   locking parallelises);
+//! * `*-global-lock` — the same workloads with `RuntimeConfig::serialized_engine(true)`: every
+//!   engine operation (spawn *and* retire) behind one global mutex, recreating the seed's single
+//!   `Mutex<State>` design as the baseline.
+//!
+//! Writes `BENCH_overheads.json` in the current directory so the performance trajectory stays
+//! machine-readable across PRs, and prints a table. `--quick` shrinks the task counts for smoke
+//! testing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use weakdep_bench::{emit, CommonArgs};
+use weakdep_core::{Runtime, RuntimeConfig, SharedSlice, TaskSpec};
+
+/// One measured configuration.
+struct Sample {
+    scenario: &'static str,
+    workers: usize,
+    tasks: usize,
+    /// Time spent in the spawn loop itself (registration throughput).
+    spawn_secs: f64,
+    /// Wall time of the whole run (spawn + drain).
+    total_secs: f64,
+}
+
+impl Sample {
+    fn spawn_rate(&self) -> f64 {
+        self.tasks as f64 / self.spawn_secs.max(1e-12)
+    }
+
+    fn total_rate(&self) -> f64 {
+        self.tasks as f64 / self.total_secs.max(1e-12)
+    }
+}
+
+fn runtime(workers: usize, global_lock: bool) -> Runtime {
+    Runtime::new(RuntimeConfig::new().workers(workers).serialized_engine(global_lock))
+}
+
+/// Root context spawns `tasks` empty-bodied tasks with disjoint `inout` dependencies, one
+/// `spawn` call per task. Returns (spawn-loop seconds, total seconds).
+fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64) {
+    let rt = runtime(workers, global_lock);
+    let data = SharedSlice::<u8>::new(tasks);
+    let total_start = Instant::now();
+    let d = data.clone();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        for i in 0..tasks {
+            ctx.task().inout(d.region(i..i + 1)).label("bench").spawn(|_| {});
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64())
+}
+
+/// Pure spawn-path overhead: `tasks` dependency-free empty tasks, one `spawn` call each (the
+/// per-task lock acquisition, record hand-off and worker wake-up, with no dependency
+/// registration mixed in).
+fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64) {
+    let rt = runtime(workers, false);
+    let total_start = Instant::now();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        for _ in 0..tasks {
+            ctx.task().label("bench").spawn(|_| {});
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64())
+}
+
+/// The same dependency-free workload through `spawn_batch`.
+fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
+    let rt = runtime(workers, false);
+    let total_start = Instant::now();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        let mut i = 0;
+        while i < tasks {
+            let end = (i + wave).min(tasks);
+            let specs: Vec<TaskSpec> =
+                (i..end).map(|_| ctx.task().label("bench").stage(|_| {})).collect();
+            ctx.spawn_batch(specs);
+            i = end;
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64())
+}
+
+/// The same workload registered through `spawn_batch`, in waves of `wave` tasks.
+fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
+    let rt = runtime(workers, false);
+    let data = SharedSlice::<u8>::new(tasks);
+    let total_start = Instant::now();
+    let d = data.clone();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        let mut i = 0;
+        while i < tasks {
+            let end = (i + wave).min(tasks);
+            let specs: Vec<TaskSpec> = (i..end)
+                .map(|k| ctx.task().inout(d.region(k..k + 1)).label("bench").stage(|_| {}))
+                .collect();
+            ctx.spawn_batch(specs);
+            i = end;
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64())
+}
+
+/// `spawners` tasks run concurrently on the pool; each spawns `children` tasks into its own
+/// dependency domain. `batched` selects the registration path; `global_lock` runs the whole
+/// engine behind the seed-emulation mutex. Returns the average spawner-loop seconds (the
+/// concurrent registration throughput) and the total wall time.
+fn nested(
+    workers: usize,
+    spawners: usize,
+    children: usize,
+    batched: bool,
+    global_lock: bool,
+) -> (f64, f64) {
+    let rt = runtime(workers, global_lock);
+    let data = SharedSlice::<u8>::new(spawners * children);
+    let spawn_ns = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let total_start = Instant::now();
+    let d = data.clone();
+    let ns = Arc::clone(&spawn_ns);
+    rt.run(move |root| {
+        for s in 0..spawners {
+            let d2 = d.clone();
+            let ns2 = Arc::clone(&ns);
+            root.task()
+                .weak_inout(d.region(s * children..(s + 1) * children))
+                .weakwait()
+                .label("spawner")
+                .spawn(move |outer| {
+                    let spawn_start = Instant::now();
+                    if batched {
+                        let specs: Vec<TaskSpec> = (0..children)
+                            .map(|c| {
+                                let cell = s * children + c;
+                                outer
+                                    .task()
+                                    .inout(d2.region(cell..cell + 1))
+                                    .label("child")
+                                    .stage(|_| {})
+                            })
+                            .collect();
+                        outer.spawn_batch(specs);
+                    } else {
+                        for c in 0..children {
+                            let cell = s * children + c;
+                            outer
+                                .task()
+                                .inout(d2.region(cell..cell + 1))
+                                .label("child")
+                                .spawn(|_| {});
+                        }
+                    }
+                    ns2.fetch_add(
+                        spawn_start.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+        }
+    });
+    let total = total_start.elapsed().as_secs_f64();
+    // Average concurrent spawner time: total spawner-loop nanoseconds divided by the number of
+    // spawners (they run in parallel, so the average models the per-domain critical path).
+    let avg_spawn = spawn_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9
+        / spawners.max(1) as f64;
+    (avg_spawn, total)
+}
+
+fn measure(repeat: usize, f: impl Fn() -> (f64, f64)) -> (f64, f64) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repeat {
+        let (spawn, total) = f();
+        if spawn < best.0 {
+            best = (spawn, total);
+        }
+    }
+    best
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let tasks = if args.quick { 2_000 } else { 50_000 };
+    let spawners = 8usize;
+    let children = if args.quick { 250 } else { 4_000 };
+    let wave = 1_000usize;
+    let worker_counts: Vec<usize> = vec![1, 2, 4, 8];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &workers in &worker_counts {
+        let (spawn, total) = measure(args.repeat, || flat_unbatched(workers, tasks, false));
+        samples.push(Sample { scenario: "spawn-unbatched", workers, tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || flat_batched(workers, tasks, wave));
+        samples.push(Sample { scenario: "spawn-batched", workers, tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || flat_unbatched(workers, tasks, true));
+        samples.push(Sample { scenario: "spawn-global-lock", workers, tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || nodeps_unbatched(workers, tasks));
+        samples.push(Sample { scenario: "nodeps-unbatched", workers, tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || nodeps_batched(workers, tasks, wave));
+        samples.push(Sample { scenario: "nodeps-batched", workers, tasks, spawn_secs: spawn, total_secs: total });
+
+        let nested_tasks = spawners * children;
+        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, false, false));
+        samples.push(Sample { scenario: "nested-unbatched", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, true, false));
+        samples.push(Sample { scenario: "nested-batched", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
+        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, false, true));
+        samples.push(Sample { scenario: "nested-global-lock", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
+    }
+
+    let headers = [
+        "scenario",
+        "workers",
+        "tasks",
+        "spawn_ms",
+        "total_ms",
+        "spawn_tasks_per_sec",
+        "total_tasks_per_sec",
+    ];
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.scenario.to_string(),
+                s.workers.to_string(),
+                s.tasks.to_string(),
+                format!("{:.2}", s.spawn_secs * 1e3),
+                format!("{:.2}", s.total_secs * 1e3),
+                format!("{:.0}", s.spawn_rate()),
+                format!("{:.0}", s.total_rate()),
+            ]
+        })
+        .collect();
+    emit(args.csv, &headers, &rows);
+
+    // Headline ratios at the highest measured worker count. The flat comparison uses the
+    // registration-loop rate (what batching targets); the nested comparison uses end-to-end
+    // throughput (what the lock sharding targets — per-spawner loop times are not comparable
+    // across locking schemes when cores are oversubscribed).
+    let top = *worker_counts.last().unwrap_or(&1);
+    let sample = |scenario: &str| {
+        samples.iter().find(|s| s.scenario == scenario && s.workers == top)
+    };
+    if let (Some(unbatched), Some(batched)) = (sample("spawn-unbatched"), sample("spawn-batched")) {
+        eprintln!(
+            "batched / unbatched spawn throughput (with deps) at {top} workers: {:.2}x",
+            batched.spawn_rate() / unbatched.spawn_rate()
+        );
+    }
+    if let (Some(unbatched), Some(batched)) = (sample("nodeps-unbatched"), sample("nodeps-batched")) {
+        eprintln!(
+            "batched / unbatched spawn throughput (no deps) at {top} workers: {:.2}x",
+            batched.spawn_rate() / unbatched.spawn_rate()
+        );
+    }
+    if let (Some(global), Some(sharded)) = (sample("spawn-global-lock"), sample("spawn-unbatched")) {
+        eprintln!(
+            "per-domain / global-lock end-to-end throughput (flat) at {top} workers: {:.2}x",
+            sharded.total_rate() / global.total_rate()
+        );
+    }
+    if let (Some(global), Some(sharded)) = (sample("nested-global-lock"), sample("nested-unbatched")) {
+        eprintln!(
+            "per-domain / global-lock end-to-end throughput (nested) at {top} workers: {:.2}x",
+            sharded.total_rate() / global.total_rate()
+        );
+    }
+
+    // Machine-readable trajectory file.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
+        args.quick, args.repeat
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"tasks\": {}, \"spawn_secs\": {:.6}, \"total_secs\": {:.6}, \"spawn_tasks_per_sec\": {:.0}, \"total_tasks_per_sec\": {:.0}}}{}\n",
+            s.scenario,
+            s.workers,
+            s.tasks,
+            s.spawn_secs,
+            s.total_secs,
+            s.spawn_rate(),
+            s.total_rate(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_overheads.json", &json).expect("failed to write BENCH_overheads.json");
+    eprintln!("wrote BENCH_overheads.json");
+
+    // Keep the run honest: a sample that spawned nothing or measured nothing indicates a broken
+    // harness rather than a fast one.
+    assert!(samples.iter().all(|s| s.spawn_secs > 0.0 && s.total_secs > 0.0));
+}

@@ -122,6 +122,33 @@ pub struct NormalizedDep {
 /// combining them with an upgrade rule is the conservative choice and what the Nanos6 runtime
 /// does in practice.
 pub fn normalize_deps(deps: &[Depend]) -> Vec<NormalizedDep> {
+    // Fast path for the overwhelmingly common declarations (one dependency, or a few over
+    // strictly separated regions): no fragmentation or combining can occur, so the general
+    // region-map machinery — several allocations per call, on the task-creation hot path — is
+    // skipped. Adjacent same-space regions fall through so they still coalesce.
+    if deps.len() <= 3 {
+        let separated = deps.iter().enumerate().all(|(i, a)| {
+            !a.region.is_empty()
+                && deps[..i].iter().all(|b| {
+                    a.region.space != b.region.space
+                        || a.region.end < b.region.start
+                        || b.region.end < a.region.start
+                })
+        });
+        if separated {
+            let mut out: Vec<NormalizedDep> = deps
+                .iter()
+                .map(|d| NormalizedDep {
+                    region: d.region,
+                    is_write: d.access.is_write(),
+                    weak: d.access.is_weak(),
+                })
+                .collect();
+            out.sort_unstable_by_key(|d| (d.region.space, d.region.start));
+            return out;
+        }
+    }
+
     #[derive(Clone, PartialEq)]
     struct Combined {
         is_write: bool,

@@ -172,7 +172,7 @@ impl<T> SharedSlice<T> {
     /// through declared dependencies of the involved tasks or through explicit synchronisation
     /// such as a `taskwait` (this is how the paper's dependency-free `flat-taskwait` variant is
     /// expressed).
-    pub unsafe fn slice_unchecked<'a>(&'a self, range: Range<usize>) -> &'a [T] {
+    pub unsafe fn slice_unchecked(&self, range: Range<usize>) -> &[T] {
         unsafe { &(&*self.inner.data.get())[range] }
     }
 
@@ -183,7 +183,7 @@ impl<T> SharedSlice<T> {
     /// The caller must guarantee that no conflicting access can happen concurrently (see
     /// [`SharedSlice::slice_unchecked`]).
     #[allow(clippy::mut_from_ref)]
-    pub unsafe fn slice_mut_unchecked<'a>(&'a self, range: Range<usize>) -> &'a mut [T] {
+    pub unsafe fn slice_mut_unchecked(&self, range: Range<usize>) -> &mut [T] {
         unsafe { &mut (&mut *self.inner.data.get())[range] }
     }
 

@@ -1,13 +1,21 @@
 //! The dependency engine: nested dependency domains, weak accesses, and the fine-grained
 //! (per-fragment) release of dependencies across nesting levels.
 //!
-//! This module is the heart of the reproduction. It is a *pure* state machine — no threads, no
-//! locks — driven by four entry points called by the runtime under a single mutex:
+//! This module is the heart of the reproduction. Since the lock-sharding refactor it is no
+//! longer a single-threaded state machine behind one runtime mutex: the engine is internally
+//! concurrent, with **one lock per dependency domain** (one domain per task, governing that
+//! task's children). The hot-path operations each take exactly one domain lock:
 //!
-//! * [`DependencyEngine::register_task`] — a task is created with its declared dependencies;
-//! * [`DependencyEngine::body_finished`] — a task's body returned;
-//! * [`DependencyEngine::release_region`] — the `release` directive (§V of the paper);
-//! * deep completion bookkeeping, driven internally when descendants finish.
+//! * [`DependencyEngine::register_task`] / [`DependencyEngine::register_batch`] — lock only the
+//!   *parent's* domain (batch registration amortises that acquisition over N siblings);
+//! * [`DependencyEngine::body_finished`] — lock the finishing task's own domain;
+//! * [`DependencyEngine::release_region`] — lock the releasing task's own domain.
+//!
+//! Cross-domain propagation (satisfaction flowing *down* into nested domains, completion and
+//! deep-completion flowing *up*) is expressed as a small message protocol ([`Message`]) between
+//! domains instead of mutations under a shared lock. Messages are drained by whichever thread
+//! produced them, after releasing the lock that produced them, holding at most one domain lock
+//! at a time — see `docs/locking.md` for the full hierarchy and the no-deadlock argument.
 //!
 //! # Model
 //!
@@ -39,22 +47,44 @@
 //!
 //! Readiness: a task becomes ready when every **strong** access is fully satisfied; weak accesses
 //! never defer the task (§VI), they only link domains.
+//!
+//! # Data placement
+//!
+//! The state of one declared access is split across two domains, matching who mutates it:
+//!
+//! * the **node half** ([`AccessNode`]) lives in the domain the access is registered in (its
+//!   task's parent's domain): `unsatisfied`/`uncompleted`/`unreleased`, same-domain release
+//!   edges, readiness bookkeeping;
+//! * the **lower half** ([`OwnAccess`]) lives in the task's own domain, where *its* children
+//!   link against it: the `pending_down` satisfaction mirror, downward satisfaction edges,
+//!   live-child coverage and `release`-directive state.
+//!
+//! Access nodes and per-child scheduling records — the bulky, per-dependency state — are
+//! slab-allocated inside each domain and recycled (guarded by slot generations) once the owning
+//! task has deeply completed and the access is fully released. The per-task [`TaskEntry`]
+//! shells themselves are kept for the lifetime of the engine (the `TaskId`-keyed query API can
+//! reference any task ever created, as in the seed); reclaiming deeply-completed entries is a
+//! known follow-up.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 
+use parking_lot::Mutex;
+use smallvec::SmallVec;
 use weakdep_regions::{CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet};
 
-use crate::access::{normalize_deps, Depend, WaitMode};
+use crate::access::{normalize_deps, Depend, NormalizedDep, WaitMode};
 
-/// Identifier of a task inside the engine (and the runtime).
+/// Identifier of a task inside the engine (and the runtime). Dense, monotonically allocated.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct TaskId(pub usize);
 
-/// Identifier of a data access (one per normalised dependency declaration of a task).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
-pub struct AccessId(pub usize);
-
 /// Effects of an engine transition that the runtime must act upon.
+///
+/// Effects are accumulated while domain locks are held but **returned** to the caller, which
+/// dispatches them (pushing ready tasks to the pool, waking waiters) after every lock has been
+/// released — the out-of-lock dispatch half of the sharding design.
 #[derive(Debug, Default)]
 pub struct Effects {
     /// Tasks that became ready to execute (all strong accesses satisfied), in the order their
@@ -88,31 +118,85 @@ pub struct EngineStats {
     pub ready_at_registration: usize,
     /// Fragments released through the incremental (weakwait / release-directive) path.
     pub incremental_releases: usize,
+    /// Tasks that deeply completed (body finished and all descendants deeply complete).
+    pub tasks_deeply_completed: usize,
 }
 
-/// What kind of event an edge waits for.
+#[derive(Default)]
+struct AtomicStats {
+    tasks_registered: AtomicUsize,
+    accesses_registered: AtomicUsize,
+    release_edges: AtomicUsize,
+    satisfaction_edges: AtomicUsize,
+    ready_at_registration: AtomicUsize,
+    incremental_releases: AtomicUsize,
+    tasks_deeply_completed: AtomicUsize,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            tasks_registered: self.tasks_registered.load(Ordering::Relaxed),
+            accesses_registered: self.accesses_registered.load(Ordering::Relaxed),
+            release_edges: self.release_edges.load(Ordering::Relaxed),
+            satisfaction_edges: self.satisfaction_edges.load(Ordering::Relaxed),
+            ready_at_registration: self.ready_at_registration.load(Ordering::Relaxed),
+            incremental_releases: self.incremental_releases.load(Ordering::Relaxed),
+            tasks_deeply_completed: self.tasks_deeply_completed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicUsize, by: usize) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// Generation-checked reference to an access node slot inside one domain's slab.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-enum EdgeFlavor {
-    /// Satisfied when the source access *releases* the overlapping fragments (same-domain
-    /// data-flow edge).
-    Release,
-    /// Satisfied when the source access becomes *satisfied* on the overlapping fragments
-    /// (parent-to-child forwarding edge across domains).
-    Satisfaction,
+struct NodeRef {
+    idx: u32,
+    gen: u32,
 }
 
-/// Outgoing edges of an access, indexed by region fragment so that satisfying or releasing one
-/// fragment only touches the successors that actually overlap it (an access with thousands of
-/// successors — e.g. a whole-array weak access with one child per block — must not be scanned
-/// linearly on every block release).
-type EdgeMap = RegionMap<Vec<AccessId>>;
+/// A bottom-map accessor: either one of the domain owner's own accesses (the §VI linking point
+/// into the outer domain) or a child's access node in this domain.
+#[derive(Copy, Clone, Debug)]
+enum Accessor {
+    Own(u32),
+    Child(NodeRef),
+}
 
+/// The "latest accessor" of a bottom-map fragment: the last writer plus the readers registered
+/// since. The owner's own access is seeded as the initial writer so children link to it.
+#[derive(Debug, Clone, Default)]
+struct BottomEntry {
+    last_writer: Option<Accessor>,
+    readers: SmallVec<[Accessor; 2]>,
+}
+
+/// Successor lists keyed by pending region fragment, so satisfying or releasing one fragment
+/// only touches the successors that actually overlap it. The common case is 1–2 successors per
+/// fragment, which `SmallVec` keeps allocation-free.
+type EdgeMap = RegionMap<SmallVec<[u32; 2]>>;
+
+/// The node half of an access: lives in the domain the access was registered in (the domain of
+/// its task's parent), where it participates in the dependency DAG.
 #[derive(Debug)]
-struct AccessState {
+struct AccessNode {
+    /// The task that declared this access.
     task: TaskId,
+    /// Entry of that task (patched right after the entry is created during registration).
+    task_entry: Weak<TaskEntry>,
+    /// Slot of the task's scheduling record in this domain's `sched` slab.
+    sched: u32,
+    /// Index of this access in the owning task's own-access list (`Domain::own`), used to
+    /// address `SatisfyDown` messages.
+    own_idx: u32,
     region: Region,
-    is_write: bool,
     weak: bool,
+    /// `true` if the owning task's domain mirrors part of this access as unsatisfied
+    /// (`OwnAccess::pending_down` started non-empty), so satisfaction must be forwarded down.
+    has_mirror: bool,
     /// Per-fragment count of predecessors that have not delivered the data yet. A fragment is
     /// *satisfied* when its count drops to zero (several predecessors — e.g. a group of readers —
     /// can cover the same fragment).
@@ -121,311 +205,512 @@ struct AccessState {
     uncompleted: RegionSet,
     /// Fragments not yet released to successors.
     unreleased: RegionSet,
-    /// Fragments armed for early completion by the `release` directive.
-    early_release: RegionSet,
-    /// Live child accesses covering fragments of this access.
-    child_coverage: CoverageCounter,
     /// Same-domain successors (satisfied by my release), by pending fragment.
     release_edges: EdgeMap,
-    /// Child accesses that inherited my dependency (satisfied by my satisfaction), by pending
-    /// fragment.
-    satisfaction_edges: EdgeMap,
-    /// Parent accesses whose coverage this access contributes to, with the overlap region.
-    parent_coverage: Vec<(AccessId, Region)>,
+    /// Own accesses of this domain's owner whose coverage this access contributes to, with the
+    /// overlap region (the §V hand-over bookkeeping).
+    parent_coverage: SmallVec<[(u32, Region); 2]>,
 }
 
-impl AccessState {
-    fn new(task: TaskId, region: Region, is_write: bool, weak: bool) -> Self {
-        AccessState {
-            task,
-            region,
-            is_write,
-            weak,
-            unsatisfied: CoverageCounter::new(),
-            uncompleted: RegionSet::from_region(region),
-            unreleased: RegionSet::from_region(region),
-            early_release: RegionSet::new(),
-            child_coverage: CoverageCounter::new(),
-            release_edges: EdgeMap::new(),
-            satisfaction_edges: EdgeMap::new(),
-            parent_coverage: Vec::new(),
-        }
-    }
-}
-
-/// The "latest accessor" of a bottom-map fragment: the last writer plus the readers registered
-/// since. The parent's own access is seeded as the initial writer so children link to it.
-#[derive(Debug, Clone, Default)]
-struct BottomEntry {
-    last_writer: Option<AccessId>,
-    readers: Vec<AccessId>,
-}
-
+/// A slab slot holding an access node. The generation is bumped on free so stale [`NodeRef`]s
+/// (from in-flight messages or old bottom-map entries) are detected instead of corrupting a
+/// recycled slot.
 #[derive(Debug)]
-struct TaskNode {
-    parent: Option<TaskId>,
-    wait_mode: WaitMode,
-    accesses: Vec<AccessId>,
-    /// This task's own declared accesses, by region (used for coverage bookkeeping).
-    own_map: RegionMap<AccessId>,
-    /// The dependency domain for this task's children.
-    bottom_map: RegionMap<BottomEntry>,
+struct NodeSlot {
+    gen: u32,
+    node: Option<AccessNode>,
+}
+
+/// Per-child scheduling record, slab-allocated in the parent's domain.
+#[derive(Debug)]
+struct ChildSched {
+    task: TaskId,
     /// Number of strong accesses not yet fully satisfied.
     pending_strong: usize,
     /// The task has been reported ready (or was ready at registration).
     scheduled: bool,
-    body_finished: bool,
-    /// Direct children that have not yet deeply completed.
-    live_children: usize,
+    /// Access nodes of this child still allocated in the domain's slab.
+    live_nodes: usize,
+    /// Set when the child's deep completion has been processed in this domain.
     deeply_completed: bool,
 }
 
-/// Internal cascade events, processed iteratively to keep the call stack flat.
+/// The lower half of one of the domain owner's own accesses: the state the owner's *children*
+/// link against.
 #[derive(Debug)]
-enum Event {
-    Satisfy { access: AccessId, parts: Vec<Region> },
-    Complete { access: AccessId, parts: Vec<Region> },
+struct OwnAccess {
+    region: Region,
+    /// Mirror of the node half's `unsatisfied` fragments, maintained by `SatisfyDown` messages.
+    /// Children that link against this access inherit a dependency on exactly these fragments.
+    pending_down: RegionSet,
+    /// Downward satisfaction edges: child access nodes (in this domain) waiting for fragments of
+    /// this access to be satisfied.
+    satisfaction_edges: EdgeMap,
+    /// Live child accesses covering fragments of this access.
+    child_coverage: CoverageCounter,
+    /// Fragments armed for early completion by the `release` directive.
+    early_release: RegionSet,
 }
 
-/// The dependency engine. See the module documentation for the model.
-#[derive(Debug, Default)]
+/// One task's dependency domain (plus the task's own lower-half state), protected by one lock.
+#[derive(Debug)]
+struct Domain {
+    owner: TaskId,
+    /// The entry owning this domain (always upgradable while the engine lives; weak only to
+    /// avoid a strong self-cycle through `TaskEntry::domain`).
+    self_entry: Weak<TaskEntry>,
+    /// Entry of the owner's parent (`None` for roots); the target of upward messages. Caching it
+    /// here keeps task-table lookups off the retire hot path.
+    parent_entry: Option<Weak<TaskEntry>>,
+    wait_mode: WaitMode,
+    body_finished: bool,
+    deeply_completed: bool,
+    /// Direct children that have not yet deeply completed.
+    live_children: usize,
+    /// Deferred construction of the own-access lower halves: `(region, initially unsatisfied
+    /// parts)` per access, expanded into `own`/`own_map`/`bottom_map` by [`Domain::ensure_seeded`]
+    /// the first time anything needs them. Most tasks are leaves that never spawn children nor
+    /// receive `SatisfyDown`, so the laziness keeps several container allocations and map inserts
+    /// off the per-spawn hot path.
+    own_seed: Option<Vec<(Region, Vec<Region>)>>,
+    /// Lower halves of the owner's own accesses (parallel to `TaskEntry::nodes_in_parent`).
+    own: Vec<OwnAccess>,
+    /// Region → own-access index (used for coverage bookkeeping at child registration).
+    own_map: RegionMap<u32>,
+    /// The dependency domain for the owner's children.
+    bottom_map: RegionMap<BottomEntry>,
+    /// Slab of child access nodes.
+    nodes: Vec<NodeSlot>,
+    free_nodes: Vec<u32>,
+    /// Slab of per-child scheduling records.
+    sched: Vec<Option<ChildSched>>,
+    free_sched: Vec<u32>,
+}
+
+impl Domain {
+    fn new(owner: TaskId, parent_entry: Option<Weak<TaskEntry>>, wait_mode: WaitMode) -> Self {
+        Domain {
+            owner,
+            self_entry: Weak::new(),
+            parent_entry,
+            wait_mode,
+            body_finished: false,
+            deeply_completed: false,
+            live_children: 0,
+            own_seed: Some(Vec::new()),
+            own: Vec::new(),
+            own_map: RegionMap::new(),
+            bottom_map: RegionMap::new(),
+            nodes: Vec::new(),
+            free_nodes: Vec::new(),
+            sched: Vec::new(),
+            free_sched: Vec::new(),
+        }
+    }
+
+    /// The owner's entry (infallible while the engine is alive).
+    fn owner_entry(&self) -> Arc<TaskEntry> {
+        self.self_entry.upgrade().expect("task entry outlives its domain")
+    }
+
+    /// The parent's entry, if any.
+    fn parent_arc(&self) -> Option<Arc<TaskEntry>> {
+        self.parent_entry.as_ref().map(|weak| {
+            weak.upgrade().expect("parent entry outlives its children")
+        })
+    }
+
+    /// Expands the deferred own-access seeds into the live lower-half structures. Idempotent;
+    /// must run before anything touches `own`, `own_map` or `bottom_map`.
+    fn ensure_seeded(&mut self) {
+        let Some(seeds) = self.own_seed.take() else { return };
+        for (own_idx, (region, pending)) in seeds.into_iter().enumerate() {
+            self.own.push(OwnAccess {
+                region,
+                pending_down: RegionSet::from_regions(&pending),
+                satisfaction_edges: EdgeMap::new(),
+                child_coverage: CoverageCounter::new(),
+                early_release: RegionSet::new(),
+            });
+            self.own_map.insert(&region, own_idx as u32);
+            self.bottom_map.insert(
+                &region,
+                BottomEntry {
+                    last_writer: Some(Accessor::Own(own_idx as u32)),
+                    readers: SmallVec::new(),
+                },
+            );
+        }
+    }
+
+    fn node(&self, idx: u32) -> Option<&AccessNode> {
+        self.nodes.get(idx as usize).and_then(|slot| slot.node.as_ref())
+    }
+
+    fn node_mut(&mut self, idx: u32) -> Option<&mut AccessNode> {
+        self.nodes.get_mut(idx as usize).and_then(|slot| slot.node.as_mut())
+    }
+
+    /// Resolves a generation-checked reference; `None` for stale references to recycled slots.
+    fn resolve(&self, node: NodeRef) -> Option<&AccessNode> {
+        let slot = self.nodes.get(node.idx as usize)?;
+        if slot.gen != node.gen {
+            return None;
+        }
+        slot.node.as_ref()
+    }
+
+    fn alloc_node(&mut self, node: AccessNode) -> NodeRef {
+        match self.free_nodes.pop() {
+            Some(idx) => {
+                let slot = &mut self.nodes[idx as usize];
+                debug_assert!(slot.node.is_none());
+                slot.node = Some(node);
+                NodeRef { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(NodeSlot { gen: 0, node: Some(node) });
+                NodeRef { idx, gen: 0 }
+            }
+        }
+    }
+
+    fn alloc_sched(&mut self, sched: ChildSched) -> u32 {
+        match self.free_sched.pop() {
+            Some(idx) => {
+                debug_assert!(self.sched[idx as usize].is_none());
+                self.sched[idx as usize] = Some(sched);
+                idx
+            }
+            None => {
+                let idx = self.sched.len() as u32;
+                self.sched.push(Some(sched));
+                idx
+            }
+        }
+    }
+
+    /// Frees `idx` if its node is fully released and its task has deeply completed; also frees
+    /// the scheduling record once its last node is gone.
+    fn try_free_node(&mut self, idx: u32) {
+        let Some(node) = self.node(idx) else { return };
+        if !node.unreleased.is_empty() {
+            return;
+        }
+        let sched_idx = node.sched;
+        let done = self.sched[sched_idx as usize]
+            .as_ref()
+            .is_some_and(|s| s.deeply_completed);
+        if !done {
+            return;
+        }
+        let slot = &mut self.nodes[idx as usize];
+        slot.node = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free_nodes.push(idx);
+        let sched = self.sched[sched_idx as usize].as_mut().expect("sched freed before node");
+        debug_assert!(sched.live_nodes > 0);
+        sched.live_nodes -= 1;
+        if sched.live_nodes == 0 {
+            self.sched[sched_idx as usize] = None;
+            self.free_sched.push(sched_idx);
+        }
+    }
+}
+
+/// One task: its identity, its links into its parent's domain and its own domain.
+struct TaskEntry {
+    id: TaskId,
+    parent: Option<TaskId>,
+    /// References to this task's access nodes in the parent's domain, parallel to the `own`
+    /// vector of this task's domain. Immutable after registration; inline for the common 1–2
+    /// accesses.
+    nodes_in_parent: SmallVec<[NodeRef; 2]>,
+    /// Slot of this task's [`ChildSched`] record in the parent's domain (unused for roots).
+    sched_in_parent: u32,
+    domain: Mutex<Domain>,
+}
+
+/// Cross-domain propagation messages. Each message is addressed to exactly one domain and is
+/// processed under that domain's lock only, by the thread draining the outbox — never while the
+/// producing domain's lock is still held.
+enum Message {
+    /// Fragments of `target`'s own access `own_idx` became satisfied in the parent's domain:
+    /// update the `pending_down` mirror and fire downward satisfaction edges.
+    SatisfyDown { target: Arc<TaskEntry>, own_idx: u32, parts: Vec<Region> },
+    /// Fragments of `task`'s own access `own_idx` completed from below (weakwait hand-over or
+    /// `release` directive): complete them on the node half in the parent's domain `target`.
+    CompleteUp { target: Arc<TaskEntry>, task: Arc<TaskEntry>, own_idx: u32, parts: Vec<Region> },
+    /// `child` deeply completed: complete its remaining fragments in the parent's domain
+    /// `target`, decrement the parent's live-child count and recycle the child's slots.
+    ChildDone { target: Arc<TaskEntry>, child: Arc<TaskEntry> },
+}
+
+impl Message {
+    /// The domain this message must be applied under. Messages carry resolved entries so the
+    /// pump never goes through the task table.
+    fn target(&self) -> &Arc<TaskEntry> {
+        match self {
+            Message::SatisfyDown { target, .. } => target,
+            Message::CompleteUp { target, .. } => target,
+            Message::ChildDone { target, .. } => target,
+        }
+    }
+}
+
+/// Domain-local cascade events, processed iteratively to keep the call stack flat.
+#[derive(Debug)]
+enum Event {
+    Satisfy { node: u32, parts: Vec<Region> },
+    Complete { node: u32, parts: Vec<Region> },
+}
+
+/// Number of stripes in the task table. Lookups take a stripe lock only long enough to clone an
+/// `Arc`, so this mostly bounds allocation contention during bursts of registration.
+const TABLE_SHARDS: usize = 64;
+
+/// The dependency engine. See the module documentation for the model and `docs/locking.md` for
+/// the locking design.
 pub struct DependencyEngine {
-    tasks: Vec<TaskNode>,
-    accesses: Vec<AccessState>,
-    stats: EngineStats,
+    /// Task table: `TaskId(i)` lives in stripe `i % TABLE_SHARDS` at index `i / TABLE_SHARDS`.
+    table: Vec<Mutex<Vec<Option<Arc<TaskEntry>>>>>,
+    next_task: AtomicUsize,
+    stats: AtomicStats,
+}
+
+impl std::fmt::Debug for DependencyEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DependencyEngine")
+            .field("tasks", &self.next_task.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for DependencyEngine {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DependencyEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
-        Self::default()
+        DependencyEngine {
+            table: (0..TABLE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            next_task: AtomicUsize::new(0),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    fn entry(&self, task: TaskId) -> Arc<TaskEntry> {
+        let shard = self.table[task.0 % TABLE_SHARDS].lock();
+        shard
+            .get(task.0 / TABLE_SHARDS)
+            .and_then(|slot| slot.clone())
+            .unwrap_or_else(|| panic!("unknown task {task:?}"))
+    }
+
+    fn publish(&self, entry: Arc<TaskEntry>) {
+        let id = entry.id.0;
+        let mut shard = self.table[id % TABLE_SHARDS].lock();
+        let idx = id / TABLE_SHARDS;
+        if shard.len() <= idx {
+            shard.resize_with(idx + 1, || None);
+        }
+        shard[idx] = Some(entry);
     }
 
     /// Registers a root task: no parent, no dependencies, its body is about to run.
-    pub fn register_root(&mut self) -> TaskId {
-        let id = TaskId(self.tasks.len());
-        self.tasks.push(TaskNode {
-            parent: None,
-            wait_mode: WaitMode::Wait,
-            accesses: Vec::new(),
-            own_map: RegionMap::new(),
-            bottom_map: RegionMap::new(),
-            pending_strong: 0,
-            scheduled: true,
-            body_finished: false,
-            live_children: 0,
-            deeply_completed: false,
+    pub fn register_root(&self) -> TaskId {
+        let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        let mut domain = Domain::new(id, None, WaitMode::Wait);
+        let entry = Arc::new_cyclic(|weak| {
+            domain.self_entry = weak.clone();
+            TaskEntry {
+                id,
+                parent: None,
+                nodes_in_parent: SmallVec::new(),
+                sched_in_parent: 0,
+                domain: Mutex::new(domain),
+            }
         });
-        self.stats.tasks_registered += 1;
+        self.publish(entry);
+        AtomicStats::bump(&self.stats.tasks_registered, 1);
         id
     }
 
     /// Registers a new task as a child of `parent`, with the given declared dependencies and
-    /// wait mode. Returns the new task id and whether the task is immediately ready to run.
+    /// wait mode. Takes only the parent's domain lock. Returns the new task id and whether the
+    /// task is immediately ready to run.
     pub fn register_task(
-        &mut self,
+        &self,
         parent: TaskId,
         deps: &[Depend],
         wait_mode: WaitMode,
     ) -> (TaskId, bool) {
-        let _probe_start = std::time::Instant::now();
-        assert!(parent.0 < self.tasks.len(), "unknown parent task {parent:?}");
+        self.register_task_normalized(parent, &normalize_deps(deps), wait_mode)
+    }
+
+    /// [`DependencyEngine::register_task`] over pre-normalised dependencies, for callers (the
+    /// runtime) that need the normalised footprint anyway and should not pay for normalising
+    /// twice.
+    pub fn register_task_normalized(
+        &self,
+        parent: TaskId,
+        deps: &[NormalizedDep],
+        wait_mode: WaitMode,
+    ) -> (TaskId, bool) {
+        let parent_entry = self.entry(parent);
+        let mut domain = parent_entry.domain.lock();
+        self.register_locked(&parent_entry, &mut domain, deps, wait_mode)
+    }
+
+    /// Registers a batch of sibling tasks under a **single** acquisition of the parent's domain
+    /// lock, amortising lock traffic for loop-spawn patterns. Dependencies are pre-normalised,
+    /// like [`DependencyEngine::register_task_normalized`]. Returns `(id, ready)` per task, in
+    /// order.
+    pub fn register_batch<'a>(
+        &self,
+        parent: TaskId,
+        specs: impl IntoIterator<Item = (&'a [NormalizedDep], WaitMode)>,
+    ) -> Vec<(TaskId, bool)> {
+        let parent_entry = self.entry(parent);
+        let mut domain = parent_entry.domain.lock();
+        specs
+            .into_iter()
+            .map(|(deps, wait_mode)| {
+                self.register_locked(&parent_entry, &mut domain, deps, wait_mode)
+            })
+            .collect()
+    }
+
+    /// The registration core, with the parent's domain already locked.
+    fn register_locked(
+        &self,
+        parent_entry: &Arc<TaskEntry>,
+        domain: &mut Domain,
+        deps: &[NormalizedDep],
+        wait_mode: WaitMode,
+    ) -> (TaskId, bool) {
         assert!(
-            !self.tasks[parent.0].deeply_completed,
+            !domain.deeply_completed,
             "cannot create a child of a deeply completed task"
         );
-        let id = TaskId(self.tasks.len());
-        self.tasks.push(TaskNode {
-            parent: Some(parent),
-            wait_mode,
-            accesses: Vec::new(),
-            own_map: RegionMap::new(),
-            bottom_map: RegionMap::new(),
+        let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        AtomicStats::bump(&self.stats.tasks_registered, 1);
+        domain.ensure_seeded();
+
+        let sched_idx = domain.alloc_sched(ChildSched {
+            task: id,
             pending_strong: 0,
             scheduled: false,
-            body_finished: false,
-            live_children: 0,
+            live_nodes: 0,
             deeply_completed: false,
         });
-        self.tasks[parent.0].live_children += 1;
-        self.stats.tasks_registered += 1;
+        domain.live_children += 1;
 
-        let mut _t_link = std::time::Duration::ZERO;
-        let mut _t_cov = std::time::Duration::ZERO;
-        for dep in normalize_deps(deps) {
-            let access_id = AccessId(self.accesses.len());
-            self.accesses
-                .push(AccessState::new(id, dep.region, dep.is_write, dep.weak));
-            self.stats.accesses_registered += 1;
-            self.tasks[id.0].accesses.push(access_id);
-            self.tasks[id.0].own_map.insert(&dep.region, access_id);
+        let mut child_domain =
+            Domain::new(id, Some(Arc::downgrade(parent_entry)), wait_mode);
+        let mut child_seeds = child_domain.own_seed.take().expect("fresh domain is unseeded");
+        let mut nodes_in_parent: SmallVec<[NodeRef; 2]> = SmallVec::new();
 
-            let _p1 = std::time::Instant::now();
-            self.link_into_parent_domain(parent, access_id);
-            _t_link += _p1.elapsed();
-            let _p2 = std::time::Instant::now();
-            self.register_parent_coverage(parent, access_id);
-            _t_cov += _p2.elapsed();
+        for (own_idx, dep) in deps.iter().enumerate() {
+            AtomicStats::bump(&self.stats.accesses_registered, 1);
+            let node_ref = domain.alloc_node(AccessNode {
+                task: id,
+                task_entry: Weak::new(),
+                sched: sched_idx,
+                own_idx: own_idx as u32,
+                region: dep.region,
+                weak: dep.weak,
+                has_mirror: false,
+                unsatisfied: CoverageCounter::new(),
+                uncompleted: RegionSet::from_region(dep.region),
+                unreleased: RegionSet::from_region(dep.region),
+                release_edges: EdgeMap::new(),
+                parent_coverage: SmallVec::new(),
+            });
+            domain.sched[sched_idx as usize]
+                .as_mut()
+                .expect("sched slot just allocated")
+                .live_nodes += 1;
 
-            // Seed the new task's own bottom map with this access, so its future children link
-            // to it (the cross-domain linking point of §VI).
-            let region = self.accesses[access_id.0].region;
-            self.tasks[id.0].bottom_map.insert(
-                &region,
-                BottomEntry { last_writer: Some(access_id), readers: Vec::new() },
-            );
+            self.link_into_domain(domain, node_ref, dep.region, dep.is_write);
+            register_parent_coverage(domain, node_ref.idx, dep.region);
+
+            // Stage the seed of the child's own domain: its future children link to this access
+            // (the cross-domain linking point of §VI). The pending-down mirror starts as the set
+            // of fragments currently unsatisfied; it is kept current by `SatisfyDown` messages.
+            // The seed is only expanded into live structures if the child ever needs a domain
+            // (`Domain::ensure_seeded`).
+            let node = domain.node(node_ref.idx).expect("node just allocated");
+            let pending_down: Vec<Region> = node
+                .unsatisfied
+                .covered_parts(&dep.region)
+                .into_iter()
+                .map(|(part, _count)| part)
+                .collect();
+            let has_mirror = !pending_down.is_empty();
+            domain.node_mut(node_ref.idx).expect("node just allocated").has_mirror = has_mirror;
+            child_seeds.push((dep.region, pending_down));
 
             // Count the access towards readiness if it is strong and has pending predecessors.
-            let access = &self.accesses[access_id.0];
-            if !access.weak && !access.unsatisfied.is_empty() {
-                self.tasks[id.0].pending_strong += 1;
+            let node = domain.node(node_ref.idx).expect("node just allocated");
+            if !node.weak && !node.unsatisfied.is_empty() {
+                domain.sched[sched_idx as usize]
+                    .as_mut()
+                    .expect("sched slot just allocated")
+                    .pending_strong += 1;
             }
+            nodes_in_parent.push(node_ref);
         }
 
-        let ready = self.tasks[id.0].pending_strong == 0;
+        let sched = domain.sched[sched_idx as usize].as_mut().expect("sched slot just allocated");
+        let ready = sched.pending_strong == 0;
         if ready {
-            self.tasks[id.0].scheduled = true;
-            self.stats.ready_at_registration += 1;
+            sched.scheduled = true;
+            AtomicStats::bump(&self.stats.ready_at_registration, 1);
         }
-        // Optional debugging probe (set WEAKDEP_PROBE=1): reports registrations that take
-        // unexpectedly long, together with the sizes of the structures involved.
-        static PROBE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        if *PROBE.get_or_init(|| std::env::var_os("WEAKDEP_PROBE").is_some()) {
-            let elapsed = _probe_start.elapsed();
-            if elapsed.as_micros() > 500 {
-                eprintln!(
-                    "slow register: task {:?} parent {:?} took {} us (link {} us, coverage {} us); parent bottom_map {} own_map {} accesses_total {}",
-                    id, parent, elapsed.as_micros(), _t_link.as_micros(), _t_cov.as_micros(),
-                    self.tasks[parent.0].bottom_map.len(),
-                    self.tasks[parent.0].own_map.len(),
-                    self.accesses.len()
-                );
+
+        child_domain.own_seed = Some(child_seeds);
+
+        // Publish while still holding the parent's lock: the moment another thread can observe
+        // the new nodes (and address messages at the new task), the entry must be resolvable.
+        // The table stripe lock nests strictly inside domain locks and takes no further locks.
+        let entry = Arc::new_cyclic(|weak| {
+            child_domain.self_entry = weak.clone();
+            TaskEntry {
+                id,
+                parent: Some(parent_entry.id),
+                nodes_in_parent,
+                sched_in_parent: sched_idx,
+                domain: Mutex::new(child_domain),
             }
+        });
+        for node_ref in &entry.nodes_in_parent {
+            domain
+                .node_mut(node_ref.idx)
+                .expect("node just allocated")
+                .task_entry = Arc::downgrade(&entry);
         }
+        self.publish(entry);
         (id, ready)
     }
 
-    /// The task's body has finished executing. Returns the ready / deeply-completed effects.
-    pub fn body_finished(&mut self, task: TaskId) -> Effects {
-        let mut effects = Effects::default();
-        let mut queue = VecDeque::new();
-
-        assert!(!self.tasks[task.0].body_finished, "body_finished called twice for {task:?}");
-        self.tasks[task.0].body_finished = true;
-
-        let wait_mode = self.tasks[task.0].wait_mode;
-        let access_ids = self.tasks[task.0].accesses.clone();
-        match wait_mode {
-            WaitMode::None => {
-                // OpenMP default: the task's dependencies are released when the body finishes.
-                for access_id in access_ids {
-                    let region = self.accesses[access_id.0].region;
-                    queue.push_back(Event::Complete { access: access_id, parts: vec![region] });
-                }
-            }
-            WaitMode::Wait => {
-                // All dependencies are held until deep completion (handled below / later).
-            }
-            WaitMode::WeakWait => {
-                // Fine-grained release: fragments not covered by live child accesses complete
-                // now; covered fragments are handed over to the children.
-                for access_id in access_ids {
-                    let region = self.accesses[access_id.0].region;
-                    let uncovered = self.accesses[access_id.0].child_coverage.uncovered_parts(&region);
-                    if !uncovered.is_empty() {
-                        self.stats.incremental_releases += uncovered.len();
-                        queue.push_back(Event::Complete { access: access_id, parts: uncovered });
-                    }
-                }
-            }
-        }
-
-        if self.tasks[task.0].live_children == 0 {
-            self.deep_complete(task, &mut queue, &mut effects);
-        }
-
-        self.process(&mut queue, &mut effects);
-        effects
-    }
-
-    /// The `release` directive (§V): the running task asserts it (and its *future* subtasks) will
-    /// no longer access `region`. The overlapping fragments of its declared accesses are armed
-    /// for early completion; fragments not covered by live child accesses complete immediately.
-    pub fn release_region(&mut self, task: TaskId, region: Region) -> Effects {
-        let mut effects = Effects::default();
-        let mut queue = VecDeque::new();
-
-        let access_ids = self.tasks[task.0].accesses.clone();
-        for access_id in access_ids {
-            let overlap = match self.accesses[access_id.0].region.intersection(&region) {
-                Some(o) => o,
-                None => continue,
-            };
-            self.accesses[access_id.0].early_release.add(&overlap);
-            let uncovered: Vec<Region> = self.accesses[access_id.0]
-                .child_coverage
-                .uncovered_parts(&overlap);
-            if !uncovered.is_empty() {
-                self.stats.incremental_releases += uncovered.len();
-                queue.push_back(Event::Complete { access: access_id, parts: uncovered });
-            }
-        }
-
-        self.process(&mut queue, &mut effects);
-        effects
-    }
-
-    /// Number of direct children of `task` that have not yet deeply completed.
-    pub fn live_children(&self, task: TaskId) -> usize {
-        self.tasks[task.0].live_children
-    }
-
-    /// `true` once `task`'s body has finished and all of its descendants have deeply completed.
-    pub fn is_deeply_completed(&self, task: TaskId) -> bool {
-        self.tasks[task.0].deeply_completed
-    }
-
-    /// `true` if the task has been reported ready (or executed).
-    pub fn is_scheduled(&self, task: TaskId) -> bool {
-        self.tasks[task.0].scheduled
-    }
-
-    /// The parent of `task`, if any.
-    pub fn parent(&self, task: TaskId) -> Option<TaskId> {
-        self.tasks[task.0].parent
-    }
-
-    /// Engine statistics.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
-    }
-
-    /// Number of tasks ever registered.
-    pub fn task_count(&self) -> usize {
-        self.tasks.len()
-    }
-
-    // ------------------------------------------------------------------------------------------
-    // Registration helpers
-    // ------------------------------------------------------------------------------------------
-
-    /// Links a freshly created access into its parent's dependency domain (bottom map),
-    /// fragmenting against existing entries and creating the required edges.
-    fn link_into_parent_domain(&mut self, parent: TaskId, access_id: AccessId) {
-        let region = self.accesses[access_id.0].region;
-        let is_write = self.accesses[access_id.0].is_write;
-
-        // First pass (immutable wrt accesses): fragment the region against the parent's bottom
-        // map, record which edges to create and compute the new entry for every fragment.
+    /// Links a freshly created access node into the (locked) domain's bottom map, fragmenting
+    /// against existing entries and creating the required edges.
+    fn link_into_domain(&self, domain: &mut Domain, node_ref: NodeRef, region: Region, is_write: bool) {
         struct PlannedEdge {
-            from: AccessId,
+            from: Accessor,
             over: Region,
         }
         let mut planned: Vec<PlannedEdge> = Vec::new();
 
-        // We need to take the bottom map out of the parent node to appease the borrow checker
-        // (we only touch `planned` inside the closure).
-        let mut bottom_map = std::mem::take(&mut self.tasks[parent.0].bottom_map);
+        // First pass: fragment the region against the bottom map, record which edges to create
+        // and compute the new entry for every fragment. (The map is taken out of the domain to
+        // appease the borrow checker; only `planned` is touched inside the closure.)
+        let mut bottom_map = std::mem::take(&mut domain.bottom_map);
         bottom_map.update(&region, |fragment, existing| {
             let new_entry = match existing {
                 Some(entry) => {
@@ -441,119 +726,371 @@ impl DependencyEngine {
                                 planned.push(PlannedEdge { from: r, over: fragment });
                             }
                         }
-                        BottomEntry { last_writer: Some(access_id), readers: Vec::new() }
+                        BottomEntry {
+                            last_writer: Some(Accessor::Child(node_ref)),
+                            readers: SmallVec::new(),
+                        }
                     } else {
                         // A reader waits for the last writer only; concurrent readers group.
                         if let Some(w) = entry.last_writer {
                             planned.push(PlannedEdge { from: w, over: fragment });
                         }
                         let mut readers = entry.readers.clone();
-                        readers.push(access_id);
+                        readers.push(Accessor::Child(node_ref));
                         BottomEntry { last_writer: entry.last_writer, readers }
                     }
                 }
                 None => {
-                    // Nothing accessed this fragment in the parent's domain before: there is no
-                    // predecessor (the parent's own accesses are pre-seeded, so a gap really
-                    // means "untracked by the parent").
+                    // Nothing accessed this fragment in this domain before: there is no
+                    // predecessor (the owner's own accesses are pre-seeded, so a gap really
+                    // means "untracked by the owner").
                     if is_write {
-                        BottomEntry { last_writer: Some(access_id), readers: Vec::new() }
+                        BottomEntry {
+                            last_writer: Some(Accessor::Child(node_ref)),
+                            readers: SmallVec::new(),
+                        }
                     } else {
-                        BottomEntry { last_writer: None, readers: vec![access_id] }
+                        let mut readers = SmallVec::new();
+                        readers.push(Accessor::Child(node_ref));
+                        BottomEntry { last_writer: None, readers }
                     }
                 }
             };
             RangeUpdate::Set(new_entry)
         });
-        self.tasks[parent.0].bottom_map = bottom_map;
+        domain.bottom_map = bottom_map;
 
         for edge in planned {
-            self.add_edge(edge.from, access_id, &edge.over, parent);
+            self.add_edge(domain, edge.from, node_ref.idx, &edge.over);
         }
     }
 
-    /// Creates a dependency edge from `from` to `to` over `over`. The flavor is derived from the
-    /// relationship: an edge whose source belongs to `parent` itself is a cross-domain
-    /// (satisfaction-forwarding) edge; otherwise it is a same-domain release edge.
-    fn add_edge(&mut self, from: AccessId, to: AccessId, over: &Region, parent: TaskId) {
-        if from == to {
-            return;
-        }
-        let flavor = if self.accesses[from.0].task == parent {
-            EdgeFlavor::Satisfaction
-        } else {
-            EdgeFlavor::Release
-        };
-        let pending: Vec<Region> = match flavor {
-            EdgeFlavor::Satisfaction => self.accesses[from.0]
-                .unsatisfied
-                .covered_parts(over)
-                .into_iter()
-                .map(|(region, _count)| region)
-                .collect(),
-            EdgeFlavor::Release => self.accesses[from.0].unreleased.intersection(over),
+    /// Creates a dependency edge from `from` to the new node `to` over `over`. An edge whose
+    /// source is one of the domain owner's own accesses is a cross-domain (satisfaction
+    /// forwarding) edge; a sibling source makes a same-domain release edge.
+    fn add_edge(&self, domain: &mut Domain, from: Accessor, to: u32, over: &Region) {
+        let pending: Vec<Region> = match from {
+            Accessor::Own(own_idx) => {
+                domain.own[own_idx as usize].pending_down.intersection(over)
+            }
+            Accessor::Child(source) => match domain.resolve(source) {
+                // A recycled slot means the source was fully released: no pending fragments.
+                None => Vec::new(),
+                Some(node) => node.unreleased.intersection(over),
+            },
         };
         if pending.is_empty() {
             return;
         }
         for part in &pending {
-            self.accesses[to.0].unsatisfied.increment(part);
+            domain
+                .node_mut(to)
+                .expect("edge target just allocated")
+                .unsatisfied
+                .increment(part);
         }
-        let edge_map = match flavor {
-            EdgeFlavor::Satisfaction => {
-                self.stats.satisfaction_edges += 1;
-                &mut self.accesses[from.0].satisfaction_edges
+        let edge_map = match from {
+            Accessor::Own(own_idx) => {
+                AtomicStats::bump(&self.stats.satisfaction_edges, 1);
+                &mut domain.own[own_idx as usize].satisfaction_edges
             }
-            EdgeFlavor::Release => {
-                self.stats.release_edges += 1;
-                &mut self.accesses[from.0].release_edges
+            Accessor::Child(source) => {
+                AtomicStats::bump(&self.stats.release_edges, 1);
+                &mut domain
+                    .node_mut(source.idx)
+                    .expect("resolved above")
+                    .release_edges
             }
         };
         for part in &pending {
             edge_map.update(part, |_, existing| {
-                let mut targets = existing.cloned().unwrap_or_default();
+                let mut targets: SmallVec<[u32; 2]> =
+                    existing.cloned().unwrap_or_default();
                 targets.push(to);
                 RangeUpdate::Set(targets)
             });
         }
     }
 
-    /// Records that the new access covers parts of its parent's own accesses (used for the
-    /// fine-grained hand-over of §V).
-    fn register_parent_coverage(&mut self, parent: TaskId, access_id: AccessId) {
-        let region = self.accesses[access_id.0].region;
-        let overlaps: Vec<(Region, AccessId)> = self.tasks[parent.0].own_map.query_vec(&region);
-        for (overlap, parent_access) in overlaps {
-            self.accesses[parent_access.0].child_coverage.increment(&overlap);
-            self.accesses[access_id.0].parent_coverage.push((parent_access, overlap));
+    /// The task's body has finished executing. Takes the task's own domain lock, then drains the
+    /// resulting cross-domain messages one lock at a time. Returns the ready / deeply-completed
+    /// effects.
+    pub fn body_finished(&self, task: TaskId) -> Effects {
+        let entry = self.entry(task);
+        let mut effects = Effects::default();
+        let mut outbox = VecDeque::new();
+        {
+            let mut domain = entry.domain.lock();
+            assert!(!domain.body_finished, "body_finished called twice for {task:?}");
+            domain.body_finished = true;
+
+            match (domain.wait_mode, domain.parent_arc()) {
+                (WaitMode::None, Some(target)) => {
+                    // OpenMP default: the task's dependencies are released when the body
+                    // finishes. Leaf tasks usually still carry the unexpanded seed; either
+                    // representation yields the declared regions.
+                    let mut emit = |own_idx: usize, region: Region| {
+                        outbox.push_back(Message::CompleteUp {
+                            target: Arc::clone(&target),
+                            task: Arc::clone(&entry),
+                            own_idx: own_idx as u32,
+                            parts: vec![region],
+                        });
+                    };
+                    match &domain.own_seed {
+                        Some(seeds) => {
+                            for (own_idx, (region, _)) in seeds.iter().enumerate() {
+                                emit(own_idx, *region);
+                            }
+                        }
+                        None => {
+                            for (own_idx, own) in domain.own.iter().enumerate() {
+                                emit(own_idx, own.region);
+                            }
+                        }
+                    }
+                }
+                (WaitMode::Wait, _) => {
+                    // All dependencies are held until deep completion (handled below / later).
+                }
+                (WaitMode::WeakWait, Some(target)) => {
+                    // Fine-grained release: fragments not covered by live child accesses
+                    // complete now; covered fragments are handed over to the children.
+                    domain.ensure_seeded();
+                    for (own_idx, own) in domain.own.iter().enumerate() {
+                        let uncovered = own.child_coverage.uncovered_parts(&own.region);
+                        if !uncovered.is_empty() {
+                            AtomicStats::bump(&self.stats.incremental_releases, uncovered.len());
+                            outbox.push_back(Message::CompleteUp {
+                                target: Arc::clone(&target),
+                                task: Arc::clone(&entry),
+                                own_idx: own_idx as u32,
+                                parts: uncovered,
+                            });
+                        }
+                    }
+                }
+                // A root has no parent domain to complete into (and no own accesses).
+                (_, None) => {}
+            }
+
+            if domain.live_children == 0 {
+                deep_complete_locked(&self.stats, &mut domain, &mut effects, &mut outbox);
+            }
         }
+        self.pump(&mut outbox, &mut effects);
+        effects
+    }
+
+    /// The `release` directive (§V): the running task asserts it (and its *future* subtasks) will
+    /// no longer access `region`. The overlapping fragments of its declared accesses are armed
+    /// for early completion; fragments not covered by live child accesses complete immediately.
+    pub fn release_region(&self, task: TaskId, region: Region) -> Effects {
+        let entry = self.entry(task);
+        let mut effects = Effects::default();
+        let mut outbox = VecDeque::new();
+        {
+            let mut domain = entry.domain.lock();
+            let Some(target) = domain.parent_arc() else { return effects };
+            domain.ensure_seeded();
+            for own_idx in 0..domain.own.len() {
+                let own = &mut domain.own[own_idx];
+                let overlap = match own.region.intersection(&region) {
+                    Some(o) => o,
+                    None => continue,
+                };
+                own.early_release.add(&overlap);
+                let uncovered = own.child_coverage.uncovered_parts(&overlap);
+                if !uncovered.is_empty() {
+                    AtomicStats::bump(&self.stats.incremental_releases, uncovered.len());
+                    outbox.push_back(Message::CompleteUp {
+                        target: Arc::clone(&target),
+                        task: Arc::clone(&entry),
+                        own_idx: own_idx as u32,
+                        parts: uncovered,
+                    });
+                }
+            }
+        }
+        self.pump(&mut outbox, &mut effects);
+        effects
     }
 
     // ------------------------------------------------------------------------------------------
-    // Cascade processing
+    // Message pump
     // ------------------------------------------------------------------------------------------
 
-    fn process(&mut self, queue: &mut VecDeque<Event>, effects: &mut Effects) {
-        while let Some(event) = queue.pop_front() {
-            match event {
-                Event::Satisfy { access, parts } => self.do_satisfy(access, &parts, queue, effects),
-                Event::Complete { access, parts } => self.do_complete(access, &parts, queue, effects),
+    /// Drains cross-domain messages. Each message locks exactly one domain; handlers may append
+    /// further messages, which are processed until the outbox runs dry.
+    ///
+    /// Messages already queued for the domain just locked are applied under the same lock
+    /// acquisition (the common retire cascade — `CompleteUp` followed by `ChildDone` to the
+    /// same parent — costs one lock instead of two). This preserves relative order *per target
+    /// domain*, which is the order that matters: a `CompleteUp` emitted before a `ChildDone`
+    /// for the same task is applied first, so the node slots it references have not been
+    /// recycled yet (stale references are dropped via the slot generation as a second line of
+    /// defence).
+    fn pump(&self, outbox: &mut VecDeque<Message>, effects: &mut Effects) {
+        // One reusable event queue for every message of the drain (it is always empty between
+        // `apply` calls).
+        let mut queue = VecDeque::new();
+        while let Some(message) = outbox.pop_front() {
+            let target = Arc::clone(message.target());
+            let mut domain = target.domain.lock();
+            self.apply(&mut domain, message, &mut queue, effects, outbox);
+            // Apply consecutive messages for the same domain while we hold its lock. The common
+            // retire cascade emits `CompleteUp` immediately followed by `ChildDone` for the same
+            // parent, so checking only the queue front captures it at O(1) per message (scanning
+            // the whole outbox would make wide fan-out drains quadratic).
+            while outbox
+                .front()
+                .is_some_and(|next| Arc::ptr_eq(next.target(), &target))
+            {
+                let message = outbox.pop_front().expect("front checked");
+                self.apply(&mut domain, message, &mut queue, effects, outbox);
             }
         }
     }
 
-    /// Marks `parts` of `access` as satisfied (predecessor data delivered): forwards the
-    /// satisfaction to child accesses, updates task readiness and tries to release.
+    /// Applies one message under its (locked) target domain. `queue` is scratch space for the
+    /// local cascade; it is drained before returning.
+    fn apply(
+        &self,
+        domain: &mut Domain,
+        message: Message,
+        queue: &mut VecDeque<Event>,
+        effects: &mut Effects,
+        outbox: &mut VecDeque<Message>,
+    ) {
+        debug_assert!(queue.is_empty());
+        match message {
+            Message::SatisfyDown { target, own_idx, parts } => {
+                debug_assert_eq!(domain.owner, target.id);
+                if let Some(seeds) = &mut domain.own_seed {
+                    // The domain never had children, so no satisfaction edges exist to fire:
+                    // shrink the staged mirror in place and keep the seed unexpanded (the
+                    // common dependent-leaf case stays allocation-free).
+                    let (_region, pending) = &mut seeds[own_idx as usize];
+                    for part in &parts {
+                        let mut rest = Vec::with_capacity(pending.len());
+                        for fragment in pending.drain(..) {
+                            rest.extend(fragment.subtract(part));
+                        }
+                        *pending = rest;
+                    }
+                    return;
+                }
+                let own = &mut domain.own[own_idx as usize];
+                for part in &parts {
+                    for removed in own.pending_down.remove(part) {
+                        for (fragment, targets) in own.satisfaction_edges.remove(&removed) {
+                            for &to in targets.iter() {
+                                queue.push_back(Event::Satisfy {
+                                    node: to,
+                                    parts: vec![fragment],
+                                });
+                            }
+                        }
+                    }
+                }
+                self.process_local(domain, queue, effects, outbox);
+            }
+            Message::CompleteUp { target: _, task, own_idx, parts } => {
+                let node_ref = task.nodes_in_parent[own_idx as usize];
+                // A recycled slot means the access was fully released already; the completion
+                // is moot.
+                if domain.resolve(node_ref).is_none() {
+                    return;
+                }
+                queue.push_back(Event::Complete { node: node_ref.idx, parts });
+                self.process_local(domain, queue, effects, outbox);
+            }
+            Message::ChildDone { target: _, child } => {
+                let entry = child;
+                let sched = domain.sched[entry.sched_in_parent as usize]
+                    .as_mut()
+                    .expect("sched slot freed before ChildDone");
+                debug_assert_eq!(sched.task, entry.id);
+                debug_assert!(
+                    !sched.deeply_completed,
+                    "duplicate ChildDone for {:?}",
+                    entry.id
+                );
+                sched.deeply_completed = true;
+                if entry.nodes_in_parent.is_empty() {
+                    // No accesses: recycle the scheduling record immediately.
+                    domain.sched[entry.sched_in_parent as usize] = None;
+                    domain.free_sched.push(entry.sched_in_parent);
+                }
+
+                // Whatever has not completed yet completes now (Wait mode releases everything
+                // here; WeakWait may have residual fragments if a child declared less than it
+                // covered).
+                for node_ref in &entry.nodes_in_parent {
+                    if let Some(node) = domain.resolve(*node_ref) {
+                        queue.push_back(Event::Complete {
+                            node: node_ref.idx,
+                            parts: vec![node.region],
+                        });
+                    }
+                }
+                self.process_local(domain, queue, effects, outbox);
+
+                // Recycle fully released nodes (the rest are reaped by `try_release` when their
+                // last fragment goes out).
+                for node_ref in &entry.nodes_in_parent {
+                    if domain.resolve(*node_ref).is_some() {
+                        domain.try_free_node(node_ref.idx);
+                    }
+                }
+
+                debug_assert!(domain.live_children > 0);
+                domain.live_children -= 1;
+                if domain.live_children == 0 && domain.body_finished && !domain.deeply_completed {
+                    deep_complete_locked(&self.stats, domain, effects, outbox);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------------------------------
+    // Domain-local cascade processing
+    // ------------------------------------------------------------------------------------------
+
+    fn process_local(
+        &self,
+        domain: &mut Domain,
+        queue: &mut VecDeque<Event>,
+        effects: &mut Effects,
+        outbox: &mut VecDeque<Message>,
+    ) {
+        while let Some(event) = queue.pop_front() {
+            match event {
+                Event::Satisfy { node, parts } => {
+                    self.do_satisfy(domain, node, &parts, queue, effects, outbox)
+                }
+                Event::Complete { node, parts } => {
+                    self.do_complete(domain, node, &parts, queue, outbox)
+                }
+            }
+        }
+    }
+
+    /// Marks `parts` of node `idx` as satisfied (predecessor data delivered): updates task
+    /// readiness, forwards the satisfaction into the task's own domain and tries to release.
     fn do_satisfy(
-        &mut self,
-        access: AccessId,
+        &self,
+        domain: &mut Domain,
+        idx: u32,
         parts: &[Region],
         queue: &mut VecDeque<Event>,
         effects: &mut Effects,
+        outbox: &mut VecDeque<Message>,
     ) {
+        let Some(node) = domain.node_mut(idx) else { return };
         let mut newly = Vec::new();
         for part in parts {
-            newly.extend(self.accesses[access.0].unsatisfied.decrement(part));
+            newly.extend(node.unsatisfied.decrement(part));
         }
         if newly.is_empty() {
             return;
@@ -561,68 +1098,89 @@ impl DependencyEngine {
 
         // Task readiness: a strong access that just became fully satisfied reduces the task's
         // pending count.
-        let task = self.accesses[access.0].task;
-        if !self.accesses[access.0].weak && self.accesses[access.0].unsatisfied.is_empty() {
-            let node = &mut self.tasks[task.0];
-            debug_assert!(node.pending_strong > 0, "pending_strong underflow for {task:?}");
-            node.pending_strong -= 1;
-            if node.pending_strong == 0 && !node.scheduled {
-                node.scheduled = true;
+        let (task, sched_idx, weak, has_mirror, own_idx, fully_satisfied) = {
+            let node = domain.node(idx).expect("checked above");
+            (
+                node.task,
+                node.sched,
+                node.weak,
+                node.has_mirror,
+                node.own_idx,
+                node.unsatisfied.is_empty(),
+            )
+        };
+        if !weak && fully_satisfied {
+            let sched = domain.sched[sched_idx as usize]
+                .as_mut()
+                .expect("sched freed while node satisfiable");
+            debug_assert!(sched.pending_strong > 0, "pending_strong underflow for {task:?}");
+            sched.pending_strong -= 1;
+            if sched.pending_strong == 0 && !sched.scheduled {
+                sched.scheduled = true;
                 effects.ready.push(task);
             }
         }
 
-        // Forward the satisfaction to child accesses that inherited this dependency. Only the
-        // edge fragments overlapping the newly satisfied parts are touched (and consumed).
-        for part in &newly {
-            let delivered = self.accesses[access.0].satisfaction_edges.remove(part);
-            for (fragment, targets) in delivered {
-                for to in targets {
-                    queue.push_back(Event::Satisfy { access: to, parts: vec![fragment] });
-                }
-            }
+        // Forward the satisfaction into the task's own domain (its children inherited this
+        // dependency through the pending-down mirror).
+        if has_mirror {
+            let target = domain
+                .node(idx)
+                .expect("checked above")
+                .task_entry
+                .upgrade()
+                .expect("task entry outlives its nodes");
+            outbox.push_back(Message::SatisfyDown { target, own_idx, parts: newly.clone() });
         }
 
         // Fragments that were already completed can now be released.
-        self.try_release(access, &newly, queue);
+        self.try_release(domain, idx, &newly, queue, outbox);
     }
 
-    /// Marks `parts` of `access` as completed (the task and its live children will no longer
+    /// Marks `parts` of node `idx` as completed (the task and its live children will no longer
     /// touch them) and tries to release them.
     fn do_complete(
-        &mut self,
-        access: AccessId,
+        &self,
+        domain: &mut Domain,
+        idx: u32,
         parts: &[Region],
         queue: &mut VecDeque<Event>,
-        _effects: &mut Effects,
+        outbox: &mut VecDeque<Message>,
     ) {
+        let Some(node) = domain.node_mut(idx) else { return };
         let mut newly = Vec::new();
         for part in parts {
-            newly.extend(self.accesses[access.0].uncompleted.remove(part));
+            newly.extend(node.uncompleted.remove(part));
         }
         if newly.is_empty() {
             return;
         }
-        self.try_release(access, &newly, queue);
+        self.try_release(domain, idx, &newly, queue, outbox);
     }
 
     /// Releases the fragments of `candidates` that are both satisfied and completed, notifying
-    /// successors and the parent hand-over bookkeeping.
-    fn try_release(&mut self, access: AccessId, candidates: &[Region], queue: &mut VecDeque<Event>) {
+    /// same-domain successors and the owner's hand-over bookkeeping.
+    fn try_release(
+        &self,
+        domain: &mut Domain,
+        idx: u32,
+        candidates: &[Region],
+        queue: &mut VecDeque<Event>,
+        outbox: &mut VecDeque<Message>,
+    ) {
         // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted
         let mut releasable: Vec<Region> = Vec::new();
         {
-            let state = &self.accesses[access.0];
+            let Some(node) = domain.node(idx) else { return };
             for candidate in candidates {
-                for part in state.unreleased.intersection(candidate) {
-                    // Remove the still-unsatisfied and still-uncompleted portions.
-                    let blocked_by_satisfaction: Vec<Region> = state
+                for part in node.unreleased.intersection(candidate) {
+                    let blocked_by_satisfaction: Vec<Region> = node
                         .unsatisfied
                         .covered_parts(&part)
                         .into_iter()
                         .map(|(region, _count)| region)
                         .collect();
-                    let blocked_by_completion: Vec<Region> = state.uncompleted.intersection(&part);
+                    let blocked_by_completion: Vec<Region> = node.uncompleted.intersection(&part);
                     let mut pieces = vec![part];
                     for blockers in [blocked_by_satisfaction, blocked_by_completion] {
                         let mut next = Vec::new();
@@ -648,8 +1206,11 @@ impl DependencyEngine {
         }
 
         let mut actually_released = Vec::new();
-        for part in &releasable {
-            actually_released.extend(self.accesses[access.0].unreleased.remove(part));
+        {
+            let node = domain.node_mut(idx).expect("checked above");
+            for part in &releasable {
+                actually_released.extend(node.unreleased.remove(part));
+            }
         }
         if actually_released.is_empty() {
             return;
@@ -658,32 +1219,38 @@ impl DependencyEngine {
         // Notify same-domain successors: consume exactly the edge fragments that overlap the
         // released parts.
         for part in &actually_released {
-            let delivered = self.accesses[access.0].release_edges.remove(part);
+            let delivered = {
+                let node = domain.node_mut(idx).expect("checked above");
+                node.release_edges.remove(part)
+            };
             for (fragment, targets) in delivered {
-                for to in targets {
-                    queue.push_back(Event::Satisfy { access: to, parts: vec![fragment] });
+                for &to in targets.iter() {
+                    queue.push_back(Event::Satisfy { node: to, parts: vec![fragment] });
                 }
             }
         }
 
-        // Hand-over bookkeeping: this access no longer covers the overlapping parts of its
-        // parent's accesses. Fragments whose coverage drops to zero may complete on the parent
-        // access if its policy allows it (weakwait after body end, or the release directive).
-        let parent_coverage = self.accesses[access.0].parent_coverage.clone();
-        for (parent_access, overlap) in parent_coverage {
+        // Hand-over bookkeeping: this access no longer covers the overlapping parts of the
+        // domain owner's accesses. Fragments whose coverage drops to zero may complete on the
+        // owner's access if its policy allows it (weakwait after body end, or the release
+        // directive); that completion lives in the owner's parent's domain, so it travels as a
+        // `CompleteUp` message.
+        let parent_coverage = {
+            let node = domain.node(idx).expect("checked above");
+            node.parent_coverage.clone()
+        };
+        let weakwait_active = domain.body_finished && domain.wait_mode == WaitMode::WeakWait;
+        for (own_idx, overlap) in parent_coverage.iter() {
+            let own = &mut domain.own[*own_idx as usize];
             let mut zeroed_all = Vec::new();
             for part in &actually_released {
                 if let Some(sub) = overlap.intersection(part) {
-                    zeroed_all.extend(self.accesses[parent_access.0].child_coverage.decrement(&sub));
+                    zeroed_all.extend(own.child_coverage.decrement(&sub));
                 }
             }
             if zeroed_all.is_empty() {
                 continue;
             }
-            let parent_task = self.accesses[parent_access.0].task;
-            let parent_node = &self.tasks[parent_task.0];
-            let weakwait_active =
-                parent_node.body_finished && parent_node.wait_mode == WaitMode::WeakWait;
             let mut completable = Vec::new();
             for part in zeroed_all {
                 if weakwait_active {
@@ -691,46 +1258,101 @@ impl DependencyEngine {
                 } else {
                     // Early-release armed fragments complete as soon as coverage drops, even if
                     // the body is still running.
-                    completable.extend(
-                        self.accesses[parent_access.0].early_release.intersection(&part),
-                    );
+                    completable.extend(own.early_release.intersection(&part));
                 }
             }
             if !completable.is_empty() {
-                self.stats.incremental_releases += completable.len();
-                queue.push_back(Event::Complete { access: parent_access, parts: completable });
+                AtomicStats::bump(&self.stats.incremental_releases, completable.len());
+                if let Some(target) = domain.parent_arc() {
+                    outbox.push_back(Message::CompleteUp {
+                        target,
+                        task: domain.owner_entry(),
+                        own_idx: *own_idx,
+                        parts: completable,
+                    });
+                }
             }
+        }
+
+        // A fully released access whose task has already deeply completed can be recycled.
+        domain.try_free_node(idx);
+    }
+
+    // ------------------------------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------------------------------
+
+    /// Number of direct children of `task` that have not yet deeply completed.
+    pub fn live_children(&self, task: TaskId) -> usize {
+        self.entry(task).domain.lock().live_children
+    }
+
+    /// `true` once `task`'s body has finished and all of its descendants have deeply completed.
+    pub fn is_deeply_completed(&self, task: TaskId) -> bool {
+        self.entry(task).domain.lock().deeply_completed
+    }
+
+    /// `true` if the task has been reported ready (or executed).
+    pub fn is_scheduled(&self, task: TaskId) -> bool {
+        let entry = self.entry(task);
+        let Some(parent) = entry.parent else { return true };
+        let parent_entry = self.entry(parent);
+        let domain = parent_entry.domain.lock();
+        match domain.sched.get(entry.sched_in_parent as usize).and_then(Option::as_ref) {
+            // A recycled slot (or one reused by a later task) means this task deeply completed,
+            // which implies it was scheduled.
+            Some(sched) if sched.task == task => sched.scheduled,
+            _ => true,
         }
     }
 
-    /// Marks `task` deeply complete, completes its accesses if its wait mode deferred them, and
-    /// propagates to ancestors whose last live child this was.
-    fn deep_complete(&mut self, task: TaskId, queue: &mut VecDeque<Event>, effects: &mut Effects) {
-        debug_assert!(!self.tasks[task.0].deeply_completed);
-        debug_assert!(self.tasks[task.0].body_finished);
-        debug_assert_eq!(self.tasks[task.0].live_children, 0);
-        self.tasks[task.0].deeply_completed = true;
-        effects.deeply_completed.push(task);
+    /// The parent of `task`, if any.
+    pub fn parent(&self, task: TaskId) -> Option<TaskId> {
+        self.entry(task).parent
+    }
 
-        // Whatever has not completed yet completes now (Wait mode releases everything here;
-        // WeakWait may have residual fragments if a child declared less than it covered).
-        let access_ids = self.tasks[task.0].accesses.clone();
-        for access_id in access_ids {
-            let region = self.accesses[access_id.0].region;
-            queue.push_back(Event::Complete { access: access_id, parts: vec![region] });
-        }
+    /// Engine statistics (a snapshot of the internal atomic counters).
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
 
-        if let Some(parent) = self.tasks[task.0].parent {
-            let parent_node = &mut self.tasks[parent.0];
-            debug_assert!(parent_node.live_children > 0);
-            parent_node.live_children -= 1;
-            if parent_node.live_children == 0
-                && parent_node.body_finished
-                && !parent_node.deeply_completed
-            {
-                self.deep_complete(parent, queue, effects);
-            }
-        }
+    /// Number of tasks ever registered.
+    pub fn task_count(&self) -> usize {
+        self.next_task.load(Ordering::Relaxed)
+    }
+}
+
+/// Records that the new node covers parts of the domain owner's own accesses (used for the
+/// fine-grained hand-over of §V).
+fn register_parent_coverage(domain: &mut Domain, idx: u32, region: Region) {
+    let overlaps: Vec<(Region, u32)> = domain.own_map.query_vec(&region);
+    for (overlap, own_idx) in overlaps {
+        domain.own[own_idx as usize].child_coverage.increment(&overlap);
+        domain
+            .node_mut(idx)
+            .expect("node just allocated")
+            .parent_coverage
+            .push((own_idx, overlap));
+    }
+}
+
+/// Marks the (locked) domain's owner deeply complete and notifies the parent domain. The
+/// caller's message pump delivers the `ChildDone`, which completes the owner's remaining
+/// fragments in the parent's domain and may cascade further up.
+fn deep_complete_locked(
+    stats: &AtomicStats,
+    domain: &mut Domain,
+    effects: &mut Effects,
+    outbox: &mut VecDeque<Message>,
+) {
+    debug_assert!(!domain.deeply_completed);
+    debug_assert!(domain.body_finished);
+    debug_assert_eq!(domain.live_children, 0);
+    domain.deeply_completed = true;
+    AtomicStats::bump(&stats.tasks_deeply_completed, 1);
+    effects.deeply_completed.push(domain.owner);
+    if let Some(target) = domain.parent_arc() {
+        outbox.push_back(Message::ChildDone { target, child: domain.owner_entry() });
     }
 }
 
@@ -758,7 +1380,7 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            let mut engine = DependencyEngine::new();
+            let engine = DependencyEngine::new();
             let root = engine.register_root();
             Harness { engine, root, ready: Vec::new(), completed: Vec::new() }
         }
@@ -1231,6 +1853,66 @@ mod tests {
         assert_eq!(stats.accesses_registered, 3);
         assert!(stats.release_edges >= 1);
         assert!(stats.ready_at_registration >= 1);
+    }
+
+    /// Batch registration must be equivalent to a loop of single registrations.
+    #[test]
+    fn batch_registration_matches_sequential() {
+        let mut h = Harness::new();
+        let writer = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        let specs: Vec<(Vec<Depend>, WaitMode)> = vec![
+            (vec![dep(AccessType::In, A)], WaitMode::None),
+            (vec![dep(AccessType::InOut, B)], WaitMode::None),
+            (vec![dep(AccessType::In, A)], WaitMode::None),
+        ];
+        let normalized: Vec<(Vec<crate::access::NormalizedDep>, WaitMode)> = specs
+            .iter()
+            .map(|(deps, mode)| (normalize_deps(deps), *mode))
+            .collect();
+        let results = h.engine.register_batch(
+            h.root,
+            normalized.iter().map(|(deps, mode)| (deps.as_slice(), *mode)),
+        );
+        assert_eq!(results.len(), 3);
+        let (reader1, ready1) = results[0];
+        let (independent, ready2) = results[1];
+        let (reader2, ready3) = results[2];
+        assert!(!ready1, "readers of A wait for the writer");
+        assert!(ready2, "B is untouched: ready at registration");
+        assert!(!ready3);
+        h.finish(writer);
+        assert!(h.is_ready(reader1));
+        assert!(h.is_ready(reader2));
+        h.finish(reader1);
+        h.finish(reader2);
+        let effects = h.engine.body_finished(independent);
+        assert!(effects.deeply_completed.contains(&independent));
+    }
+
+    /// Engine slabs must recycle node and scheduling slots of deeply completed tasks.
+    #[test]
+    fn slots_are_recycled_after_deep_completion() {
+        let h = std::cell::RefCell::new(Harness::new());
+        for _ in 0..100 {
+            let t = {
+                let mut hh = h.borrow_mut();
+                hh.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None)
+            };
+            h.borrow_mut().finish(t);
+        }
+        let hh = h.borrow();
+        let root_entry = hh.engine.entry(hh.root);
+        let domain = root_entry.domain.lock();
+        assert!(
+            domain.nodes.len() < 20,
+            "node slab must recycle slots (got {} slots for 100 sequential tasks)",
+            domain.nodes.len()
+        );
+        assert!(
+            domain.sched.len() < 20,
+            "sched slab must recycle slots (got {} slots for 100 sequential tasks)",
+            domain.sched.len()
+        );
     }
 
     /// Randomised single-domain dependency check: execute tasks in any legal engine order and

@@ -72,11 +72,9 @@ mod runtime;
 
 pub use access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 pub use data::SharedSlice;
-pub use engine::{AccessId, DependencyEngine, Effects, EngineStats, TaskId};
+pub use engine::{DependencyEngine, Effects, EngineStats, TaskId};
 pub use observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx};
-#[doc(hidden)]
-pub use runtime::debug_register_timing;
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx, TaskSpec};
 
 /// Re-export of the region types used in dependency declarations.
 pub use weakdep_regions::{Region, SpaceId};

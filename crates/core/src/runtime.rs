@@ -20,8 +20,16 @@
 //! LIFO deque. This is the locality policy described in §VIII-A of the paper ("the scheduler …
 //! can use this information to dispatch a successor to the same core"), and is what produces the
 //! lower L2 miss ratios of the `nest-weak*` and `flat-depend` variants in Figure 3.
+//!
+//! # Concurrency structure
+//!
+//! The dependency engine is internally sharded (one lock per dependency domain, see
+//! `docs/locking.md`); the runtime holds **no** global lock. Spawning a task locks only the
+//! parent's domain; records of not-yet-ready tasks live in a striped [`PendingSlab`] indexed by
+//! the dense `TaskId`, and all scheduling (successor slot, deques, injector) happens after every
+//! engine lock has been dropped. [`TaskCtx::spawn_batch`] registers a whole wave of sibling
+//! tasks under a single domain-lock acquisition.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,8 +38,8 @@ use parking_lot::{Condvar, Mutex};
 use weakdep_regions::{Region, RegionSet};
 use weakdep_threadpool::{ThreadPool, WorkerContext};
 
-use crate::access::{AccessType, Depend, WaitMode};
-use crate::engine::{DependencyEngine, Effects, EngineStats, TaskId};
+use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
+use crate::engine::{DependencyEngine, Effects, TaskId};
 use crate::observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
 
 /// Configuration for [`Runtime::new`].
@@ -39,12 +47,18 @@ pub struct RuntimeConfig {
     workers: usize,
     observers: Vec<Arc<dyn RuntimeObserver>>,
     locality_scheduling: bool,
+    serialized_engine: bool,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        RuntimeConfig { workers, observers: Vec::new(), locality_scheduling: true }
+        RuntimeConfig {
+            workers,
+            observers: Vec::new(),
+            locality_scheduling: true,
+            serialized_engine: false,
+        }
     }
 }
 
@@ -75,13 +89,22 @@ impl RuntimeConfig {
         self.locality_scheduling = enabled;
         self
     }
+
+    /// Routes every dependency-engine operation (registration, body retirement, `release`)
+    /// through one global mutex, recreating the pre-sharding `Mutex<State>` serialisation. This
+    /// is an **ablation** for benchmarking the per-domain locking scheme against the old global
+    /// lock; leave it disabled for real workloads.
+    pub fn serialized_engine(mut self, enabled: bool) -> Self {
+        self.serialized_engine = enabled;
+        self
+    }
 }
 
 /// Snapshot of runtime-wide statistics.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
     /// Statistics of the dependency engine.
-    pub engine: EngineStats,
+    pub engine: crate::engine::EngineStats,
     /// Tasks executed by the worker pool.
     pub tasks_executed: usize,
     /// Ready tasks that were dispatched through the immediate-successor slot (locality hits).
@@ -108,10 +131,79 @@ pub(crate) struct TaskRecord {
     footprint: Vec<FootprintEntry>,
 }
 
-struct State {
-    engine: DependencyEngine,
-    /// Records of registered-but-not-yet-ready tasks, removed when they become ready.
-    pending: HashMap<TaskId, Arc<TaskRecord>>,
+/// Striped slab of records for registered-but-not-yet-ready tasks, keyed by the dense `TaskId`
+/// index — no hashing on the spawn/finish path, and no shared lock across stripes. Slots revert
+/// to `Vacant` once claimed, but the stripe vectors themselves grow with the high-water task id
+/// (~16 bytes per task ever spawned) for the runtime's lifetime, mirroring the engine's
+/// per-task entry retention.
+///
+/// Because registration (which files the record) and readiness (which claims it) race once the
+/// parent's domain lock has been dropped, each slot is a tiny two-phase handshake: whichever
+/// side arrives second is responsible for dispatching the task.
+struct PendingSlab {
+    stripes: Vec<Mutex<Vec<PendingSlot>>>,
+}
+
+#[derive(Default, Clone)]
+enum PendingSlot {
+    /// Nothing filed for this task (also the state after a hand-off completed).
+    #[default]
+    Vacant,
+    /// The spawner filed the record; the task is not ready yet.
+    Waiting(Arc<TaskRecord>),
+    /// The task became ready before the spawner filed the record; the spawner dispatches.
+    ReadyEarly,
+}
+
+const PENDING_STRIPES: usize = 64;
+
+impl PendingSlab {
+    fn new() -> Self {
+        PendingSlab {
+            stripes: (0..PENDING_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn slot(stripe: &mut Vec<PendingSlot>, id: TaskId) -> &mut PendingSlot {
+        let idx = id.0 / PENDING_STRIPES;
+        if stripe.len() <= idx {
+            stripe.resize(idx + 1, PendingSlot::Vacant);
+        }
+        &mut stripe[idx]
+    }
+
+    /// Files the record of a not-yet-ready task. Returns the record back if the task already
+    /// became ready in the meantime — the caller must dispatch it.
+    fn file(&self, id: TaskId, record: Arc<TaskRecord>) -> Option<Arc<TaskRecord>> {
+        let mut stripe = self.stripes[id.0 % PENDING_STRIPES].lock();
+        let slot = Self::slot(&mut stripe, id);
+        match std::mem::take(slot) {
+            PendingSlot::Vacant => {
+                *slot = PendingSlot::Waiting(record);
+                None
+            }
+            PendingSlot::ReadyEarly => Some(record),
+            PendingSlot::Waiting(_) => unreachable!("task {id:?} filed twice"),
+        }
+    }
+
+    /// Claims the record of a task that became ready. `None` means the spawner has not filed it
+    /// yet; the slot is marked so the spawner dispatches on arrival.
+    fn claim(&self, id: TaskId) -> Option<Arc<TaskRecord>> {
+        let mut stripe = self.stripes[id.0 % PENDING_STRIPES].lock();
+        let slot = Self::slot(&mut stripe, id);
+        match std::mem::take(slot) {
+            PendingSlot::Waiting(record) => Some(record),
+            PendingSlot::Vacant => {
+                *slot = PendingSlot::ReadyEarly;
+                None
+            }
+            PendingSlot::ReadyEarly => {
+                *slot = PendingSlot::ReadyEarly;
+                None
+            }
+        }
+    }
 }
 
 /// Cumulative phase timers (nanoseconds), kept with relaxed atomics: they are statistics, not
@@ -134,7 +226,14 @@ impl PhaseTimers {
 
 struct Inner {
     pool: ThreadPool<Arc<TaskRecord>>,
-    state: Mutex<State>,
+    engine: DependencyEngine,
+    /// `Some` only under the [`RuntimeConfig::serialized_engine`] ablation: one global lock
+    /// taken around every engine operation, emulating the pre-sharding design.
+    engine_serializer: Option<Mutex<()>>,
+    pending: PendingSlab,
+    /// Guards nothing but the completion wait (the engine has its own locks); exists because a
+    /// condvar needs a mutex.
+    completion_mutex: Mutex<()>,
     completion: Condvar,
     observers: Vec<Arc<dyn RuntimeObserver>>,
     panic_message: Mutex<Option<String>>,
@@ -161,7 +260,10 @@ impl Runtime {
             });
             Inner {
                 pool,
-                state: Mutex::new(State { engine: DependencyEngine::new(), pending: HashMap::new() }),
+                engine: DependencyEngine::new(),
+                engine_serializer: config.serialized_engine.then(|| Mutex::new(())),
+                pending: PendingSlab::new(),
+                completion_mutex: Mutex::new(()),
                 completion: Condvar::new(),
                 observers,
                 panic_message: Mutex::new(None),
@@ -191,27 +293,29 @@ impl Runtime {
     /// If any task body panics, the panic is captured, the remaining tasks are still executed
     /// (so the runtime stays consistent) and the panic is re-raised here.
     pub fn run<R>(&self, body: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
-        let root_id = { self.inner.state.lock().engine.register_root() };
+        let root_id = self.inner.engine.register_root();
         let root_record = Arc::new(TaskRecord {
             id: root_id,
             label: "root",
             body: Mutex::new(None),
             footprint: Vec::new(),
         });
-        let ctx = TaskCtx { inner: &self.inner, record: root_record.clone(), worker: None };
+        let ctx = TaskCtx { inner: &self.inner, record: root_record, worker: None };
         let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
 
-        let effects = { self.inner.state.lock().engine.body_finished(root_id) };
+        let effects = {
+            let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
+            self.inner.engine.body_finished(root_id)
+        };
         schedule_effects(&self.inner, effects, None);
-        let _ = &root_record;
 
         // Wait until the root (and therefore every descendant) deeply completes.
         {
-            let mut state = self.inner.state.lock();
-            while !state.engine.is_deeply_completed(root_id) {
+            let mut guard = self.inner.completion_mutex.lock();
+            while !self.inner.engine.is_deeply_completed(root_id) {
                 self.inner
                     .completion
-                    .wait_for(&mut state, Duration::from_millis(2));
+                    .wait_for(&mut guard, Duration::from_millis(2));
             }
         }
 
@@ -227,10 +331,9 @@ impl Runtime {
     /// Runtime-wide statistics (dependency engine + scheduler counters).
     pub fn stats(&self) -> RuntimeStats {
         use std::sync::atomic::Ordering;
-        let engine = self.inner.state.lock().engine.stats().clone();
         let pool_stats = self.inner.pool.stats();
         RuntimeStats {
-            engine,
+            engine: self.inner.engine.stats(),
             tasks_executed: pool_stats.executed.load(Ordering::Relaxed),
             successor_slot_hits: pool_stats.from_successor_slot.load(Ordering::Relaxed),
             local_pops: pool_stats.from_local.load(Ordering::Relaxed),
@@ -260,13 +363,7 @@ pub struct TaskCtx<'a> {
 impl<'a> TaskCtx<'a> {
     /// Starts building a child task of the current task.
     pub fn task(&self) -> TaskBuilder<'_> {
-        TaskBuilder {
-            ctx: self,
-            deps: Vec::new(),
-            hints: Vec::new(),
-            wait_mode: WaitMode::None,
-            label: "task",
-        }
+        TaskBuilder { ctx: self, spec: TaskSpec::new() }
     }
 
     /// The current task's identifier.
@@ -290,29 +387,69 @@ impl<'a> TaskCtx<'a> {
         self.inner.pool.worker_count()
     }
 
+    /// Registers a whole wave of sibling tasks under a **single** acquisition of the parent's
+    /// domain lock, amortising lock traffic for loop-spawn patterns (build the specs with
+    /// [`TaskBuilder::stage`]). Ready tasks are dispatched in batch after the lock is dropped.
+    /// Returns the new task ids in order.
+    pub fn spawn_batch(&self, specs: Vec<TaskSpec>) -> Vec<TaskId> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let spawn_start = Instant::now();
+        let normalized: Vec<Vec<NormalizedDep>> =
+            specs.iter().map(|spec| normalize_deps(&spec.deps)).collect();
+        let registered = {
+            let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
+            self.inner.engine.register_batch(
+                self.record.id,
+                normalized
+                    .iter()
+                    .zip(&specs)
+                    .map(|(norm, spec)| (norm.as_slice(), spec.wait_mode)),
+            )
+        };
+
+        let mut ids = Vec::with_capacity(specs.len());
+        let mut ready_records = Vec::new();
+        for ((spec, norm), (id, ready)) in specs.into_iter().zip(normalized).zip(registered) {
+            let record = finish_spawn(self, spec, norm, id, ready);
+            if let Some(record) = record {
+                ready_records.push(record);
+            }
+            ids.push(id);
+        }
+        match self.worker {
+            Some(worker) => {
+                for record in ready_records {
+                    worker.push_local(record);
+                }
+            }
+            None => self.inner.pool.submit_batch(ready_records),
+        }
+        PhaseTimers::add(&self.inner.timers.spawn_ns, spawn_start);
+        ids
+    }
+
     /// The OpenMP `taskwait`: blocks until every *direct child* created so far by the current
     /// task has deeply completed. While waiting, the calling worker keeps executing other ready
     /// tasks (work-conserving wait), so `taskwait` never deadlocks the pool.
     pub fn taskwait(&self) {
         loop {
-            {
-                let state = self.inner.state.lock();
-                if state.engine.live_children(self.record.id) == 0 {
-                    return;
-                }
+            if self.inner.engine.live_children(self.record.id) == 0 {
+                return;
             }
             if let Some(worker) = self.worker {
                 if worker.help_one() {
                     continue;
                 }
             }
-            let mut state = self.inner.state.lock();
-            if state.engine.live_children(self.record.id) == 0 {
+            let mut guard = self.inner.completion_mutex.lock();
+            if self.inner.engine.live_children(self.record.id) == 0 {
                 return;
             }
             self.inner
                 .completion
-                .wait_for(&mut state, Duration::from_millis(1));
+                .wait_for(&mut guard, Duration::from_millis(1));
         }
     }
 
@@ -323,7 +460,10 @@ impl<'a> TaskCtx<'a> {
     /// Tasks made ready here are pushed onto the local deque (not the immediate-successor slot):
     /// the current task is still running, so other workers must be able to steal them.
     pub fn release(&self, region: Region) {
-        let effects = { self.inner.state.lock().engine.release_region(self.record.id, region) };
+        let effects = {
+            let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
+            self.inner.engine.release_region(self.record.id, region)
+        };
         schedule_effects(self.inner, effects, self.worker.map(|w| (w, false)));
     }
 
@@ -359,16 +499,35 @@ fn covered_by(footprint: &[FootprintEntry], region: &Region, needs_write: bool) 
     qualifying.contains_all(region)
 }
 
-/// Builder for a child task; mirrors the clauses of the extended `task` construct.
-pub struct TaskBuilder<'a> {
-    ctx: &'a TaskCtx<'a>,
+/// A fully described child task, detached from any context: dependencies, clauses, label and
+/// body. Build one with [`TaskSpec::new`] + the builder methods, or via [`TaskBuilder::stage`];
+/// submit a wave of them with [`TaskCtx::spawn_batch`].
+pub struct TaskSpec {
     deps: Vec<Depend>,
     hints: Vec<FootprintEntry>,
     wait_mode: WaitMode,
     label: &'static str,
+    body: Option<BodyFn>,
 }
 
-impl<'a> TaskBuilder<'a> {
+impl Default for TaskSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskSpec {
+    /// An empty spec: no dependencies, default wait mode, label `"task"`, no body yet.
+    pub fn new() -> Self {
+        TaskSpec {
+            deps: Vec::new(),
+            hints: Vec::new(),
+            wait_mode: WaitMode::None,
+            label: "task",
+            body: None,
+        }
+    }
+
     /// Adds a dependency with an explicit access type.
     pub fn depend(mut self, access: AccessType, region: Region) -> Self {
         self.deps.push(Depend::new(access, region));
@@ -405,13 +564,13 @@ impl<'a> TaskBuilder<'a> {
         self.depend(AccessType::WeakInOut, region)
     }
 
-    /// The `wait` clause (§IV): perform a detached taskwait when the body exits.
+    /// The `wait` clause (§IV).
     pub fn wait(mut self) -> Self {
         self.wait_mode = WaitMode::Wait;
         self
     }
 
-    /// The `weakwait` clause (§V): release dependencies incrementally once the body exits.
+    /// The `weakwait` clause (§V).
     pub fn weakwait(mut self) -> Self {
         self.wait_mode = WaitMode::WeakWait;
         self
@@ -430,64 +589,168 @@ impl<'a> TaskBuilder<'a> {
     }
 
     /// Declares a region the task will touch *without* creating a dependency on it.
-    ///
-    /// This exists for codes that coordinate through explicit synchronisation instead of
-    /// dependencies (e.g. the paper's `flat-taskwait` baseline): the data accessors and the
-    /// observers (cache model, traces) still see the footprint, but the dependency engine does
-    /// not order anything on it.
     pub fn footprint_hint(mut self, region: Region, write: bool) -> Self {
         self.hints.push(FootprintEntry { region, write, weak: false });
         self
     }
 
+    /// Attaches the task body.
+    pub fn body(mut self, body: impl FnOnce(&TaskCtx<'_>) + Send + 'static) -> Self {
+        self.body = Some(Box::new(body));
+        self
+    }
+}
+
+/// Builder for a child task; mirrors the clauses of the extended `task` construct.
+pub struct TaskBuilder<'a> {
+    ctx: &'a TaskCtx<'a>,
+    spec: TaskSpec,
+}
+
+impl<'a> TaskBuilder<'a> {
+    /// Applies one [`TaskSpec`] builder step (the spec holds the single implementation of
+    /// every clause; the builder only forwards).
+    fn map(mut self, f: impl FnOnce(TaskSpec) -> TaskSpec) -> Self {
+        self.spec = f(self.spec);
+        self
+    }
+
+    /// Adds a dependency with an explicit access type.
+    pub fn depend(self, access: AccessType, region: Region) -> Self {
+        self.map(|spec| spec.depend(access, region))
+    }
+
+    /// `depend(in: region)` — the task reads the region.
+    pub fn input(self, region: Region) -> Self {
+        self.map(|spec| spec.input(region))
+    }
+
+    /// `depend(out: region)` — the task writes the region.
+    pub fn output(self, region: Region) -> Self {
+        self.map(|spec| spec.output(region))
+    }
+
+    /// `depend(inout: region)` — the task reads and writes the region.
+    pub fn inout(self, region: Region) -> Self {
+        self.map(|spec| spec.inout(region))
+    }
+
+    /// `depend(weakin: region)` — only subtasks read the region (§VI).
+    pub fn weak_input(self, region: Region) -> Self {
+        self.map(|spec| spec.weak_input(region))
+    }
+
+    /// `depend(weakout: region)` — only subtasks write the region (§VI).
+    pub fn weak_output(self, region: Region) -> Self {
+        self.map(|spec| spec.weak_output(region))
+    }
+
+    /// `depend(weakinout: region)` — only subtasks read/write the region (§VI).
+    pub fn weak_inout(self, region: Region) -> Self {
+        self.map(|spec| spec.weak_inout(region))
+    }
+
+    /// The `wait` clause (§IV): perform a detached taskwait when the body exits.
+    pub fn wait(self) -> Self {
+        self.map(TaskSpec::wait)
+    }
+
+    /// The `weakwait` clause (§V): release dependencies incrementally once the body exits.
+    pub fn weakwait(self) -> Self {
+        self.map(TaskSpec::weakwait)
+    }
+
+    /// Sets an explicit wait mode.
+    pub fn wait_mode(self, mode: WaitMode) -> Self {
+        self.map(|spec| spec.wait_mode(mode))
+    }
+
+    /// Labels the task (used by traces, timelines and error messages).
+    pub fn label(self, label: &'static str) -> Self {
+        self.map(|spec| spec.label(label))
+    }
+
+    /// Declares a region the task will touch *without* creating a dependency on it.
+    ///
+    /// This exists for codes that coordinate through explicit synchronisation instead of
+    /// dependencies (e.g. the paper's `flat-taskwait` baseline): the data accessors and the
+    /// observers (cache model, traces) still see the footprint, but the dependency engine does
+    /// not order anything on it.
+    pub fn footprint_hint(self, region: Region, write: bool) -> Self {
+        self.map(|spec| spec.footprint_hint(region, write))
+    }
+
+    /// Detaches the builder into a [`TaskSpec`] carrying `body`, for batched submission with
+    /// [`TaskCtx::spawn_batch`].
+    pub fn stage(self, body: impl FnOnce(&TaskCtx<'_>) + Send + 'static) -> TaskSpec {
+        self.spec.body(body)
+    }
+
     /// Creates the task. The body runs asynchronously once all strong dependencies are
     /// satisfied. Returns the new task's id.
     pub fn spawn(self, body: impl FnOnce(&TaskCtx<'_>) + Send + 'static) -> TaskId {
-        let TaskBuilder { ctx, deps, hints, wait_mode, label } = self;
+        let TaskBuilder { ctx, spec } = self;
+        let spec = spec.body(body);
         let spawn_start = Instant::now();
-        let mut footprint: Vec<FootprintEntry> = crate::access::normalize_deps(&deps)
-            .into_iter()
-            .map(|d| FootprintEntry { region: d.region, write: d.is_write, weak: d.weak })
-            .collect();
-        footprint.extend(hints);
-
-        let lock_start = Instant::now();
-        let (record, ready) = {
-            let mut state = ctx.inner.state.lock();
-            let lock_acquired = Instant::now();
-            let (id, ready) = state.engine.register_task(ctx.record.id, &deps, wait_mode);
-            eprintln_timing(lock_start, lock_acquired);
-            let record = Arc::new(TaskRecord {
-                id,
-                label,
-                body: Mutex::new(Some(Box::new(body))),
-                footprint,
-            });
-            if !ready {
-                state.pending.insert(id, Arc::clone(&record));
-            }
-            (record, ready)
+        let normalized = normalize_deps(&spec.deps);
+        let (id, ready) = {
+            let _serial = ctx.inner.engine_serializer.as_ref().map(Mutex::lock);
+            ctx.inner.engine.register_task_normalized(ctx.record.id, &normalized, spec.wait_mode)
         };
-
-        let info = TaskInfo {
-            id: record.id,
-            label,
-            parent: Some(ctx.record.id),
-            footprint: &record.footprint,
-            ready_at_creation: ready,
-        };
-        for obs in &ctx.inner.observers {
-            obs.task_created(&info);
-        }
-
-        if ready {
+        let record = finish_spawn(ctx, spec, normalized, id, ready);
+        if let Some(record) = record {
             match ctx.worker {
-                Some(worker) => worker.push_local(Arc::clone(&record)),
-                None => ctx.inner.pool.submit(Arc::clone(&record)),
+                Some(worker) => worker.push_local(record),
+                None => ctx.inner.pool.submit(record),
             }
         }
         PhaseTimers::add(&ctx.inner.timers.spawn_ns, spawn_start);
-        record.id
+        id
+    }
+}
+
+/// Builds the record for a freshly registered task, notifies observers, and files the record if
+/// the task is not ready yet. Returns the record when the caller must dispatch it — either the
+/// task was ready at registration, or it became ready while the record was being built (the
+/// [`PendingSlab`] handshake).
+fn finish_spawn(
+    ctx: &TaskCtx<'_>,
+    spec: TaskSpec,
+    normalized: Vec<NormalizedDep>,
+    id: TaskId,
+    ready: bool,
+) -> Option<Arc<TaskRecord>> {
+    let TaskSpec { deps: _, hints, wait_mode: _, label, body } = spec;
+    let mut footprint: Vec<FootprintEntry> = normalized
+        .into_iter()
+        .map(|d| FootprintEntry { region: d.region, write: d.is_write, weak: d.weak })
+        .collect();
+    footprint.extend(hints);
+
+    let record = Arc::new(TaskRecord {
+        id,
+        label,
+        body: Mutex::new(body),
+        footprint,
+    });
+
+    let info = TaskInfo {
+        id,
+        label,
+        parent: Some(ctx.record.id),
+        footprint: &record.footprint,
+        ready_at_creation: ready,
+    };
+    for obs in &ctx.inner.observers {
+        obs.task_created(&info);
+    }
+
+    if ready {
+        Some(record)
+    } else {
+        // The task may have become ready between registration and now; `file` hands the record
+        // back in that case and the spawner dispatches it itself.
+        ctx.inner.pending.file(id, record)
     }
 }
 
@@ -524,23 +787,12 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
     }
 
     let retire_start = Instant::now();
-    let effects = { inner.state.lock().engine.body_finished(record.id) };
+    let effects = {
+        let _serial = inner.engine_serializer.as_ref().map(Mutex::lock);
+        inner.engine.body_finished(record.id)
+    };
     schedule_effects(inner, effects, Some((wctx, true)));
     PhaseTimers::add(&inner.timers.retire_ns, retire_start);
-}
-
-#[doc(hidden)]
-static REG_WAIT_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-#[doc(hidden)]
-static REG_HELD_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-fn eprintln_timing(lock_start: Instant, lock_acquired: Instant) {
-    REG_WAIT_NS.fetch_add((lock_acquired - lock_start).as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
-    REG_HELD_NS.fetch_add(lock_acquired.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
-}
-#[doc(hidden)]
-/// Internal debugging helper: (lock wait ns, engine register ns) accumulated across all spawns.
-pub fn debug_register_timing() -> (u64, u64) {
-    (REG_WAIT_NS.load(std::sync::atomic::Ordering::Relaxed), REG_HELD_NS.load(std::sync::atomic::Ordering::Relaxed))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -555,7 +807,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Applies engine effects: wakes `taskwait`/`run` waiters and schedules newly ready tasks.
+/// Applies engine effects: wakes `taskwait`/`run` waiters and schedules newly ready tasks. Runs
+/// strictly after every engine lock has been dropped (the effects were accumulated and returned
+/// by the engine call).
 ///
 /// When the effects come from a finished body (`use_successor_slot == true`), the first ready
 /// task goes to the releasing worker's immediate-successor slot (temporal locality, §VIII-A) and
@@ -573,30 +827,26 @@ fn schedule_effects(
     if effects.ready.is_empty() {
         return;
     }
-    let records: Vec<Arc<TaskRecord>> = {
-        let mut state = inner.state.lock();
-        effects
-            .ready
-            .iter()
-            .filter_map(|id| state.pending.remove(id))
-            .collect()
-    };
+    // Claim eagerly: the claims take pending-stripe locks, and the batch submission below holds
+    // the injector's queue lock — feeding it a lazy iterator would nest the former inside the
+    // latter.
+    let records: Vec<Arc<TaskRecord>> =
+        effects.ready.iter().filter_map(|id| inner.pending.claim(*id)).collect();
     match worker {
         Some((wctx, use_successor_slot)) if inner.locality_scheduling => {
-            let mut iter = records.into_iter();
+            let mut records = records.into_iter();
             if use_successor_slot {
-                if let Some(first) = iter.next() {
+                if let Some(first) = records.next() {
                     wctx.schedule_next(first);
                 }
             }
-            for record in iter {
+            for record in records {
                 wctx.push_local(record);
             }
         }
         _ => {
-            for record in records {
-                inner.pool.submit(record);
-            }
+            // One injector operation and one wake signal for the whole wave.
+            inner.pool.submit_batch(records);
         }
     }
 }
@@ -875,5 +1125,65 @@ mod tests {
             });
             assert_eq!(counter.load(Ordering::SeqCst), round + 1);
         }
+    }
+
+    #[test]
+    fn spawn_batch_runs_all_tasks_and_respects_dependencies() {
+        let rt = Runtime::with_workers(4);
+        let data = SharedSlice::<u64>::new(64);
+        let d = data.clone();
+        rt.run(move |ctx| {
+            // Wave 1: initialise every cell (batched).
+            let d2 = d.clone();
+            let init: Vec<TaskSpec> = (0..64usize)
+                .map(|i| {
+                    let d3 = d2.clone();
+                    ctx.task()
+                        .output(d2.region(i..i + 1))
+                        .label("init")
+                        .stage(move |t| {
+                            d3.write(t, i..i + 1)[0] = i as u64;
+                        })
+                })
+                .collect();
+            let ids = ctx.spawn_batch(init);
+            assert_eq!(ids.len(), 64);
+            // Wave 2: double every cell (batched, depends per cell on wave 1).
+            let d2 = d.clone();
+            let double: Vec<TaskSpec> = (0..64usize)
+                .map(|i| {
+                    let d3 = d2.clone();
+                    ctx.task()
+                        .inout(d2.region(i..i + 1))
+                        .label("double")
+                        .stage(move |t| {
+                            d3.write(t, i..i + 1)[0] *= 2;
+                        })
+                })
+                .collect();
+            ctx.spawn_batch(double);
+        });
+        let result = data.snapshot();
+        for (i, v) in result.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn spawn_batch_from_root_context_uses_injector() {
+        let rt = Runtime::with_workers(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        rt.run(|ctx| {
+            let specs: Vec<TaskSpec> = (0..100)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    ctx.task().label("batched").stage(move |_| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            ctx.spawn_batch(specs);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use weakdep_core::{Runtime, SharedSlice, TaskCtx};
+use weakdep_core::{Runtime, SharedSlice, TaskCtx, TaskSpec};
 
 use crate::KernelRun;
 
@@ -126,25 +126,30 @@ impl AxpyConfig {
     }
 }
 
-/// Spawns the block tasks of one axpy call as children of `ctx`.
+/// Spawns the block tasks of one axpy call as children of `ctx`, as a single batched wave (one
+/// dependency-domain lock acquisition for the whole call).
 fn spawn_blocks(ctx: &TaskCtx<'_>, x: &SharedSlice<f64>, y: &SharedSlice<f64>, cfg: &AxpyConfig) {
     let n = cfg.n;
     let alpha = cfg.alpha;
-    for start in (0..n).step_by(cfg.task_size) {
-        let end = (start + cfg.task_size).min(n);
-        let (xi, yi) = (x.clone(), y.clone());
-        ctx.task()
-            .input(x.region(start..end))
-            .inout(y.region(start..end))
-            .label("axpy-block")
-            .spawn(move |t| {
-                let xs = xi.read(t, start..end);
-                let ys = yi.write(t, start..end);
-                for (yv, xv) in ys.iter_mut().zip(xs) {
-                    *yv += alpha * *xv;
-                }
-            });
-    }
+    let specs: Vec<TaskSpec> = (0..n)
+        .step_by(cfg.task_size)
+        .map(|start| {
+            let end = (start + cfg.task_size).min(n);
+            let (xi, yi) = (x.clone(), y.clone());
+            ctx.task()
+                .input(x.region(start..end))
+                .inout(y.region(start..end))
+                .label("axpy-block")
+                .stage(move |t| {
+                    let xs = xi.read(t, start..end);
+                    let ys = yi.write(t, start..end);
+                    for (yv, xv) in ys.iter_mut().zip(xs) {
+                        *yv += alpha * *xv;
+                    }
+                })
+        })
+        .collect();
+    ctx.spawn_batch(specs);
 }
 
 /// Spawns the block tasks of one call *without any dependencies* (the `flat-taskwait` variant:
@@ -157,23 +162,27 @@ fn spawn_blocks_without_deps(
 ) {
     let n = cfg.n;
     let alpha = cfg.alpha;
-    for start in (0..n).step_by(cfg.task_size) {
-        let end = (start + cfg.task_size).min(n);
-        let (xi, yi) = (x.clone(), y.clone());
-        // The footprint hints let the cache model and the accessors see what the task touches,
-        // without registering any dependency (the paper's variant declares none).
-        ctx.task()
-            .footprint_hint(x.region(start..end), false)
-            .footprint_hint(y.region(start..end), true)
-            .label("axpy-block")
-            .spawn(move |t| {
-                let xs = xi.read(t, start..end);
-                let ys = yi.write(t, start..end);
-                for (yv, xv) in ys.iter_mut().zip(xs) {
-                    *yv += alpha * *xv;
-                }
-            });
-    }
+    let specs: Vec<TaskSpec> = (0..n)
+        .step_by(cfg.task_size)
+        .map(|start| {
+            let end = (start + cfg.task_size).min(n);
+            let (xi, yi) = (x.clone(), y.clone());
+            // The footprint hints let the cache model and the accessors see what the task
+            // touches, without registering any dependency (the paper's variant declares none).
+            ctx.task()
+                .footprint_hint(x.region(start..end), false)
+                .footprint_hint(y.region(start..end), true)
+                .label("axpy-block")
+                .stage(move |t| {
+                    let xs = xi.read(t, start..end);
+                    let ys = yi.write(t, start..end);
+                    for (yv, xv) in ys.iter_mut().zip(xs) {
+                        *yv += alpha * *xv;
+                    }
+                })
+        })
+        .collect();
+    ctx.spawn_batch(specs);
 }
 
 /// Runs the Multiple AXPY benchmark in the given variant on `rt`, using the provided vectors
@@ -203,26 +212,16 @@ pub fn run_on(
                         .weakwait()
                         .label("axpy-outer")
                         .spawn(move |outer| {
-                            let n = cfg.n;
-                            let alpha = cfg.alpha;
-                            for start in (0..n).step_by(cfg.task_size) {
-                                let end = (start + cfg.task_size).min(n);
-                                let (xi, yi) = (xo.clone(), yo.clone());
-                                outer
-                                    .task()
-                                    .input(xo.region(start..end))
-                                    .inout(yo.region(start..end))
-                                    .label("axpy-block")
-                                    .spawn(move |t| {
-                                        let xs = xi.read(t, start..end);
-                                        let ys = yi.write(t, start..end);
-                                        for (yv, xv) in ys.iter_mut().zip(xs) {
-                                            *yv += alpha * *xv;
-                                        }
-                                    });
-                                if release {
-                                    // nest-weak-release: the outer task asserts it will no longer
-                                    // reference this block (§V release directive).
+                            // One batched wave per call: all block tasks register under a single
+                            // acquisition of the outer task's domain lock.
+                            spawn_blocks(outer, &xo, &yo, &cfg);
+                            if release {
+                                // nest-weak-release: the outer task asserts it will no longer
+                                // reference the blocks it has created tasks for (§V release
+                                // directive).
+                                let n = cfg.n;
+                                for start in (0..n).step_by(cfg.task_size) {
+                                    let end = (start + cfg.task_size).min(n);
                                     outer.release(xo.region(start..end));
                                     outer.release(yo.region(start..end));
                                 }

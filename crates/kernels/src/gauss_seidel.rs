@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use weakdep_core::{Runtime, SharedSlice, TaskCtx};
+use weakdep_core::{Runtime, SharedSlice, TaskCtx, TaskSpec};
 
 use crate::KernelRun;
 
@@ -182,60 +182,49 @@ pub fn tile_kernel(center: &mut [f64], top: &[f64], left: &[f64], right: &[f64],
     }
 }
 
-/// Spawns the block tasks of one iteration as children of `ctx` (Listing 6's inner loop).
+/// The staged spec of one tile task (the body of Listing 6's inner loop).
+fn tile_spec(ctx: &TaskCtx<'_>, grid: &Grid, bi: usize, bj: usize) -> TaskSpec {
+    let ts = grid.cfg.ts;
+    let g = grid.clone();
+    let data = grid.data();
+    ctx.task()
+        .input(data.region(grid.block_range(bi - 1, bj))) // top
+        .input(data.region(grid.block_range(bi, bj - 1))) // left
+        .inout(data.region(grid.block_range(bi, bj))) // center
+        .input(data.region(grid.block_range(bi, bj + 1))) // right
+        .input(data.region(grid.block_range(bi + 1, bj))) // bottom
+        .label("gs-tile")
+        .stage(move |t| {
+            let d = g.data();
+            let center = d.write(t, g.block_range(bi, bj));
+            let top = d.read(t, g.block_range(bi - 1, bj));
+            let left = d.read(t, g.block_range(bi, bj - 1));
+            let right = d.read(t, g.block_range(bi, bj + 1));
+            let bottom = d.read(t, g.block_range(bi + 1, bj));
+            tile_kernel(center, top, left, right, bottom, ts);
+        })
+}
+
+/// Spawns the block tasks of one iteration as children of `ctx` (Listing 6's inner loop), as a
+/// single batched wave per iteration (one domain-lock acquisition for `blocks²` tasks).
 fn spawn_iteration(ctx: &TaskCtx<'_>, grid: &Grid) {
     let cfg = grid.cfg;
-    let ts = cfg.ts;
-    for bi in 1..=cfg.blocks {
-        for bj in 1..=cfg.blocks {
-            let g = grid.clone();
-            let data = grid.data();
-            ctx.task()
-                .input(data.region(grid.block_range(bi - 1, bj))) // top
-                .input(data.region(grid.block_range(bi, bj - 1))) // left
-                .inout(data.region(grid.block_range(bi, bj))) // center
-                .input(data.region(grid.block_range(bi, bj + 1))) // right
-                .input(data.region(grid.block_range(bi + 1, bj))) // bottom
-                .label("gs-tile")
-                .spawn(move |t| {
-                    let d = g.data();
-                    let center = d.write(t, g.block_range(bi, bj));
-                    let top = d.read(t, g.block_range(bi - 1, bj));
-                    let left = d.read(t, g.block_range(bi, bj - 1));
-                    let right = d.read(t, g.block_range(bi, bj + 1));
-                    let bottom = d.read(t, g.block_range(bi + 1, bj));
-                    tile_kernel(center, top, left, right, bottom, ts);
-                });
-        }
-    }
+    let specs: Vec<TaskSpec> = (1..=cfg.blocks)
+        .flat_map(|bi| (1..=cfg.blocks).map(move |bj| (bi, bj)))
+        .map(|(bi, bj)| tile_spec(ctx, grid, bi, bj))
+        .collect();
+    ctx.spawn_batch(specs);
 }
 
 /// Like [`spawn_iteration`] but additionally issues the `release` directive over each horizontal
-/// panel of blocks once no future subtask of this iteration can reference it.
+/// panel of blocks once no future subtask of this iteration can reference it. Tasks batch per
+/// row so the releases keep their place in the spawn order.
 fn spawn_iteration_with_release(ctx: &TaskCtx<'_>, grid: &Grid) {
     let cfg = grid.cfg;
-    let ts = cfg.ts;
     for bi in 1..=cfg.blocks {
-        for bj in 1..=cfg.blocks {
-            let g = grid.clone();
-            let data = grid.data();
-            ctx.task()
-                .input(data.region(grid.block_range(bi - 1, bj)))
-                .input(data.region(grid.block_range(bi, bj - 1)))
-                .inout(data.region(grid.block_range(bi, bj)))
-                .input(data.region(grid.block_range(bi, bj + 1)))
-                .input(data.region(grid.block_range(bi + 1, bj)))
-                .label("gs-tile")
-                .spawn(move |t| {
-                    let d = g.data();
-                    let center = d.write(t, g.block_range(bi, bj));
-                    let top = d.read(t, g.block_range(bi - 1, bj));
-                    let left = d.read(t, g.block_range(bi, bj - 1));
-                    let right = d.read(t, g.block_range(bi, bj + 1));
-                    let bottom = d.read(t, g.block_range(bi + 1, bj));
-                    tile_kernel(center, top, left, right, bottom, ts);
-                });
-        }
+        let specs: Vec<TaskSpec> =
+            (1..=cfg.blocks).map(|bj| tile_spec(ctx, grid, bi, bj)).collect();
+        ctx.spawn_batch(specs);
         // Rows strictly above bi-1 are no longer referenced by the remaining (future) subtasks of
         // this iteration: row bi+1 tasks read rows bi..bi+2 only.
         if bi >= 2 {

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use weakdep_core::{Runtime, SharedSlice, TaskCtx};
+use weakdep_core::{Runtime, SharedSlice, TaskCtx, TaskSpec};
 
 use crate::KernelRun;
 
@@ -114,10 +114,8 @@ fn partition(data: &mut [Elem]) -> usize {
         }
     }
     let split = (less.len() + equal.len()).clamp(1, n - 1);
-    let mut cursor = 0;
-    for value in less.into_iter().chain(equal).chain(greater) {
+    for (cursor, value) in less.into_iter().chain(equal).chain(greater).enumerate() {
         data[cursor] = value;
-        cursor += 1;
     }
     split
 }
@@ -209,33 +207,23 @@ fn prefix_sum(
     }
     // Base case: a single task scanning the strided elements.
     if n <= ts * stride {
-        if n <= stride {
-            return;
+        if let Some(spec) = scan_block_spec(ctx, data, offset, n, stride) {
+            ctx.spawn_batch(vec![spec]);
         }
-        let d = data.clone();
-        ctx.task()
-            .input(data.region(offset..offset + 1))
-            .inout(data.region(offset + stride..offset + n))
-            .label("prefix_sum")
-            .spawn(move |t| {
-                let mut i = stride;
-                while i < n {
-                    let prev = d.read(t, offset + i - stride..offset + i - stride + 1)[0];
-                    d.write(t, offset + i..offset + i + 1)[0] += prev;
-                    i += stride;
-                }
-            });
         return;
     }
 
-    // Compute the blocks independently (plain recursive calls producing base-case tasks).
+    // Compute the blocks independently, as one batched wave of base-case tasks (a single
+    // domain-lock acquisition for the whole level).
     let block = ts * stride;
+    let mut specs: Vec<TaskSpec> = Vec::new();
     let mut i = 0;
     while i < n {
         let size = block.min(n - i);
-        prefix_sum(ctx, data, offset + i, size, ts, stride, weak);
+        specs.extend(scan_block_spec(ctx, data, offset + i, size, stride));
         i += block;
     }
+    ctx.spawn_batch(specs);
 
     // Index of the last element of the first block.
     let substart = (ts - 1) * stride;
@@ -258,25 +246,59 @@ fn prefix_sum(
         });
     }
 
-    // Accumulate the last element of each block over the elements of the following block.
+    // Accumulate the last element of each block over the elements of the following block
+    // (batched: the accumulation tasks of one level register together).
+    let mut specs: Vec<TaskSpec> = Vec::new();
     let mut i = substart;
     while i + stride < n {
         let size = block.min(n - i);
         let d = data.clone();
-        ctx.task()
-            .input(data.region(offset + i..offset + i + 1))
-            .inout(data.region(offset + i + stride..offset + i + size))
-            .label("accumulation")
-            .spawn(move |t| {
-                let carry = d.read(t, offset + i..offset + i + 1)[0];
-                let mut j = stride;
-                while j < size {
-                    d.write(t, offset + i + j..offset + i + j + 1)[0] += carry;
-                    j += stride;
-                }
-            });
+        specs.push(
+            ctx.task()
+                .input(data.region(offset + i..offset + i + 1))
+                .inout(data.region(offset + i + stride..offset + i + size))
+                .label("accumulation")
+                .stage(move |t| {
+                    let carry = d.read(t, offset + i..offset + i + 1)[0];
+                    let mut j = stride;
+                    while j < size {
+                        d.write(t, offset + i + j..offset + i + j + 1)[0] += carry;
+                        j += stride;
+                    }
+                }),
+        );
         i += block;
     }
+    ctx.spawn_batch(specs);
+}
+
+/// The staged spec of one base-case scan task (`None` when the strided block has at most one
+/// element and there is nothing to scan).
+fn scan_block_spec(
+    ctx: &TaskCtx<'_>,
+    data: &SharedSlice<Elem>,
+    offset: usize,
+    n: usize,
+    stride: usize,
+) -> Option<TaskSpec> {
+    if n <= stride {
+        return None;
+    }
+    let d = data.clone();
+    Some(
+        ctx.task()
+            .input(data.region(offset..offset + 1))
+            .inout(data.region(offset + stride..offset + n))
+            .label("prefix_sum")
+            .stage(move |t| {
+                let mut i = stride;
+                while i < n {
+                    let prev = d.read(t, offset + i - stride..offset + i - stride + 1)[0];
+                    d.write(t, offset + i..offset + i + 1)[0] += prev;
+                    i += stride;
+                }
+            }),
+    )
 }
 
 /// Runs the full benchmark (quicksort, then prefix sum, over the same array) in the given

@@ -137,13 +137,11 @@ impl<T: Send + 'static> ThreadPool<T> {
         self.shared.sleep.notify_one();
     }
 
-    /// Submits many jobs at once, waking as many workers as needed.
+    /// Submits many jobs at once, waking as many workers as needed. The whole wave enters the
+    /// injector in one operation, and the sleep protocol is signalled once.
     pub fn submit_batch(&self, jobs: impl IntoIterator<Item = T>) {
         let mut count = 0usize;
-        for job in jobs {
-            self.shared.injector.push(job);
-            count += 1;
-        }
+        self.shared.injector.push_batch(jobs.into_iter().inspect(|_| count += 1));
         if count > 0 {
             self.shared.sleep.notify_many(count);
         }
@@ -155,13 +153,24 @@ impl<T: Send + 'static> ThreadPool<T> {
     }
 
     /// Requests shutdown and joins all workers. Queued jobs that have not started are dropped.
+    ///
+    /// The shutdown may itself run *on* a worker thread: the executor callback can hold the last
+    /// reference to the structure owning the pool (e.g. a runtime dropped on the main thread
+    /// while a worker was still retiring its final task). A thread cannot join itself, so that
+    /// worker's handle is detached instead — the thread observes the shutdown flag and exits on
+    /// its own, keeping the shared state alive through its own `Arc`.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.shared.sleep.notify_all();
+        let current = std::thread::current().id();
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            if handle.thread().id() == current {
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -169,8 +178,16 @@ impl<T: Send + 'static> ThreadPool<T> {
 impl<T: Send + 'static> Drop for ThreadPool<T> {
     fn drop(&mut self) {
         self.shutdown();
-        // Drain jobs left in the injector so their destructors run deterministically.
-        while let Steal::Success(_job) = self.shared.injector.steal() {}
+        // Drain jobs left in the injector so their destructors run deterministically. Loop until
+        // the injector reports `Empty`: `Steal::Retry` only means the probe lost a race, and
+        // breaking on it would silently leave queued jobs (and their destructors) behind.
+        loop {
+            match self.shared.injector.steal() {
+                Steal::Success(_job) => {}
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => break,
+            }
+        }
         let _ = &self.executor;
     }
 }

@@ -2,12 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::TraceEvent;
 
 /// Aggregate statistics for one task label.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LabelStats {
     /// The task label.
     pub label: String,
@@ -20,7 +18,7 @@ pub struct LabelStats {
 }
 
 /// Concurrency over time: how many tasks were running during each time bucket.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParallelismProfile {
     /// Bucket width in nanoseconds.
     pub bucket_ns: u64,
@@ -29,7 +27,7 @@ pub struct ParallelismProfile {
 }
 
 /// Summary of a trace (the numbers the paper's figures are built from).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceSummary {
     /// Number of executed tasks.
     pub tasks: usize,

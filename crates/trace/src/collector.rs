@@ -4,11 +4,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use weakdep_core::{RuntimeObserver, TaskExecution};
 
 /// One executed task, with nanosecond timestamps relative to the collector's origin.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Index of the worker that executed the task.
     pub worker: usize,
@@ -89,7 +88,25 @@ impl TraceCollector {
 
     /// Serialises the trace to a JSON array.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.events()).expect("trace serialisation cannot fail")
+        let events = self.events();
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\n    \"worker\": {},\n    \"label\": \"{}\",\n    \"start_ns\": {},\n    \"end_ns\": {}\n  }}",
+                e.worker,
+                json_escape(&e.label),
+                e.start_ns,
+                e.end_ns
+            ));
+        }
+        if !events.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+        out
     }
 
     /// Serialises the trace to CSV (`worker,label,start_ns,end_ns`).
@@ -105,6 +122,23 @@ impl TraceCollector {
     pub fn record(&self, event: TraceEvent) {
         self.inner.lock().events.push(event);
     }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl RuntimeObserver for TraceCollector {

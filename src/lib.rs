@@ -51,5 +51,5 @@ pub use weakdep_trace as trace;
 
 pub use weakdep_core::{
     AccessType, Depend, Region, Runtime, RuntimeConfig, RuntimeObserver, RuntimeStats,
-    SharedSlice, SpaceId, TaskBuilder, TaskCtx, TaskId, WaitMode,
+    SharedSlice, SpaceId, TaskBuilder, TaskCtx, TaskId, TaskSpec, WaitMode,
 };

@@ -175,17 +175,24 @@ fn runtime_statistics_are_consistent() {
     assert!(rt.stats().engine.release_edges > 0);
 
     // Cross-domain (satisfaction) links are only created when a child registers while its
-    // parent's weak access is still unsatisfied, so force that situation deterministically: a
-    // slow producer holds `data` while a weak outer task instantiates its reader child.
+    // parent's weak access is still unsatisfied, so force that situation deterministically: the
+    // producer holds `data` until the weak outer task has instantiated its reader child (a
+    // handshake rather than a sleep, so scheduling delays cannot break the ordering).
     let data = SharedSlice::<u64>::new(1);
+    let reader_registered = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let d = data.clone();
+    let gate = std::sync::Arc::clone(&reader_registered);
     rt.run(move |ctx| {
         let dp = d.clone();
+        let gate_producer = std::sync::Arc::clone(&gate);
         ctx.task().inout(d.region(0..1)).label("slow-producer").spawn(move |t| {
-            std::thread::sleep(std::time::Duration::from_millis(100));
+            while !gate_producer.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
             dp.write(t, 0..1)[0] = 9;
         });
         let dc = d.clone();
+        let gate_outer = std::sync::Arc::clone(&gate);
         ctx.task()
             .weak_input(d.region(0..1))
             .weakwait()
@@ -195,6 +202,7 @@ fn runtime_statistics_are_consistent() {
                 t.task().input(dc.region(0..1)).label("reader").spawn(move |c| {
                     assert_eq!(dr.read(c, 0..1)[0], 9);
                 });
+                gate_outer.store(true, std::sync::atomic::Ordering::Release);
             });
     });
     assert!(

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same API shape (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`), but a deliberately simple measurement loop: a short warm-up,
+//! then repeated timed batches, reporting the best batch (the customary low-noise estimator for
+//! throughput benchmarks). No statistics, plots or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let millis = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion { measurement_time: Duration::from_millis(millis) }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API compatibility; no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measurement_time = self.measurement_time;
+        run_benchmark(name, None, measurement_time, f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (for groups benchmarking one function over inputs).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation used to derive per-element / per-byte rates.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; the stub sizes batches by time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement time for this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        run_benchmark(&name, self.throughput, self.criterion.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&name, self.throughput, self.criterion.measurement_time, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] for `bench_function`.
+pub struct BenchIdOrName(String);
+
+impl From<&str> for BenchIdOrName {
+    fn from(value: &str) -> Self {
+        BenchIdOrName(value.to_string())
+    }
+}
+
+impl From<BenchmarkId> for BenchIdOrName {
+    fn from(value: BenchmarkId) -> Self {
+        BenchIdOrName(value.label)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the workload.
+pub struct Bencher {
+    /// Best observed time per iteration, in nanoseconds.
+    best_ns: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best per-iteration time over several batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: run once to size the batches.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target_batches = 10u32;
+        let batch_iters = (self.measurement_time.as_nanos()
+            / (once.as_nanos().max(1) * target_batches as u128))
+            .clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        let mut batches = 0;
+        while batches < target_batches && Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch_iters as f64;
+            best = best.min(per_iter);
+            batches += 1;
+        }
+        self.best_ns = best;
+    }
+}
+
+fn run_benchmark<F>(name: &str, throughput: Option<Throughput>, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { best_ns: f64::NAN, measurement_time };
+    f(&mut bencher);
+    let per_iter = bencher.best_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (per_iter * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (per_iter * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<48} {:>12} ns/iter{rate}", format_ns(per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e6 {
+        format!("{:.1}M", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}k", ns / 1e3)
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("f", 100), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        group.bench_function("g", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("solo", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

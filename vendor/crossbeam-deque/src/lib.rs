@@ -1,0 +1,249 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Same API shape (LIFO [`Worker`] deques, [`Stealer`] handles, a FIFO [`Injector`], the
+//! three-state [`Steal`] result), implemented with short mutex-protected critical sections
+//! instead of the lock-free Chase–Lev algorithm. `Steal::Retry` is still produced — when a
+//! probe loses the race for the lock — so callers exercise the same retry protocol they would
+//! against the real crate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, TryLockError};
+
+/// Result of a steal attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A job was taken.
+    Success(T),
+    /// The queue was observed empty.
+    Empty,
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `true` for [`Steal::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// `true` for [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` for [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Returns the stolen job, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(job) => Some(job),
+            _ => None,
+        }
+    }
+}
+
+/// How many jobs a batch steal moves at most (the real crate moves up to half the source).
+const MAX_BATCH: usize = 32;
+
+/// A worker-owned deque. The owner pushes and pops at the back (LIFO); stealers take from the
+/// front (FIFO), like the real crate's `flavor::Lifo`.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Creates a FIFO worker deque. The stub keeps a single flavor; pops come from the front.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Creates a [`Stealer`] handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+
+    /// Pushes a job (owner side).
+    pub fn push(&self, job: T) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+    }
+
+    /// Pops the most recently pushed job (owner side).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+    }
+
+    /// `true` if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+
+    /// Number of queued jobs at the time of observation.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// A handle for stealing from another worker's deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest job.
+    pub fn steal(&self) -> Steal<T> {
+        steal_front(&self.queue)
+    }
+
+    /// Steals a batch of jobs into `dest` and pops one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch(&self.queue, &dest.queue)
+    }
+}
+
+/// A global FIFO injector queue for submissions from outside the pool.
+pub struct Injector<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a job at the back.
+    pub fn push(&self, job: T) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+    }
+
+    /// Pushes many jobs under a single lock acquisition.
+    ///
+    /// Extension over the real crate's API (whose lock-free `push` costs no lock at all); this
+    /// keeps the mutex-based stub's bulk-submission cost comparable to the real thing.
+    pub fn push_batch(&self, jobs: impl IntoIterator<Item = T>) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).extend(jobs);
+    }
+
+    /// Steals the oldest job.
+    pub fn steal(&self) -> Steal<T> {
+        steal_front(&self.queue)
+    }
+
+    /// Steals a batch of jobs into `dest` and pops one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch(&self.queue, &dest.queue)
+    }
+
+    /// `true` if the injector was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+
+    /// Number of queued jobs at the time of observation.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+fn steal_front<T>(queue: &Mutex<VecDeque<T>>) -> Steal<T> {
+    match queue.try_lock() {
+        Ok(mut q) => match q.pop_front() {
+            Some(job) => Steal::Success(job),
+            None => Steal::Empty,
+        },
+        Err(TryLockError::WouldBlock) => Steal::Retry,
+        Err(TryLockError::Poisoned(p)) => match p.into_inner().pop_front() {
+            Some(job) => Steal::Success(job),
+            None => Steal::Empty,
+        },
+    }
+}
+
+fn steal_batch<T>(source: &Mutex<VecDeque<T>>, dest: &Mutex<VecDeque<T>>) -> Steal<T> {
+    let mut src = match source.try_lock() {
+        Ok(q) => q,
+        Err(TryLockError::WouldBlock) => return Steal::Retry,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+    };
+    let first = match src.pop_front() {
+        Some(job) => job,
+        None => return Steal::Empty,
+    };
+    // Move up to half of the remainder (capped) into the destination deque.
+    let extra = (src.len() / 2).min(MAX_BATCH);
+    if extra > 0 {
+        let mut dst = dest.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..extra {
+            if let Some(job) = src.pop_front() {
+                dst.push_back(job);
+            }
+        }
+    }
+    Steal::Success(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_for_owner() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_steal_batch_moves_jobs() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "batch steal must move extra jobs into the destination");
+        let total: usize = w.len() + inj.len();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn empty_queues_report_empty() {
+        let inj: Injector<u8> = Injector::new();
+        assert!(inj.steal().is_empty());
+        let w: Worker<u8> = Worker::new_lifo();
+        assert!(w.stealer().steal().is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! [`SmallVec<[T; N]>`] stores up to `N` elements inline (no heap allocation) and spills to a
+//! `Vec<T>` beyond that. The workspace uses it for dependency-edge lists, which are 1–2 entries
+//! in the overwhelmingly common case; keeping them inline removes an allocation per edge from
+//! the task-registration hot path.
+//!
+//! The inline buffer is `[Option<T>; N]` rather than `MaybeUninit` — safe code, same allocation
+//! behaviour, a niche/discriminant of overhead per slot that the short lengths make irrelevant.
+
+use std::fmt;
+
+/// Backing-array marker trait: `SmallVec<[T; N]>` mirrors the real crate's type syntax.
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity.
+    const CAPACITY: usize;
+    /// The inline buffer type (`[Option<Item>; N]`).
+    type OptBuf: AsRef<[Option<Self::Item>]> + AsMut<[Option<Self::Item>]>;
+    /// An all-`None` inline buffer.
+    fn empty_buf() -> Self::OptBuf;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAPACITY: usize = N;
+    type OptBuf = [Option<T>; N];
+    fn empty_buf() -> Self::OptBuf {
+        std::array::from_fn(|_| None)
+    }
+}
+
+enum Repr<A: Array> {
+    Inline { buf: A::OptBuf, len: usize },
+    Heap(Vec<A::Item>),
+}
+
+/// A vector with inline capacity `A::CAPACITY`.
+pub struct SmallVec<A: Array> {
+    repr: Repr<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector (no heap allocation until the inline capacity is exceeded).
+    pub fn new() -> Self {
+        SmallVec { repr: Repr::Inline { buf: A::empty_buf(), len: 0 } }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` while the elements still fit the inline buffer.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Appends an element, spilling to the heap when the inline capacity is exceeded.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < A::CAPACITY {
+                    buf.as_mut()[*len] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut heap: Vec<A::Item> = Vec::with_capacity(*len + 1);
+                    for slot in buf.as_mut().iter_mut() {
+                        if let Some(item) = slot.take() {
+                            heap.push(item);
+                        }
+                    }
+                    heap.push(value);
+                    self.repr = Repr::Heap(heap);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> Iter<'_, A> {
+        Iter { vec: self, pos: 0 }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.repr = Repr::Inline { buf: A::empty_buf(), len: 0 };
+    }
+}
+
+impl<A: Array> std::ops::Index<usize> for SmallVec<A> {
+    type Output = A::Item;
+
+    fn index(&self, index: usize) -> &A::Item {
+        match &self.repr {
+            Repr::Inline { buf, len } => {
+                assert!(index < *len, "index {index} out of bounds (len {len})");
+                buf.as_ref()[index].as_ref().expect("inline slot within len is filled")
+            }
+            Repr::Heap(v) => &v[index],
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        let mut out = SmallVec::new();
+        for item in self.iter() {
+            out.push(item.clone());
+        }
+        out
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut out = SmallVec::new();
+        for item in iter {
+            out.push(item);
+        }
+        out
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+/// Borrowing iterator over a [`SmallVec`].
+pub struct Iter<'a, A: Array> {
+    vec: &'a SmallVec<A>,
+    pos: usize,
+}
+
+impl<'a, A: Array> Iterator for Iter<'a, A> {
+    type Item = &'a A::Item;
+
+    fn next(&mut self) -> Option<&'a A::Item> {
+        let item = match &self.vec.repr {
+            Repr::Inline { buf, len } => {
+                if self.pos < *len {
+                    buf.as_ref()[self.pos].as_ref()
+                } else {
+                    None
+                }
+            }
+            Repr::Heap(v) => v.get(self.pos),
+        };
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = Iter<'a, A>;
+    fn into_iter(self) -> Iter<'a, A> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over a [`SmallVec`].
+pub struct IntoIter<A: Array> {
+    inner: std::vec::IntoIter<A::Item>,
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+    fn next(&mut self) -> Option<A::Item> {
+        self.inner.next()
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = IntoIter<A>;
+
+    fn into_iter(self) -> IntoIter<A> {
+        let items: Vec<A::Item> = match self.repr {
+            Repr::Inline { mut buf, len } => {
+                buf.as_mut().iter_mut().take(len).filter_map(Option::take).collect()
+            }
+            Repr::Heap(v) => v,
+        };
+        IntoIter { inner: items.into_iter() }
+    }
+}
+
+/// `smallvec![a, b, c]` constructor macro (subset of the real crate's).
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($item:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($item);)+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert!(!v.spilled());
+        v.push(3);
+        assert!(v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn macro_and_traits() {
+        let v: SmallVec<[u8; 4]> = smallvec![9, 8];
+        assert_eq!(v.len(), 2);
+        let doubled: SmallVec<[u8; 4]> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.iter().copied().collect::<Vec<_>>(), vec![18, 16]);
+        let cloned = doubled.clone();
+        assert_eq!(format!("{cloned:?}"), "[18, 16]");
+    }
+
+    #[test]
+    fn non_copy_items() {
+        let mut v: SmallVec<[String; 1]> = SmallVec::new();
+        v.push("a".to_string());
+        v.push("b".to_string());
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

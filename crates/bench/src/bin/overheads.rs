@@ -285,7 +285,12 @@ fn main() {
         );
     }
 
-    // Machine-readable trajectory file.
+    // Machine-readable trajectory file. An existing "soak" section (spliced in by the `soak`
+    // binary) is preserved — the two binaries own disjoint sections of the same artifact.
+    let path = "BENCH_overheads.json";
+    let soak_section = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|existing| weakdep_bench::overheads_json::extract_soak(&existing));
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
@@ -305,8 +310,17 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_overheads.json", &json).expect("failed to write BENCH_overheads.json");
-    eprintln!("wrote BENCH_overheads.json");
+    // Re-attach the preserved soak section through the same tested splice the `soak` binary
+    // uses, so the merge format lives in exactly one place.
+    let json = match soak_section {
+        Some(section) => weakdep_bench::overheads_json::splice_soak(
+            Some(&json),
+            &format!("{section}\n"),
+        ),
+        None => json,
+    };
+    std::fs::write(path, &json).expect("failed to write BENCH_overheads.json");
+    eprintln!("wrote {path}");
 
     // Keep the run honest: a sample that spawned nothing or measured nothing indicates a broken
     // harness rather than a fast one.

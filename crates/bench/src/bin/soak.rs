@@ -1,0 +1,165 @@
+//! Long-lived steady-state soak: pushes ≥1M tasks through **one** `Runtime` and records that
+//! task-table and pending-slab capacity plateau at the live-task high-water mark instead of
+//! growing linearly with the total number of tasks — the property the generation-based
+//! id-retirement scheme provides. A long-running server leaks without it (the state the
+//! pre-retirement design retained was ~hundreds of bytes per task ever spawned).
+//!
+//! The workload is waves of dependent tasks over a fixed region set (so dependency chains form
+//! and recycle edges/nodes, not just table slots), separated by `taskwait` inside a single
+//! `run` — the shape of a service draining request batches forever. After each wave the
+//! capacity counters (and RSS, when `/proc` is available) are sampled; at the end the plateau
+//! is asserted and a `"soak"` section is spliced into `BENCH_overheads.json` next to the
+//! spawn-throughput samples emitted by the `overheads` binary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use weakdep_bench::CommonArgs;
+use weakdep_core::{CapacityStats, Runtime, SharedSlice, TaskSpec};
+
+/// Resident set size in KiB, if the platform exposes `/proc/self/status`.
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// One capacity sample, taken after a wave fully retired.
+struct WaveSample {
+    capacity: CapacityStats,
+    rss_kb: Option<u64>,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (waves, wave_size) = if args.quick { (40, 2_500) } else { (100, 10_000) };
+    let cells = 512usize;
+    let workers = args.cores.min(8);
+    let total_tasks = waves * wave_size;
+
+    let rt = Runtime::with_workers(workers);
+    let data = SharedSlice::<u64>::new(cells);
+    let executed = Arc::new(AtomicUsize::new(0));
+    let mut samples: Vec<WaveSample> = Vec::with_capacity(waves);
+    let start = Instant::now();
+
+    {
+        let d = data.clone();
+        let ex = Arc::clone(&executed);
+        // ONE long-lived root: every wave spawns, drains (taskwait) and retires inside the same
+        // runtime — nothing is torn down between waves.
+        rt.run(|ctx| {
+            for wave in 0..waves {
+                let specs: Vec<TaskSpec> = (0..wave_size)
+                    .map(|i| {
+                        let cell = (wave * wave_size + i) % cells;
+                        let d2 = d.clone();
+                        let ex2 = Arc::clone(&ex);
+                        ctx.task()
+                            .inout(d.region(cell..cell + 1))
+                            .label("soak")
+                            .stage(move |t| {
+                                d2.write(t, cell..cell + 1)[0] += 1;
+                                ex2.fetch_add(1, Ordering::Relaxed);
+                            })
+                    })
+                    .collect();
+                ctx.spawn_batch(specs);
+                ctx.taskwait();
+                samples.push(WaveSample { capacity: rt.capacity(), rss_kb: rss_kb() });
+            }
+        });
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // ---- Verification: throughput sanity and the capacity plateau. ----
+    assert_eq!(executed.load(Ordering::Relaxed), total_tasks);
+    let stats = rt.stats();
+    assert_eq!(
+        stats.engine.tasks_registered, stats.engine.tasks_deeply_completed,
+        "every registered task (root included) must deeply complete"
+    );
+    assert_eq!(
+        stats.engine.tasks_registered, stats.engine.tasks_retired,
+        "every deeply completed task must have its slot retired"
+    );
+    assert_eq!(data.snapshot().iter().sum::<u64>(), total_tasks as u64);
+
+    let first = &samples[0];
+    let last = samples.last().expect("at least one wave");
+    let max_table = samples.iter().map(|s| s.capacity.task_table_slots).max().unwrap();
+    let max_pending = samples.iter().map(|s| s.capacity.pending_slots).max().unwrap();
+    // Plateau: capacity anywhere in the soak stays within a small constant factor of the
+    // first-wave high-water mark, and nowhere near linear in the task count.
+    assert!(
+        max_table <= first.capacity.task_table_slots * 3 + 1024,
+        "task table must plateau: first wave {} slots, max {} slots",
+        first.capacity.task_table_slots,
+        max_table
+    );
+    assert!(
+        max_table < total_tasks / 10,
+        "task table grew with total tasks ({max_table} slots for {total_tasks} tasks)"
+    );
+    assert!(
+        max_pending <= first.capacity.pending_slots * 3 + 1024,
+        "pending slab must plateau: first wave {} slots, max {} slots",
+        first.capacity.pending_slots,
+        max_pending
+    );
+
+    println!(
+        "soak: {} tasks in {} waves through one runtime ({} workers) in {:.2}s ({:.0} tasks/s)",
+        total_tasks,
+        waves,
+        workers,
+        elapsed,
+        total_tasks as f64 / elapsed.max(1e-12)
+    );
+    println!(
+        "  table slots: wave0={} final={} max={}   pending slots: wave0={} final={} max={}",
+        first.capacity.task_table_slots,
+        last.capacity.task_table_slots,
+        max_table,
+        first.capacity.pending_slots,
+        last.capacity.pending_slots,
+        max_pending
+    );
+    if let (Some(r0), Some(r1)) = (first.rss_kb, last.rss_kb) {
+        println!("  rss: wave0={r0} KiB final={r1} KiB");
+    }
+    println!("  retired: {} / registered: {}", stats.engine.tasks_retired, stats.engine.tasks_registered);
+
+    // ---- Splice the soak record into BENCH_overheads.json. ----
+    let soak = format!(
+        concat!(
+            "  \"soak\": {{\"tasks\": {}, \"waves\": {}, \"wave_size\": {}, \"workers\": {}, ",
+            "\"quick\": {}, \"elapsed_secs\": {:.6}, \"tasks_per_sec\": {:.0}, ",
+            "\"table_slots_wave0\": {}, \"table_slots_final\": {}, \"table_slots_max\": {}, ",
+            "\"pending_slots_wave0\": {}, \"pending_slots_final\": {}, \"pending_slots_max\": {}, ",
+            "\"rss_kb_wave0\": {}, \"rss_kb_final\": {}, \"tasks_retired\": {}}}\n"
+        ),
+        total_tasks,
+        waves,
+        wave_size,
+        workers,
+        args.quick,
+        elapsed,
+        total_tasks as f64 / elapsed.max(1e-12),
+        first.capacity.task_table_slots,
+        last.capacity.task_table_slots,
+        max_table,
+        first.capacity.pending_slots,
+        last.capacity.pending_slots,
+        max_pending,
+        first.rss_kb.map_or("null".to_string(), |v| v.to_string()),
+        last.rss_kb.map_or("null".to_string(), |v| v.to_string()),
+        stats.engine.tasks_retired,
+    );
+    let path = "BENCH_overheads.json";
+    let existing = std::fs::read_to_string(path).ok();
+    let merged = weakdep_bench::overheads_json::splice_soak(existing.as_deref(), &soak);
+    std::fs::write(path, merged).expect("failed to write BENCH_overheads.json");
+    eprintln!("updated {path} (soak section)");
+}

@@ -199,3 +199,73 @@ mod tests {
         emit(false, &["a"], &[vec!["x".into()]]);
     }
 }
+
+/// Shared handling of `BENCH_overheads.json`, which two binaries co-own: `overheads` writes the
+/// `samples` sections and `soak` splices a trailing `"soak"` section. Both go through these
+/// helpers so neither writer can silently drop the other's data. Invariant maintained by both:
+/// the soak section, when present, is the **last** top-level key of the object.
+pub mod overheads_json {
+    const MARKER: &str = "  \"soak\":";
+
+    /// Extracts the soak section (marker through the end of the object, without the file's
+    /// closing brace or a trailing comma) from a previously written file, if present.
+    pub fn extract_soak(text: &str) -> Option<String> {
+        let start = text.find(MARKER)?;
+        let body = text.trim_end().strip_suffix('}')?;
+        if body.len() < start {
+            return None;
+        }
+        Some(body[start..].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Replaces (or appends) the soak section of `existing`, preserving every earlier section.
+    /// `soak` must be a complete `  "soak": {...}` line ending in a newline.
+    pub fn splice_soak(existing: Option<&str>, soak: &str) -> String {
+        let head = match existing {
+            Some(text) => {
+                let text = text.trim_end();
+                match text.find(MARKER) {
+                    // Replace a previous soak section (always the last section).
+                    Some(pos) => text[..pos].to_string(),
+                    None => match text.strip_suffix('}') {
+                        Some(body) => {
+                            let mut body = body.trim_end().to_string();
+                            if !body.ends_with(['{', ',']) {
+                                body.push(',');
+                            }
+                            body.push('\n');
+                            body
+                        }
+                        None => String::from("{\n"),
+                    },
+                }
+            }
+            None => String::from("{\n"),
+        };
+        format!("{head}{soak}}}\n")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const SOAK: &str = "  \"soak\": {\"tasks\": 7}\n";
+
+        #[test]
+        fn splice_appends_replaces_and_round_trips_with_extract() {
+            // Append to a samples-only file.
+            let base = "{\n  \"samples\": [\n    {}\n  ]\n}\n";
+            let spliced = splice_soak(Some(base), SOAK);
+            assert!(spliced.contains("\"samples\""));
+            assert!(spliced.ends_with("  \"soak\": {\"tasks\": 7}\n}\n"));
+            // Replace an existing soak section.
+            let replaced = splice_soak(Some(&spliced), "  \"soak\": {\"tasks\": 9}\n");
+            assert!(replaced.contains("\"tasks\": 9") && !replaced.contains("\"tasks\": 7"));
+            // Extract gets back exactly what splice put in.
+            assert_eq!(extract_soak(&replaced).as_deref(), Some("  \"soak\": {\"tasks\": 9}"));
+            // Missing file and missing section behave.
+            assert!(splice_soak(None, SOAK).starts_with("{\n  \"soak\""));
+            assert_eq!(extract_soak(base), None);
+        }
+    }
+}

@@ -289,7 +289,7 @@ mod tests {
         let footprint = [FootprintEntry { region: region(1, 0, 640), write: true, weak: false }];
         let now = Instant::now();
         let exec = |worker| TaskExecution {
-            id: weakdep_core::TaskId(1),
+            id: weakdep_core::TaskId::synthetic(1),
             label: "k",
             worker,
             start: now,
@@ -318,7 +318,7 @@ mod tests {
         let footprint = [FootprintEntry { region: region(1, 0, 1024), write: true, weak: true }];
         let now = Instant::now();
         sim.task_executed(&weakdep_core::TaskExecution {
-            id: weakdep_core::TaskId(7),
+            id: weakdep_core::TaskId::synthetic(7),
             label: "outer",
             worker: 0,
             start: now,

@@ -62,9 +62,13 @@
 //! Access nodes and per-child scheduling records — the bulky, per-dependency state — are
 //! slab-allocated inside each domain and recycled (guarded by slot generations) once the owning
 //! task has deeply completed and the access is fully released. The per-task [`TaskEntry`]
-//! shells themselves are kept for the lifetime of the engine (the `TaskId`-keyed query API can
-//! reference any task ever created, as in the seed); reclaiming deeply-completed entries is a
-//! known follow-up.
+//! shells are recycled through the same discipline one level up: a task is **retired** — its
+//! task-table slot freed and the slot generation bumped — the moment its scheduling record in
+//! the parent's domain is reclaimed (which requires deep completion *and* full release of every
+//! declared access), and roots retire at deep completion. [`TaskId`]s are generational, so a
+//! handle held past retirement is detected ([`StaleTaskId`]) instead of aliasing a younger task
+//! that reuses the slot. Under steady-state load the task table therefore plateaus at the
+//! live-task high-water mark instead of growing with every task ever spawned.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,9 +80,69 @@ use weakdep_regions::{CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet
 
 use crate::access::{normalize_deps, Depend, NormalizedDep, WaitMode};
 
-/// Identifier of a task inside the engine (and the runtime). Dense, monotonically allocated.
+/// Identifier of a task inside the engine (and the runtime).
+///
+/// Ids are *generational*: the slot `index` into the task table is dense and **recycled** once
+/// the task is retired (deeply completed, every access fully released, all bookkeeping in the
+/// parent's domain reclaimed), and each reuse bumps the slot's `generation`. A `TaskId` held
+/// past its task's retirement is therefore detectable: the query API returns a defined
+/// [`StaleTaskId`] error for it instead of reporting the state of whichever younger task now
+/// occupies the slot.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct TaskId(pub usize);
+pub struct TaskId {
+    index: u32,
+    generation: u32,
+}
+
+impl TaskId {
+    /// The dense slot index in the task table. Unique among *live* tasks only — retired tasks'
+    /// indexes are reused (with a different [`TaskId::generation`]).
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The slot generation this id was minted with.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Fabricates an id for observer tests and imported traces. Synthetic ids carry the
+    /// reserved generation [`TaskId::SYNTHETIC_GENERATION`], which no engine ever mints (slots
+    /// are permanently retired before reaching it), so they are guaranteed to be stale handles
+    /// into any live engine — they can never alias a real task.
+    pub fn synthetic(index: usize) -> TaskId {
+        TaskId {
+            index: u32::try_from(index).expect("synthetic task index overflow"),
+            generation: Self::SYNTHETIC_GENERATION,
+        }
+    }
+
+    /// The generation reserved for [`TaskId::synthetic`] ids. [`DependencyEngine`] stops
+    /// recycling a slot whose generation would reach this value (leaking one table slot per
+    /// `u32::MAX` reuses of the same slot — unreachable in practice, and the price of making
+    /// generation wrap-around aliasing impossible).
+    pub const SYNTHETIC_GENERATION: u32 = u32::MAX;
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}g{}", self.index, self.generation)
+    }
+}
+
+/// Error returned by the `try_*` query API for a [`TaskId`] this engine does not currently
+/// track: either the task was retired (its table slot recycled — which implies it deeply
+/// completed) or the id was never issued by this engine.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StaleTaskId(pub TaskId);
+
+impl std::fmt::Display for StaleTaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stale task id {} (task retired, or id from another engine)", self.0)
+    }
+}
+
+impl std::error::Error for StaleTaskId {}
 
 /// Effects of an engine transition that the runtime must act upon.
 ///
@@ -92,14 +156,25 @@ pub struct Effects {
     /// worker's immediate-successor slot (the locality policy of §VIII-A).
     pub ready: Vec<TaskId>,
     /// Tasks that became *deeply complete* (body finished and all descendants deeply complete).
-    /// The runtime uses this to wake `taskwait`s and to finish `Runtime::run`.
+    /// Informational: the runtime's wake paths act on the two aggregate fields below; this list
+    /// exists for embedders and tests that want per-task completion visibility.
     pub deeply_completed: Vec<TaskId>,
+    /// Tasks whose **last live child** deeply completed while their own body was still running
+    /// — exactly the condition a `taskwait` in that body blocks on. Reported separately from
+    /// `deeply_completed` so the runtime only takes its completion-wake path when a waiter's
+    /// predicate can actually have flipped, not once per task retirement.
+    pub taskwaits_unblocked: Vec<TaskId>,
+    /// A root task deeply completed — the condition `Runtime::run` blocks on.
+    pub root_completed: bool,
 }
 
 impl Effects {
     /// `true` if the transition had no externally visible effect.
     pub fn is_empty(&self) -> bool {
-        self.ready.is_empty() && self.deeply_completed.is_empty()
+        self.ready.is_empty()
+            && self.deeply_completed.is_empty()
+            && self.taskwaits_unblocked.is_empty()
+            && !self.root_completed
     }
 }
 
@@ -120,6 +195,9 @@ pub struct EngineStats {
     pub incremental_releases: usize,
     /// Tasks that deeply completed (body finished and all descendants deeply complete).
     pub tasks_deeply_completed: usize,
+    /// Tasks whose table slot has been retired (recycled for reuse). Under steady-state load
+    /// this tracks `tasks_deeply_completed`; the difference is the not-yet-reclaimed tail.
+    pub tasks_retired: usize,
 }
 
 #[derive(Default)]
@@ -131,6 +209,7 @@ struct AtomicStats {
     ready_at_registration: AtomicUsize,
     incremental_releases: AtomicUsize,
     tasks_deeply_completed: AtomicUsize,
+    tasks_retired: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -143,6 +222,7 @@ impl AtomicStats {
             ready_at_registration: self.ready_at_registration.load(Ordering::Relaxed),
             incremental_releases: self.incremental_releases.load(Ordering::Relaxed),
             tasks_deeply_completed: self.tasks_deeply_completed.load(Ordering::Relaxed),
+            tasks_retired: self.tasks_retired.load(Ordering::Relaxed),
         }
     }
 
@@ -313,11 +393,12 @@ impl Domain {
         self.self_entry.upgrade().expect("task entry outlives its domain")
     }
 
-    /// The parent's entry, if any.
+    /// The parent's entry: `None` for roots, and also `None` once the parent has been retired.
+    /// The latter is only reachable after this domain's owner deeply completed and its residual
+    /// fragments were absorbed in the parent's domain, so any upward message that would have
+    /// been addressed at the parent is moot and may be dropped.
     fn parent_arc(&self) -> Option<Arc<TaskEntry>> {
-        self.parent_entry.as_ref().map(|weak| {
-            weak.upgrade().expect("parent entry outlives its children")
-        })
+        self.parent_entry.as_ref().and_then(Weak::upgrade)
     }
 
     /// Expands the deferred own-access seeds into the live lower-half structures. Idempotent;
@@ -392,18 +473,20 @@ impl Domain {
     }
 
     /// Frees `idx` if its node is fully released and its task has deeply completed; also frees
-    /// the scheduling record once its last node is gone.
-    fn try_free_node(&mut self, idx: u32) {
-        let Some(node) = self.node(idx) else { return };
+    /// the scheduling record once its last node is gone. Returns the task whose scheduling
+    /// record was just freed, if any — that task has no state left in this domain and the
+    /// caller must retire its table slot.
+    fn try_free_node(&mut self, idx: u32) -> Option<TaskId> {
+        let node = self.node(idx)?;
         if !node.unreleased.is_empty() {
-            return;
+            return None;
         }
         let sched_idx = node.sched;
         let done = self.sched[sched_idx as usize]
             .as_ref()
             .is_some_and(|s| s.deeply_completed);
         if !done {
-            return;
+            return None;
         }
         let slot = &mut self.nodes[idx as usize];
         slot.node = None;
@@ -413,9 +496,12 @@ impl Domain {
         debug_assert!(sched.live_nodes > 0);
         sched.live_nodes -= 1;
         if sched.live_nodes == 0 {
+            let task = sched.task;
             self.sched[sched_idx as usize] = None;
             self.free_sched.push(sched_idx);
+            return Some(task);
         }
+        None
     }
 }
 
@@ -470,19 +556,43 @@ enum Event {
 /// `Arc`, so this mostly bounds allocation contention during bursts of registration.
 const TABLE_SHARDS: usize = 64;
 
+/// One slot of the task table. The generation is bumped on retirement, so a reused slot never
+/// answers for a stale [`TaskId`].
+struct TableSlot {
+    gen: u32,
+    entry: Option<Arc<TaskEntry>>,
+}
+
+/// One stripe of the task table: its slots plus the free list of retired slot positions.
+#[derive(Default)]
+struct TableStripe {
+    slots: Vec<TableSlot>,
+    free: Vec<u32>,
+}
+
 /// The dependency engine. See the module documentation for the model and `docs/locking.md` for
 /// the locking design.
 pub struct DependencyEngine {
-    /// Task table: `TaskId(i)` lives in stripe `i % TABLE_SHARDS` at index `i / TABLE_SHARDS`.
-    table: Vec<Mutex<Vec<Option<Arc<TaskEntry>>>>>,
-    next_task: AtomicUsize,
+    /// Task table: index `i` lives in stripe `i % TABLE_SHARDS` at position `i / TABLE_SHARDS`.
+    /// Retired slots go onto the owning stripe's free list and are reused by later
+    /// registrations, so the table's footprint plateaus at the live-task high-water mark.
+    table: Vec<Mutex<TableStripe>>,
+    /// High-water allocator for fresh indexes (used only when no retired slot is available).
+    next_index: AtomicUsize,
+    /// Approximate number of retired slots across all stripes. Kept outside the stripe locks so
+    /// the common no-free-slot registration path costs one relaxed load, not 64 lock
+    /// acquisitions.
+    free_slots: AtomicUsize,
+    /// Round-robin cursor distributing slot-reuse scans across stripes.
+    alloc_cursor: AtomicUsize,
     stats: AtomicStats,
 }
 
 impl std::fmt::Debug for DependencyEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DependencyEngine")
-            .field("tasks", &self.next_task.load(Ordering::Relaxed))
+            .field("tasks_registered", &self.stats.tasks_registered.load(Ordering::Relaxed))
+            .field("tasks_retired", &self.stats.tasks_retired.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -497,33 +607,111 @@ impl DependencyEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
         DependencyEngine {
-            table: (0..TABLE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
-            next_task: AtomicUsize::new(0),
+            table: (0..TABLE_SHARDS).map(|_| Mutex::new(TableStripe::default())).collect(),
+            next_index: AtomicUsize::new(0),
+            free_slots: AtomicUsize::new(0),
+            alloc_cursor: AtomicUsize::new(0),
             stats: AtomicStats::default(),
         }
     }
 
-    fn entry(&self, task: TaskId) -> Arc<TaskEntry> {
-        let shard = self.table[task.0 % TABLE_SHARDS].lock();
-        shard
-            .get(task.0 / TABLE_SHARDS)
-            .and_then(|slot| slot.clone())
-            .unwrap_or_else(|| panic!("unknown task {task:?}"))
+    /// Allocates a table slot for a new task: a retired slot if one is available (its current
+    /// generation becomes the id's generation), a fresh index otherwise. The scan over stripes
+    /// is bounded; if concurrent allocators race it away, the reservation is refunded and a
+    /// fresh index is used — capacity may transiently overshoot but correctness never depends
+    /// on winning the race.
+    fn alloc_id(&self) -> TaskId {
+        let reserved = self
+            .free_slots
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if reserved {
+            let start = self.alloc_cursor.fetch_add(1, Ordering::Relaxed);
+            for probe in 0..2 * TABLE_SHARDS {
+                let shard = (start + probe) % TABLE_SHARDS;
+                let mut stripe = self.table[shard].lock();
+                if let Some(pos) = stripe.free.pop() {
+                    let gen = stripe.slots[pos as usize].gen;
+                    drop(stripe);
+                    let index = pos as usize * TABLE_SHARDS + shard;
+                    return TaskId {
+                        index: u32::try_from(index).expect("task index overflow"),
+                        generation: gen,
+                    };
+                }
+            }
+            self.free_slots.fetch_add(1, Ordering::Relaxed);
+        }
+        let index = self.next_index.fetch_add(1, Ordering::Relaxed);
+        TaskId { index: u32::try_from(index).expect("task index overflow"), generation: 0 }
+    }
+
+    fn entry(&self, task: TaskId) -> Result<Arc<TaskEntry>, StaleTaskId> {
+        let stripe = self.table[task.index() % TABLE_SHARDS].lock();
+        match stripe.slots.get(task.index() / TABLE_SHARDS) {
+            Some(slot) if slot.gen == task.generation => {
+                slot.entry.clone().ok_or(StaleTaskId(task))
+            }
+            _ => Err(StaleTaskId(task)),
+        }
+    }
+
+    /// [`DependencyEngine::entry`] for callers that hold a *live* task by protocol (spawning
+    /// from it, finishing its body): a stale id there is a caller bug, not a recoverable state.
+    fn live_entry(&self, task: TaskId) -> Arc<TaskEntry> {
+        self.entry(task)
+            .unwrap_or_else(|stale| panic!("operation on a retired task: {stale}"))
     }
 
     fn publish(&self, entry: Arc<TaskEntry>) {
-        let id = entry.id.0;
-        let mut shard = self.table[id % TABLE_SHARDS].lock();
-        let idx = id / TABLE_SHARDS;
-        if shard.len() <= idx {
-            shard.resize_with(idx + 1, || None);
+        let id = entry.id;
+        let mut stripe = self.table[id.index() % TABLE_SHARDS].lock();
+        let pos = id.index() / TABLE_SHARDS;
+        if stripe.slots.len() <= pos {
+            stripe.slots.resize_with(pos + 1, || TableSlot { gen: 0, entry: None });
         }
-        shard[idx] = Some(entry);
+        let slot = &mut stripe.slots[pos];
+        debug_assert_eq!(slot.gen, id.generation(), "publish into a slot of another generation");
+        debug_assert!(slot.entry.is_none(), "publish into an occupied slot");
+        slot.entry = Some(entry);
+    }
+
+    /// Retires a task: frees its table slot for reuse and bumps the slot generation so stale
+    /// ids are detected. Called exactly once per task, when its last bookkeeping in the
+    /// parent's domain (the scheduling record) is reclaimed — or at deep completion for roots.
+    /// May run while a domain lock is held (stripe locks nest inside domain locks); the entry
+    /// `Arc` itself is dropped after the stripe lock is released, since dropping the last
+    /// reference tears down the whole `TaskEntry`.
+    ///
+    /// A slot whose generation space is exhausted (the bump would reach the reserved
+    /// [`TaskId::SYNTHETIC_GENERATION`]) is **permanently** retired instead of recycled:
+    /// generations never wrap, so a stale id can never alias a younger task no matter how long
+    /// the engine lives. The cost is one leaked slot per `u32::MAX` reuses of the same slot.
+    fn retire(&self, task: TaskId) {
+        let (entry, recycled) = {
+            let mut stripe = self.table[task.index() % TABLE_SHARDS].lock();
+            let pos = task.index() / TABLE_SHARDS;
+            let slot = &mut stripe.slots[pos];
+            debug_assert_eq!(slot.gen, task.generation(), "double retire of {task:?}");
+            let entry = slot.entry.take();
+            debug_assert!(entry.is_some(), "retire of an empty slot {task:?}");
+            slot.gen = slot.gen.wrapping_add(1);
+            let recycled = slot.gen != TaskId::SYNTHETIC_GENERATION;
+            if recycled {
+                stripe.free.push(pos as u32);
+            }
+            (entry, recycled)
+        };
+        if recycled {
+            self.free_slots.fetch_add(1, Ordering::Relaxed);
+        }
+        AtomicStats::bump(&self.stats.tasks_retired, 1);
+        drop(entry);
     }
 
     /// Registers a root task: no parent, no dependencies, its body is about to run.
     pub fn register_root(&self) -> TaskId {
-        let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        let id = self.alloc_id();
         let mut domain = Domain::new(id, None, WaitMode::Wait);
         let entry = Arc::new_cyclic(|weak| {
             domain.self_entry = weak.clone();
@@ -561,7 +749,7 @@ impl DependencyEngine {
         deps: &[NormalizedDep],
         wait_mode: WaitMode,
     ) -> (TaskId, bool) {
-        let parent_entry = self.entry(parent);
+        let parent_entry = self.live_entry(parent);
         let mut domain = parent_entry.domain.lock();
         self.register_locked(&parent_entry, &mut domain, deps, wait_mode)
     }
@@ -575,7 +763,7 @@ impl DependencyEngine {
         parent: TaskId,
         specs: impl IntoIterator<Item = (&'a [NormalizedDep], WaitMode)>,
     ) -> Vec<(TaskId, bool)> {
-        let parent_entry = self.entry(parent);
+        let parent_entry = self.live_entry(parent);
         let mut domain = parent_entry.domain.lock();
         specs
             .into_iter()
@@ -597,7 +785,7 @@ impl DependencyEngine {
             !domain.deeply_completed,
             "cannot create a child of a deeply completed task"
         );
-        let id = TaskId(self.next_task.fetch_add(1, Ordering::Relaxed));
+        let id = self.alloc_id();
         AtomicStats::bump(&self.stats.tasks_registered, 1);
         domain.ensure_seeded();
 
@@ -816,7 +1004,7 @@ impl DependencyEngine {
     /// resulting cross-domain messages one lock at a time. Returns the ready / deeply-completed
     /// effects.
     pub fn body_finished(&self, task: TaskId) -> Effects {
-        let entry = self.entry(task);
+        let entry = self.live_entry(task);
         let mut effects = Effects::default();
         let mut outbox = VecDeque::new();
         {
@@ -875,7 +1063,7 @@ impl DependencyEngine {
             }
 
             if domain.live_children == 0 {
-                deep_complete_locked(&self.stats, &mut domain, &mut effects, &mut outbox);
+                deep_complete_locked(self, &mut domain, &mut effects, &mut outbox);
             }
         }
         self.pump(&mut outbox, &mut effects);
@@ -886,7 +1074,7 @@ impl DependencyEngine {
     /// no longer access `region`. The overlapping fragments of its declared accesses are armed
     /// for early completion; fragments not covered by live child accesses complete immediately.
     pub fn release_region(&self, task: TaskId, region: Region) -> Effects {
-        let entry = self.entry(task);
+        let entry = self.live_entry(task);
         let mut effects = Effects::default();
         let mut outbox = VecDeque::new();
         {
@@ -1017,10 +1205,12 @@ impl DependencyEngine {
                     entry.id
                 );
                 sched.deeply_completed = true;
+                let mut reclaimed: Option<TaskId> = None;
                 if entry.nodes_in_parent.is_empty() {
                     // No accesses: recycle the scheduling record immediately.
                     domain.sched[entry.sched_in_parent as usize] = None;
                     domain.free_sched.push(entry.sched_in_parent);
+                    reclaimed = Some(entry.id);
                 }
 
                 // Whatever has not completed yet completes now (Wait mode releases everything
@@ -1040,14 +1230,29 @@ impl DependencyEngine {
                 // last fragment goes out).
                 for node_ref in &entry.nodes_in_parent {
                     if domain.resolve(*node_ref).is_some() {
-                        domain.try_free_node(node_ref.idx);
+                        if let Some(task) = domain.try_free_node(node_ref.idx) {
+                            debug_assert_eq!(task, entry.id);
+                            reclaimed = Some(task);
+                        }
                     }
+                }
+                // The child's last bookkeeping in this domain is gone: retire its table slot.
+                // (`process_local` above may already have retired it through `try_release`.)
+                if let Some(task) = reclaimed {
+                    self.retire(task);
                 }
 
                 debug_assert!(domain.live_children > 0);
                 domain.live_children -= 1;
-                if domain.live_children == 0 && domain.body_finished && !domain.deeply_completed {
-                    deep_complete_locked(&self.stats, domain, effects, outbox);
+                if domain.live_children == 0 {
+                    if domain.body_finished {
+                        debug_assert!(!domain.deeply_completed);
+                        deep_complete_locked(self, domain, effects, outbox);
+                    } else {
+                        // The body is still running and may be blocked in `taskwait`: its wake
+                        // condition just flipped.
+                        effects.taskwaits_unblocked.push(domain.owner);
+                    }
                 }
             }
         }
@@ -1262,8 +1467,10 @@ impl DependencyEngine {
                 }
             }
             if !completable.is_empty() {
-                AtomicStats::bump(&self.stats.incremental_releases, completable.len());
+                // A retired parent (possible only for moot hand-overs, see `parent_arc`) gets
+                // no message — and no stat: the counter tracks *delivered* completions.
                 if let Some(target) = domain.parent_arc() {
+                    AtomicStats::bump(&self.stats.incremental_releases, completable.len());
                     outbox.push_back(Message::CompleteUp {
                         target,
                         task: domain.owner_entry(),
@@ -1274,8 +1481,12 @@ impl DependencyEngine {
             }
         }
 
-        // A fully released access whose task has already deeply completed can be recycled.
-        domain.try_free_node(idx);
+        // A fully released access whose task has already deeply completed can be recycled; if
+        // that reclaimed the task's scheduling record too, nothing in this domain references
+        // the task any more and its table slot is retired.
+        if let Some(task) = domain.try_free_node(idx) {
+            self.retire(task);
+        }
     }
 
     // ------------------------------------------------------------------------------------------
@@ -1283,20 +1494,37 @@ impl DependencyEngine {
     // ------------------------------------------------------------------------------------------
 
     /// Number of direct children of `task` that have not yet deeply completed.
+    /// Errors for a stale id (a retired task has no live children by construction).
+    pub fn try_live_children(&self, task: TaskId) -> Result<usize, StaleTaskId> {
+        Ok(self.entry(task)?.domain.lock().live_children)
+    }
+
+    /// Number of direct children of `task` that have not yet deeply completed; `0` for stale
+    /// ids (retirement implies deep completion, which implies no live children).
     pub fn live_children(&self, task: TaskId) -> usize {
-        self.entry(task).domain.lock().live_children
+        self.try_live_children(task).unwrap_or(0)
     }
 
     /// `true` once `task`'s body has finished and all of its descendants have deeply completed.
-    pub fn is_deeply_completed(&self, task: TaskId) -> bool {
-        self.entry(task).domain.lock().deeply_completed
+    /// Errors for a stale id: the answer is then *not* read from whichever younger task reuses
+    /// the slot — the caller knows the task was retired (which implies it deeply completed) or
+    /// that the id never belonged to this engine.
+    pub fn try_is_deeply_completed(&self, task: TaskId) -> Result<bool, StaleTaskId> {
+        Ok(self.entry(task)?.domain.lock().deeply_completed)
     }
 
-    /// `true` if the task has been reported ready (or executed).
+    /// `true` once `task`'s body has finished and all of its descendants have deeply completed.
+    /// Stale ids answer `true`: a task is only retired after deep completion.
+    pub fn is_deeply_completed(&self, task: TaskId) -> bool {
+        self.try_is_deeply_completed(task).unwrap_or(true)
+    }
+
+    /// `true` if the task has been reported ready (or executed). Stale ids answer `true`
+    /// (retirement implies the task ran to deep completion).
     pub fn is_scheduled(&self, task: TaskId) -> bool {
-        let entry = self.entry(task);
+        let Ok(entry) = self.entry(task) else { return true };
         let Some(parent) = entry.parent else { return true };
-        let parent_entry = self.entry(parent);
+        let Ok(parent_entry) = self.entry(parent) else { return true };
         let domain = parent_entry.domain.lock();
         match domain.sched.get(entry.sched_in_parent as usize).and_then(Option::as_ref) {
             // A recycled slot (or one reused by a later task) means this task deeply completed,
@@ -1306,9 +1534,9 @@ impl DependencyEngine {
         }
     }
 
-    /// The parent of `task`, if any.
+    /// The parent of `task`: `None` for roots and for stale ids.
     pub fn parent(&self, task: TaskId) -> Option<TaskId> {
-        self.entry(task).parent
+        self.entry(task).ok().and_then(|entry| entry.parent)
     }
 
     /// Engine statistics (a snapshot of the internal atomic counters).
@@ -1318,7 +1546,23 @@ impl DependencyEngine {
 
     /// Number of tasks ever registered.
     pub fn task_count(&self) -> usize {
-        self.next_task.load(Ordering::Relaxed)
+        self.stats.tasks_registered.load(Ordering::Relaxed)
+    }
+
+    /// Total task-table slots currently allocated (live + free). Under steady-state load this
+    /// plateaus at roughly the live-task high-water mark instead of tracking the total number
+    /// of tasks ever registered — the reclamation property the soak tests assert.
+    pub fn table_capacity(&self) -> usize {
+        self.table.iter().map(|stripe| stripe.lock().slots.len()).sum()
+    }
+
+    /// Number of live (not yet retired) tasks. Computed in O(1) from the registration and
+    /// retirement counters (a racy-but-consistent snapshot, like every other statistic) rather
+    /// than scanning the table under its stripe locks.
+    pub fn live_tasks(&self) -> usize {
+        let registered = self.stats.tasks_registered.load(Ordering::Relaxed);
+        let retired = self.stats.tasks_retired.load(Ordering::Relaxed);
+        registered.saturating_sub(retired)
     }
 }
 
@@ -1338,9 +1582,10 @@ fn register_parent_coverage(domain: &mut Domain, idx: u32, region: Region) {
 
 /// Marks the (locked) domain's owner deeply complete and notifies the parent domain. The
 /// caller's message pump delivers the `ChildDone`, which completes the owner's remaining
-/// fragments in the parent's domain and may cascade further up.
+/// fragments in the parent's domain and may cascade further up. Roots have no parent domain
+/// tracking them, so they are retired here instead of through a scheduling-record reclaim.
 fn deep_complete_locked(
-    stats: &AtomicStats,
+    engine: &DependencyEngine,
     domain: &mut Domain,
     effects: &mut Effects,
     outbox: &mut VecDeque<Message>,
@@ -1349,10 +1594,19 @@ fn deep_complete_locked(
     debug_assert!(domain.body_finished);
     debug_assert_eq!(domain.live_children, 0);
     domain.deeply_completed = true;
-    AtomicStats::bump(&stats.tasks_deeply_completed, 1);
+    AtomicStats::bump(&engine.stats.tasks_deeply_completed, 1);
     effects.deeply_completed.push(domain.owner);
-    if let Some(target) = domain.parent_arc() {
-        outbox.push_back(Message::ChildDone { target, child: domain.owner_entry() });
+    match &domain.parent_entry {
+        None => {
+            effects.root_completed = true;
+            engine.retire(domain.owner);
+        }
+        Some(weak) => {
+            // The parent cannot have been retired yet: its own deep completion requires this
+            // task's `ChildDone` (not yet sent) to have been processed.
+            let target = weak.upgrade().expect("parent entry outlives incomplete children");
+            outbox.push_back(Message::ChildDone { target, child: domain.owner_entry() });
+        }
     }
 }
 
@@ -1901,7 +2155,7 @@ mod tests {
             h.borrow_mut().finish(t);
         }
         let hh = h.borrow();
-        let root_entry = hh.engine.entry(hh.root);
+        let root_entry = hh.engine.entry(hh.root).expect("root is live");
         let domain = root_entry.domain.lock();
         assert!(
             domain.nodes.len() < 20,
@@ -1913,6 +2167,94 @@ mod tests {
             "sched slab must recycle slots (got {} slots for 100 sequential tasks)",
             domain.sched.len()
         );
+    }
+
+    /// Retirement: a deeply completed, fully released task loses its table slot; its id turns
+    /// stale with defined semantics instead of panicking or aliasing.
+    #[test]
+    fn retired_ids_report_stale_with_defined_semantics() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        assert_eq!(h.engine.try_is_deeply_completed(t1), Ok(false));
+        h.finish(t1);
+        // t1 is retired: the typed query errors, the conveniences answer for a completed task.
+        assert_eq!(h.engine.try_is_deeply_completed(t1), Err(StaleTaskId(t1)));
+        assert_eq!(h.engine.try_live_children(t1), Err(StaleTaskId(t1)));
+        assert!(h.engine.is_deeply_completed(t1));
+        assert!(h.engine.is_scheduled(t1));
+        assert_eq!(h.engine.live_children(t1), 0);
+        assert_eq!(h.engine.parent(t1), None);
+        assert_eq!(h.engine.stats().tasks_retired, 1);
+    }
+
+    /// Slot reuse bumps the generation: the stale id of the previous occupant never reads the
+    /// state of the new one.
+    #[test]
+    fn recycled_slots_never_alias_previous_ids() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        h.finish(t1);
+        let t2 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        // Single-threaded: the only free slot is t1's, so t2 must reuse it.
+        assert_eq!(t2.index(), t1.index(), "t2 must recycle t1's table slot");
+        assert_ne!(t2.generation(), t1.generation());
+        assert_ne!(t1, t2);
+        // t2 is live and not completed; t1 stays stale — never Ok(false) through t2's slot.
+        assert_eq!(h.engine.try_is_deeply_completed(t2), Ok(false));
+        assert_eq!(h.engine.try_is_deeply_completed(t1), Err(StaleTaskId(t1)));
+        h.finish(t2);
+        assert_eq!(h.engine.try_is_deeply_completed(t1), Err(StaleTaskId(t1)));
+    }
+
+    /// Steady-state spawn/finish through one engine keeps the task table at the live high-water
+    /// mark instead of growing with every task ever registered.
+    #[test]
+    fn table_capacity_plateaus_under_steady_state() {
+        let mut h = Harness::new();
+        for _ in 0..1_000 {
+            let t = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+            h.finish(t);
+        }
+        let stats = h.engine.stats();
+        assert_eq!(stats.tasks_registered, 1_001); // root + 1000
+        assert_eq!(stats.tasks_retired, 1_000); // everything but the live root
+        assert_eq!(h.engine.live_tasks(), 1);
+        // Cross-check the counter-derived live count against actual slot occupancy.
+        let occupied: usize = h
+            .engine
+            .table
+            .iter()
+            .map(|stripe| stripe.lock().slots.iter().filter(|s| s.entry.is_some()).count())
+            .sum();
+        assert_eq!(occupied, h.engine.live_tasks(), "live_tasks must agree with occupancy");
+        assert!(
+            h.engine.table_capacity() <= 16,
+            "table must plateau at the live high-water mark (got {} slots for 1000 tasks)",
+            h.engine.table_capacity()
+        );
+    }
+
+    /// Out-of-range ids (e.g. from another engine) are a defined error, not an index panic.
+    #[test]
+    fn unknown_ids_error_instead_of_panicking() {
+        let engine = DependencyEngine::new();
+        let foreign = TaskId::synthetic(12_345);
+        assert_eq!(engine.try_is_deeply_completed(foreign), Err(StaleTaskId(foreign)));
+        assert_eq!(engine.try_live_children(foreign), Err(StaleTaskId(foreign)));
+        assert_eq!(engine.parent(foreign), None);
+    }
+
+    /// Synthetic ids carry a reserved generation no engine ever mints: even one whose index
+    /// collides with a live task must error, never read that task's state.
+    #[test]
+    fn synthetic_ids_never_alias_live_tasks() {
+        let engine = DependencyEngine::new();
+        let root = engine.register_root();
+        let fake = TaskId::synthetic(root.index());
+        assert_ne!(fake, root);
+        assert_eq!(fake.generation(), TaskId::SYNTHETIC_GENERATION);
+        assert_eq!(engine.try_is_deeply_completed(fake), Err(StaleTaskId(fake)));
+        assert_eq!(engine.try_is_deeply_completed(root), Ok(false));
     }
 
     /// Randomised single-domain dependency check: execute tasks in any legal engine order and

@@ -72,9 +72,11 @@ mod runtime;
 
 pub use access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 pub use data::SharedSlice;
-pub use engine::{DependencyEngine, Effects, EngineStats, TaskId};
+pub use engine::{DependencyEngine, Effects, EngineStats, StaleTaskId, TaskId};
 pub use observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx, TaskSpec};
+pub use runtime::{
+    CapacityStats, Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx, TaskSpec,
+};
 
 /// Re-export of the region types used in dependency declarations.
 pub use weakdep_regions::{Region, SpaceId};

@@ -79,15 +79,15 @@ mod tests {
         obs.runtime_started(4);
         obs.runtime_shutdown();
         let info = TaskInfo {
-            id: TaskId(1),
+            id: TaskId::synthetic(1),
             label: "t",
-            parent: Some(TaskId(0)),
+            parent: Some(TaskId::synthetic(0)),
             footprint: &[],
             ready_at_creation: true,
         };
         obs.task_created(&info);
         let exec = TaskExecution {
-            id: TaskId(1),
+            id: TaskId::synthetic(1),
             label: "t",
             worker: 0,
             start: Instant::now(),

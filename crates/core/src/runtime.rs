@@ -32,14 +32,14 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 use weakdep_regions::{Region, RegionSet};
 use weakdep_threadpool::{ThreadPool, WorkerContext};
 
 use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
-use crate::engine::{DependencyEngine, Effects, TaskId};
+use crate::engine::{DependencyEngine, Effects, StaleTaskId, TaskId};
 use crate::observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
 
 /// Configuration for [`Runtime::new`].
@@ -100,6 +100,20 @@ impl RuntimeConfig {
     }
 }
 
+/// Snapshot of the runtime's steady-state capacity: how many per-task slots are currently
+/// allocated across the engine's task table and the runtime's pending slab. With id retirement
+/// these plateau at the live-task high-water mark — they do **not** grow with the total number
+/// of tasks ever spawned, which is what lets one runtime serve an unbounded task stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CapacityStats {
+    /// Slots allocated in the engine's task table (live + recycled-free).
+    pub task_table_slots: usize,
+    /// Tasks currently live (registered and not yet retired).
+    pub live_tasks: usize,
+    /// Slots allocated in the pending-record slab.
+    pub pending_slots: usize,
+}
+
 /// Snapshot of runtime-wide statistics.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
@@ -131,11 +145,13 @@ pub(crate) struct TaskRecord {
     footprint: Vec<FootprintEntry>,
 }
 
-/// Striped slab of records for registered-but-not-yet-ready tasks, keyed by the dense `TaskId`
-/// index — no hashing on the spawn/finish path, and no shared lock across stripes. Slots revert
-/// to `Vacant` once claimed, but the stripe vectors themselves grow with the high-water task id
-/// (~16 bytes per task ever spawned) for the runtime's lifetime, mirroring the engine's
-/// per-task entry retention.
+/// Striped slab of records for registered-but-not-yet-ready tasks, keyed by the dense
+/// [`TaskId::index`] — no hashing on the spawn/finish path, and no shared lock across stripes.
+/// Slots revert to `Vacant` once their handshake completes, and because the engine recycles the
+/// index of a retired task (whose handshake necessarily completed — a task cannot deeply
+/// complete without having been dispatched), the stripe vectors plateau at the live-task
+/// high-water mark together with the engine's task table. Slot states carry the id's
+/// generation, so a reused index can never be confused with its previous occupant.
 ///
 /// Because registration (which files the record) and readiness (which claims it) race once the
 /// parent's domain lock has been dropped, each slot is a tiny two-phase handshake: whichever
@@ -151,8 +167,9 @@ enum PendingSlot {
     Vacant,
     /// The spawner filed the record; the task is not ready yet.
     Waiting(Arc<TaskRecord>),
-    /// The task became ready before the spawner filed the record; the spawner dispatches.
-    ReadyEarly,
+    /// The task (of the recorded generation) became ready before the spawner filed the record;
+    /// the spawner dispatches.
+    ReadyEarly(u32),
 }
 
 const PENDING_STRIPES: usize = 64;
@@ -165,7 +182,7 @@ impl PendingSlab {
     }
 
     fn slot(stripe: &mut Vec<PendingSlot>, id: TaskId) -> &mut PendingSlot {
-        let idx = id.0 / PENDING_STRIPES;
+        let idx = id.index() / PENDING_STRIPES;
         if stripe.len() <= idx {
             stripe.resize(idx + 1, PendingSlot::Vacant);
         }
@@ -175,14 +192,21 @@ impl PendingSlab {
     /// Files the record of a not-yet-ready task. Returns the record back if the task already
     /// became ready in the meantime — the caller must dispatch it.
     fn file(&self, id: TaskId, record: Arc<TaskRecord>) -> Option<Arc<TaskRecord>> {
-        let mut stripe = self.stripes[id.0 % PENDING_STRIPES].lock();
+        let mut stripe = self.stripes[id.index() % PENDING_STRIPES].lock();
         let slot = Self::slot(&mut stripe, id);
         match std::mem::take(slot) {
             PendingSlot::Vacant => {
                 *slot = PendingSlot::Waiting(record);
                 None
             }
-            PendingSlot::ReadyEarly => Some(record),
+            PendingSlot::ReadyEarly(generation) => {
+                debug_assert_eq!(
+                    generation,
+                    id.generation(),
+                    "pending slot {id:?} aliased across generations"
+                );
+                Some(record)
+            }
             PendingSlot::Waiting(_) => unreachable!("task {id:?} filed twice"),
         }
     }
@@ -190,19 +214,28 @@ impl PendingSlab {
     /// Claims the record of a task that became ready. `None` means the spawner has not filed it
     /// yet; the slot is marked so the spawner dispatches on arrival.
     fn claim(&self, id: TaskId) -> Option<Arc<TaskRecord>> {
-        let mut stripe = self.stripes[id.0 % PENDING_STRIPES].lock();
+        let mut stripe = self.stripes[id.index() % PENDING_STRIPES].lock();
         let slot = Self::slot(&mut stripe, id);
         match std::mem::take(slot) {
-            PendingSlot::Waiting(record) => Some(record),
+            PendingSlot::Waiting(record) => {
+                debug_assert_eq!(record.id, id, "pending slot {id:?} aliased across generations");
+                Some(record)
+            }
             PendingSlot::Vacant => {
-                *slot = PendingSlot::ReadyEarly;
+                *slot = PendingSlot::ReadyEarly(id.generation());
                 None
             }
-            PendingSlot::ReadyEarly => {
-                *slot = PendingSlot::ReadyEarly;
+            PendingSlot::ReadyEarly(generation) => {
+                *slot = PendingSlot::ReadyEarly(generation);
                 None
             }
         }
+    }
+
+    /// Total slots currently allocated across all stripes (a capacity diagnostic; plateaus with
+    /// the live-task high-water mark).
+    fn capacity(&self) -> usize {
+        self.stripes.iter().map(|stripe| stripe.lock().len()).sum()
     }
 }
 
@@ -235,6 +268,20 @@ struct Inner {
     /// condvar needs a mutex.
     completion_mutex: Mutex<()>,
     completion: Condvar,
+    /// Number of threads registered to wait (or about to wait) on `completion`. Finishing tasks
+    /// check it before touching `completion_mutex`, so the common no-waiter retire path costs
+    /// one load instead of a global lock acquisition per effects batch.
+    completion_waiters: std::sync::atomic::AtomicUsize,
+    /// Subset of `completion_waiters` that are *workers* blocked in `taskwait` — the only
+    /// waiters that can steal ready tasks, and hence the only ones worth waking on
+    /// ready-without-completion effects (work recruitment).
+    helper_waiters: std::sync::atomic::AtomicUsize,
+    /// Bumped once per effects batch that dispatched ready work. A `taskwait`er re-reads it
+    /// under `completion_mutex` before committing to an untimed sleep: recruitment ("stealable
+    /// work appeared") is not part of the waiter's completion predicate, so without this epoch
+    /// a dispatch that just missed both the waiter's queue scan and the `helper_waiters` gate
+    /// would strand the ready task until an unrelated wake — forever, on a single worker.
+    recruit_epoch: std::sync::atomic::AtomicUsize,
     observers: Vec<Arc<dyn RuntimeObserver>>,
     panic_message: Mutex<Option<String>>,
     locality_scheduling: bool,
@@ -265,6 +312,9 @@ impl Runtime {
                 pending: PendingSlab::new(),
                 completion_mutex: Mutex::new(()),
                 completion: Condvar::new(),
+                completion_waiters: std::sync::atomic::AtomicUsize::new(0),
+                helper_waiters: std::sync::atomic::AtomicUsize::new(0),
+                recruit_epoch: std::sync::atomic::AtomicUsize::new(0),
                 observers,
                 panic_message: Mutex::new(None),
                 locality_scheduling: config.locality_scheduling,
@@ -309,14 +359,20 @@ impl Runtime {
         };
         schedule_effects(&self.inner, effects, None);
 
-        // Wait until the root (and therefore every descendant) deeply completes.
+        // Wait until the root (and therefore every descendant) deeply completes. The wait is
+        // untimed: deep completion reliably signals `completion` (see the SeqCst register /
+        // check protocol at `schedule_effects`, which closes the lost-wake-up race). A root
+        // that already deep-completed may also already be *retired* — `is_deeply_completed`
+        // answers `true` for its stale id.
         {
+            use std::sync::atomic::Ordering::SeqCst;
+            self.inner.completion_waiters.fetch_add(1, SeqCst);
             let mut guard = self.inner.completion_mutex.lock();
             while !self.inner.engine.is_deeply_completed(root_id) {
-                self.inner
-                    .completion
-                    .wait_for(&mut guard, Duration::from_millis(2));
+                self.inner.completion.wait(&mut guard);
             }
+            drop(guard);
+            self.inner.completion_waiters.fetch_sub(1, SeqCst);
         }
 
         if let Some(message) = self.inner.panic_message.lock().take() {
@@ -342,6 +398,23 @@ impl Runtime {
             body_ns: self.inner.timers.body_ns.load(Ordering::Relaxed),
             retire_ns: self.inner.timers.retire_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current per-task capacity diagnostics (see [`CapacityStats`]).
+    pub fn capacity(&self) -> CapacityStats {
+        CapacityStats {
+            task_table_slots: self.inner.engine.table_capacity(),
+            live_tasks: self.inner.engine.live_tasks(),
+            pending_slots: self.inner.pending.capacity(),
+        }
+    }
+
+    /// Whether `task` has deeply completed (body finished and every descendant deeply
+    /// complete). A *stale* id — the task was retired and its slot possibly reused — returns
+    /// `Err(StaleTaskId)`, never the state of the younger task occupying the slot. Retirement
+    /// implies deep completion, so `Err` can be read as "completed long ago".
+    pub fn try_is_deeply_completed(&self, task: TaskId) -> Result<bool, StaleTaskId> {
+        self.inner.engine.try_is_deeply_completed(task)
     }
 }
 
@@ -434,22 +507,48 @@ impl<'a> TaskCtx<'a> {
     /// task has deeply completed. While waiting, the calling worker keeps executing other ready
     /// tasks (work-conserving wait), so `taskwait` never deadlocks the pool.
     pub fn taskwait(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
         loop {
             if self.inner.engine.live_children(self.record.id) == 0 {
                 return;
             }
+            // Version the queue scan below: recruitment ("stealable work appeared") is not
+            // part of the completion predicate, so a worker must not commit to an untimed
+            // sleep against a scan that a concurrent dispatch raced past. Reading the epoch
+            // *before* scanning makes the pre-sleep recheck sound: a dispatch bumps the epoch
+            // after its pushes, so either the recheck sees a newer epoch (and we rescan), or
+            // the epoch is unchanged — in which case reading the bumped value here would have
+            // ordered the pushes before this scan, i.e. the scan saw everything.
+            let epoch = self.inner.recruit_epoch.load(SeqCst);
             if let Some(worker) = self.worker {
                 if worker.help_one() {
                     continue;
                 }
             }
-            let mut guard = self.inner.completion_mutex.lock();
-            if self.inner.engine.live_children(self.record.id) == 0 {
-                return;
+            // Untimed wait: the drain of any task's last live child notifies `completion`
+            // whenever a waiter is registered (waiters register with SeqCst *before* their
+            // predicate re-check under the mutex, so `schedule_effects`' gate cannot miss
+            // them). Workers additionally register as *helpers* so newly dispatched stealable
+            // work wakes them; both counters are elevated only across the sleep itself.
+            let is_worker = self.worker.is_some();
+            self.inner.completion_waiters.fetch_add(1, SeqCst);
+            if is_worker {
+                self.inner.helper_waiters.fetch_add(1, SeqCst);
             }
-            self.inner
-                .completion
-                .wait_for(&mut guard, Duration::from_millis(1));
+            {
+                let mut guard = self.inner.completion_mutex.lock();
+                // Non-workers cannot steal, so the epoch is irrelevant to them — their wake
+                // condition is fully covered by the `taskwaits_unblocked` notify.
+                if self.inner.engine.live_children(self.record.id) != 0
+                    && (!is_worker || self.inner.recruit_epoch.load(SeqCst) == epoch)
+                {
+                    self.inner.completion.wait(&mut guard);
+                }
+            }
+            self.inner.completion_waiters.fetch_sub(1, SeqCst);
+            if is_worker {
+                self.inner.helper_waiters.fetch_sub(1, SeqCst);
+            }
         }
     }
 
@@ -821,33 +920,57 @@ fn schedule_effects(
     effects: Effects,
     worker: Option<(&WorkerContext<'_, Arc<TaskRecord>>, bool)>,
 ) {
-    if !effects.deeply_completed.is_empty() {
-        inner.completion.notify_all();
-    }
-    if effects.ready.is_empty() {
-        return;
-    }
-    // Claim eagerly: the claims take pending-stripe locks, and the batch submission below holds
-    // the injector's queue lock — feeding it a lazy iterator would nest the former inside the
-    // latter.
-    let records: Vec<Arc<TaskRecord>> =
-        effects.ready.iter().filter_map(|id| inner.pending.claim(*id)).collect();
-    match worker {
-        Some((wctx, use_successor_slot)) if inner.locality_scheduling => {
-            let mut records = records.into_iter();
-            if use_successor_slot {
-                if let Some(first) = records.next() {
-                    wctx.schedule_next(first);
+    if !effects.ready.is_empty() {
+        // Claim eagerly: the claims take pending-stripe locks, and the batch submission below
+        // holds the injector's queue lock — feeding it a lazy iterator would nest the former
+        // inside the latter.
+        let records: Vec<Arc<TaskRecord>> =
+            effects.ready.iter().filter_map(|id| inner.pending.claim(*id)).collect();
+        match worker {
+            Some((wctx, use_successor_slot)) if inner.locality_scheduling => {
+                let mut records = records.into_iter();
+                if use_successor_slot {
+                    if let Some(first) = records.next() {
+                        wctx.schedule_next(first);
+                    }
+                }
+                for record in records {
+                    wctx.push_local(record);
                 }
             }
-            for record in records {
-                wctx.push_local(record);
+            _ => {
+                // One injector operation and one wake signal for the whole wave.
+                inner.pool.submit_batch(records);
             }
         }
-        _ => {
-            // One injector operation and one wake signal for the whole wave.
-            inner.pool.submit_batch(records);
-        }
+        // Publish the dispatch to taskwait-ers committing to an untimed sleep (see
+        // `recruit_epoch`): bumped strictly after the pushes above so that reading the new
+        // epoch makes the pushed work visible to the reader's queue scan.
+        inner.recruit_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    // Wake sleeping waiters — but only when a waiter's condition can actually have changed,
+    // so the common per-task retire path never touches the global completion mutex:
+    //
+    // * a waiter *predicate* flipped (`run`: a root deeply completed; `taskwait`: some task's
+    //   last live child drained) and a completion waiter is registered, or
+    // * new ready work was dispatched (above, so it is findable) and a *worker* `taskwait`er
+    //   is asleep — it wakes and goes back to helping, the recruitment the old 1 ms timed
+    //   poll provided implicitly.
+    //
+    // The notify runs while holding the completion mutex: waiters check their predicate under
+    // this mutex before an *untimed* wait, so an unlocked notify could fire between the check
+    // and the wait and be lost forever. The waiter-count gates cannot miss a waiter: waiters
+    // register (SeqCst) *before* checking their predicate, so a waiter invisible to these
+    // loads registered after them — and its predicate check, which takes the same engine
+    // locks the state change was published under, then observes that change directly.
+    use std::sync::atomic::Ordering::SeqCst;
+    let predicate_flipped = effects.root_completed || !effects.taskwaits_unblocked.is_empty();
+    let wake = (predicate_flipped && inner.completion_waiters.load(SeqCst) > 0)
+        || (!effects.ready.is_empty() && inner.helper_waiters.load(SeqCst) > 0);
+    if wake {
+        let _guard = inner.completion_mutex.lock();
+        inner.completion.notify_all();
     }
 }
 
@@ -856,6 +979,7 @@ mod tests {
     use super::*;
     use crate::data::SharedSlice;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn run_executes_root_body_and_returns_value() {

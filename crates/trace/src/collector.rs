@@ -1,10 +1,19 @@
 //! The trace collector: an observer that records one event per executed task.
+//!
+//! The collector is **bounded**: it keeps at most a configurable number of events (a ring of
+//! the most recent ones) and counts what it sheds, so tracing a long-lived runtime does not
+//! reintroduce the per-task unbounded memory growth the engine's id-retirement scheme removes.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use weakdep_core::{RuntimeObserver, TaskExecution};
+
+/// Default event capacity of a collector: ample for every figure/bench workload in this repo
+/// (the largest traces a few hundred thousand tasks) while bounding a runaway soak at ~64 MiB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
 
 /// One executed task, with nanosecond timestamps relative to the collector's origin.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,14 +37,38 @@ impl TraceEvent {
 
 struct Inner {
     origin: Instant,
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
     workers: usize,
+}
+
+impl Inner {
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            if self.dropped == 0 {
+                // Shedding is deliberate (bounded memory for long-lived runtimes) but must not
+                // be silent: a truncated trace skews every downstream analysis. Warned once
+                // per collector (reset clears it); consumers can poll `dropped()` for details.
+                eprintln!(
+                    "weakdep_trace: collector at capacity ({} events); shedding oldest events \
+                     — analyses will only see the tail (check TraceCollector::dropped())",
+                    self.capacity
+                );
+            }
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
 }
 
 /// Collects [`TraceEvent`]s from a running [`weakdep_core::Runtime`].
 ///
 /// Register it with `RuntimeConfig::observer(collector.clone())`; the same collector can be
-/// shared with the analysis code because it is internally synchronised.
+/// shared with the analysis code because it is internally synchronised. Capacity is bounded
+/// ([`DEFAULT_TRACE_CAPACITY`] by default, or [`TraceCollector::with_capacity`]): once full,
+/// the oldest events are shed and counted in [`TraceCollector::dropped`].
 pub struct TraceCollector {
     inner: Mutex<Inner>,
 }
@@ -47,10 +80,23 @@ impl Default for TraceCollector {
 }
 
 impl TraceCollector {
-    /// Creates an empty collector. The trace origin is the creation time.
+    /// Creates an empty collector with the default capacity. The trace origin is the creation
+    /// time.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an empty collector keeping at most `capacity` events (the most recent ones win;
+    /// older events are shed and counted). A zero capacity is promoted to 1.
+    pub fn with_capacity(capacity: usize) -> Self {
         TraceCollector {
-            inner: Mutex::new(Inner { origin: Instant::now(), events: Vec::new(), workers: 0 }),
+            inner: Mutex::new(Inner {
+                origin: Instant::now(),
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+                workers: 0,
+            }),
         }
     }
 
@@ -59,10 +105,12 @@ impl TraceCollector {
         Arc::new(Self::new())
     }
 
-    /// Clears all recorded events and resets the trace origin (use between benchmark repetitions).
+    /// Clears all recorded events (and the dropped counter) and resets the trace origin (use
+    /// between benchmark repetitions).
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.events.clear();
+        inner.dropped = 0;
         inner.origin = Instant::now();
     }
 
@@ -76,14 +124,24 @@ impl TraceCollector {
         self.len() == 0
     }
 
+    /// Number of events shed because the collector was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The maximum number of events this collector retains.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
     /// Number of workers of the traced runtime (0 if the runtime never started).
     pub fn worker_count(&self) -> usize {
         self.inner.lock().workers
     }
 
-    /// A snapshot of the recorded events.
+    /// A snapshot of the recorded events (oldest retained first).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
     /// Serialises the trace to a JSON array.
@@ -120,7 +178,7 @@ impl TraceCollector {
 
     /// Records an event directly (useful for tests and for importing external traces).
     pub fn record(&self, event: TraceEvent) {
-        self.inner.lock().events.push(event);
+        self.inner.lock().push(event);
     }
 }
 
@@ -156,7 +214,7 @@ impl RuntimeObserver for TraceCollector {
             start_ns,
             end_ns,
         };
-        inner.events.push(event);
+        inner.push(event);
     }
 }
 
@@ -177,6 +235,21 @@ mod tests {
         assert!(csv.contains("1,b,5,25"));
         let json = c.to_json();
         assert!(json.contains("\"label\": \"b\""));
+    }
+
+    #[test]
+    fn capacity_bounds_the_collector_and_counts_drops() {
+        let c = TraceCollector::with_capacity(3);
+        for i in 0..10u64 {
+            c.record(TraceEvent { worker: 0, label: format!("e{i}"), start_ns: i, end_ns: i });
+        }
+        assert_eq!(c.len(), 3, "the ring must retain exactly `capacity` events");
+        assert_eq!(c.dropped(), 7);
+        let labels: Vec<String> = c.events().into_iter().map(|e| e.label).collect();
+        assert_eq!(labels, ["e7", "e8", "e9"], "the most recent events win");
+        c.reset();
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.capacity(), 3);
     }
 
     #[test]

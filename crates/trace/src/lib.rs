@@ -23,5 +23,5 @@ pub use analysis::{
     effective_parallelism, parallelism_profile, summarize, LabelStats, ParallelismProfile,
     TraceSummary,
 };
-pub use collector::{TraceCollector, TraceEvent};
+pub use collector::{TraceCollector, TraceEvent, DEFAULT_TRACE_CAPACITY};
 pub use timeline::{render_timeline, TimelineOptions};

@@ -50,6 +50,7 @@ pub use weakdep_threadpool as threadpool;
 pub use weakdep_trace as trace;
 
 pub use weakdep_core::{
-    AccessType, Depend, Region, Runtime, RuntimeConfig, RuntimeObserver, RuntimeStats,
-    SharedSlice, SpaceId, TaskBuilder, TaskCtx, TaskId, TaskSpec, WaitMode,
+    AccessType, CapacityStats, Depend, Region, Runtime, RuntimeConfig, RuntimeObserver,
+    RuntimeStats, SharedSlice, SpaceId, StaleTaskId, TaskBuilder, TaskCtx, TaskId, TaskSpec,
+    WaitMode,
 };

@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the region-matching data path: declared-footprint normalisation and the
+//! two-tier [`RegionStore`] (exact-match hash tier, lazy promotion, fragmented interval tier),
+//! with the plain [`RegionMap`] as the pre-two-tier reference where the comparison is
+//! meaningful.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use weakdep_core::{normalize_deps, AccessType, Depend};
+use weakdep_regions::{Region, RegionMap, RegionStore, SpaceId};
+
+fn region(start: usize, end: usize) -> Region {
+    Region::new(SpaceId(1), start, end)
+}
+
+/// `normalize_deps` over pairwise-disjoint clauses (the fast path: no region-map machinery)
+/// and over an overlapping clause (the general combining path).
+fn normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize");
+    for &n in &[1usize, 4, 16] {
+        let deps: Vec<Depend> = (0..n)
+            .map(|i| Depend::new(AccessType::InOut, region(i * 64, i * 64 + 32)))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("disjoint", n), &deps, |b, deps| {
+            b.iter(|| normalize_deps(criterion::black_box(deps)))
+        });
+    }
+    let overlapping: Vec<Depend> = (0..8)
+        .map(|i| Depend::new(AccessType::In, region(i * 32, i * 32 + 48)))
+        .collect();
+    group.throughput(Throughput::Elements(8));
+    group.bench_with_input(
+        BenchmarkId::new("overlapping", 8),
+        &overlapping,
+        |b, deps| b.iter(|| normalize_deps(criterion::black_box(deps))),
+    );
+    group.finish();
+}
+
+/// Repeated updates with the *same* region key: the exact-tier O(1) hit against the interval
+/// tier's fragment-and-visit machinery.
+fn exact_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact-hit");
+    const UPDATES: usize = 1024;
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    group.bench_function("region-store", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            for i in 0..UPDATES {
+                store.insert(&region(0, 4096), i as u32);
+            }
+            criterion::black_box(store.len())
+        })
+    });
+    group.bench_function("region-map-reference", |b| {
+        b.iter(|| {
+            let mut map: RegionMap<u32> = RegionMap::new();
+            for i in 0..UPDATES {
+                map.insert(&region(0, 4096), i as u32);
+            }
+            criterion::black_box(map.len())
+        })
+    });
+    group.finish();
+}
+
+/// A population of disjoint exact-tier regions, then one spanning update that promotes them
+/// all — the cost of falling off the fast path once.
+fn promotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("promotion");
+    for &blocks in &[16usize, 128] {
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let mut store: RegionStore<u32> = RegionStore::new();
+                for i in 0..blocks {
+                    store.insert(&region(i * 64, i * 64 + 64), i as u32);
+                }
+                // Straddles every block boundary: promotes the whole population.
+                store.insert(&region(32, blocks * 64 - 32), 999);
+                criterion::black_box(store.fragmented_len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sliding half-overlapping updates (the `fragmented-deps` pattern): after the first promotion
+/// everything runs on the interval tier — the store must stay within noise of the plain map.
+fn fragmented_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragmented-updates");
+    const UPDATES: usize = 512;
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    group.bench_function("region-store", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            for i in 0..UPDATES {
+                store.insert(&region(i * 2, i * 2 + 4), i as u32);
+            }
+            criterion::black_box(store.len())
+        })
+    });
+    group.bench_function("region-map-reference", |b| {
+        b.iter(|| {
+            let mut map: RegionMap<u32> = RegionMap::new();
+            for i in 0..UPDATES {
+                map.insert(&region(i * 2, i * 2 + 4), i as u32);
+            }
+            criterion::black_box(map.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, normalization, exact_hits, promotion, fragmented_updates);
+criterion_main!(benches);

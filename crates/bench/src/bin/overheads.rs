@@ -6,12 +6,19 @@
 //!   acquisition each), from the root context;
 //! * `spawn-batched`    — the same tasks registered through `TaskCtx::spawn_batch` in waves
 //!   (one parent-domain lock acquisition per wave);
+//! * `fragmented-deps`  — every task's region overlaps half of its predecessor's, so every
+//!   registration runs on the *fragmented* tier of the two-tier bottom-map store (the slow-path
+//!   guard for the exact-match optimisation);
 //! * `nested-unbatched` / `nested-batched` — several spawner tasks running on different workers,
 //!   each spawning children into its *own* dependency domain (the access pattern per-domain
 //!   locking parallelises);
 //! * `*-global-lock` — the same workloads with `RuntimeConfig::serialized_engine(true)`: every
 //!   engine operation (spawn *and* retire) behind one global mutex, recreating the seed's single
 //!   `Mutex<State>` design as the baseline.
+//!
+//! Every sample also records the matching-tier counters (`exact_hits` / `promotions` /
+//! `fragmented_updates`) so the JSON shows which tier served each scenario, and — when built
+//! with `--features count-allocs` — heap allocations per task.
 //!
 //! Writes `BENCH_overheads.json` in the current directory so the performance trajectory stays
 //! machine-readable across PRs, and prints a table. `--quick` shrinks the task counts for smoke
@@ -23,6 +30,22 @@ use std::time::Instant;
 use weakdep_bench::{emit, CommonArgs};
 use weakdep_core::{Runtime, RuntimeConfig, SharedSlice, TaskSpec};
 
+/// With `--features count-allocs`, every heap allocation is counted and the table/JSON gain an
+/// allocs-per-task column (the denominator of the allocation-slimming work on the spawn path).
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: weakdep_bench::alloc_counter::CountingAllocator =
+    weakdep_bench::alloc_counter::CountingAllocator;
+
+/// Matching-tier counters of one run: `(exact_hits, promotions, fragmented_updates)` from the
+/// engine's two-tier bottom-map store.
+type Tiers = (usize, usize, usize);
+
+fn tiers(rt: &Runtime) -> Tiers {
+    let engine = rt.stats().engine;
+    (engine.exact_hits, engine.promotions, engine.fragmented_updates)
+}
+
 /// One measured configuration.
 struct Sample {
     scenario: &'static str,
@@ -32,6 +55,12 @@ struct Sample {
     spawn_secs: f64,
     /// Wall time of the whole run (spawn + drain).
     total_secs: f64,
+    /// Heap allocations per task over the whole run (minimum across repetitions), when the
+    /// counting allocator is installed; `None` otherwise.
+    allocs_per_task: Option<f64>,
+    /// Matching-tier counters of the best run, so the JSON shows which tier served each
+    /// scenario's registrations.
+    tiers: Tiers,
 }
 
 impl Sample {
@@ -49,8 +78,8 @@ fn runtime(workers: usize, global_lock: bool) -> Runtime {
 }
 
 /// Root context spawns `tasks` empty-bodied tasks with disjoint `inout` dependencies, one
-/// `spawn` call per task. Returns (spawn-loop seconds, total seconds).
-fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64) {
+/// `spawn` call per task. Returns (spawn-loop seconds, total seconds, tier counters).
+fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64, Tiers) {
     let rt = runtime(workers, global_lock);
     let data = SharedSlice::<u8>::new(tasks);
     let total_start = Instant::now();
@@ -62,13 +91,13 @@ fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64)
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64())
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
 }
 
 /// Pure spawn-path overhead: `tasks` dependency-free empty tasks, one `spawn` call each (the
 /// per-task lock acquisition, record hand-off and worker wake-up, with no dependency
 /// registration mixed in).
-fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64) {
+fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64, Tiers) {
     let rt = runtime(workers, false);
     let total_start = Instant::now();
     let spawn_secs = rt.run(move |ctx| {
@@ -78,11 +107,11 @@ fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64) {
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64())
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
 }
 
 /// The same dependency-free workload through `spawn_batch`.
-fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
+fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
     let rt = runtime(workers, false);
     let total_start = Instant::now();
     let spawn_secs = rt.run(move |ctx| {
@@ -97,11 +126,41 @@ fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64())
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+}
+
+/// Partial-overlap dependency pattern: every task's region covers half of its predecessor's, so
+/// every bottom-map registration *fragments* against existing entries — the worst case for the
+/// exact-match fast tier (every update runs on the interval tier) and the scenario that keeps
+/// the two-tier store honest about its slow path. Batched waves, like `flat_batched`.
+fn fragmented_deps(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
+    let rt = runtime(workers, false);
+    let data = SharedSlice::<u8>::new(2 * tasks + 2);
+    let total_start = Instant::now();
+    let d = data.clone();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        let mut i = 0;
+        while i < tasks {
+            let end = (i + wave).min(tasks);
+            let specs: Vec<TaskSpec> = (i..end)
+                .map(|k| {
+                    ctx.task()
+                        .inout(d.region(2 * k..2 * k + 4))
+                        .label("bench")
+                        .stage(|_| {})
+                })
+                .collect();
+            ctx.spawn_batch(specs);
+            i = end;
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
 }
 
 /// The same workload registered through `spawn_batch`, in waves of `wave` tasks.
-fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
+fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
     let rt = runtime(workers, false);
     let data = SharedSlice::<u8>::new(tasks);
     let total_start = Instant::now();
@@ -119,7 +178,7 @@ fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64) {
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64())
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
 }
 
 /// `spawners` tasks run concurrently on the pool; each spawns `children` tasks into its own
@@ -132,7 +191,7 @@ fn nested(
     children: usize,
     batched: bool,
     global_lock: bool,
-) -> (f64, f64) {
+) -> (f64, f64, Tiers) {
     let rt = runtime(workers, global_lock);
     let data = SharedSlice::<u8>::new(spawners * children);
     let spawn_ns = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -183,18 +242,27 @@ fn nested(
     // spawners (they run in parallel, so the average models the per-domain critical path).
     let avg_spawn = spawn_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9
         / spawners.max(1) as f64;
-    (avg_spawn, total)
+    (avg_spawn, total, tiers(&rt))
 }
 
-fn measure(repeat: usize, f: impl Fn() -> (f64, f64)) -> (f64, f64) {
-    let mut best = (f64::INFINITY, f64::INFINITY);
+/// Best (by spawn time) of `repeat` runs, plus the minimum allocation delta across runs (the
+/// minimum filters warm-up noise such as lazily grown thread-local buffers). The delta is
+/// `None` when the counting allocator is not installed — the counter then never moves.
+fn measure(repeat: usize, f: impl Fn() -> (f64, f64, Tiers)) -> (f64, f64, Option<u64>, Tiers) {
+    let mut best = (f64::INFINITY, f64::INFINITY, (0, 0, 0));
+    let mut min_allocs: Option<u64> = None;
     for _ in 0..repeat {
-        let (spawn, total) = f();
+        let allocs_before = weakdep_bench::alloc_counter::allocations();
+        let (spawn, total, tiers) = f();
+        let delta = weakdep_bench::alloc_counter::allocations() - allocs_before;
+        if delta > 0 {
+            min_allocs = Some(min_allocs.map_or(delta, |m| m.min(delta)));
+        }
         if spawn < best.0 {
-            best = (spawn, total);
+            best = (spawn, total, tiers);
         }
     }
-    best
+    (best.0, best.1, min_allocs, best.2)
 }
 
 fn main() {
@@ -207,24 +275,28 @@ fn main() {
 
     let mut samples: Vec<Sample> = Vec::new();
     for &workers in &worker_counts {
-        let (spawn, total) = measure(args.repeat, || flat_unbatched(workers, tasks, false));
-        samples.push(Sample { scenario: "spawn-unbatched", workers, tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || flat_batched(workers, tasks, wave));
-        samples.push(Sample { scenario: "spawn-batched", workers, tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || flat_unbatched(workers, tasks, true));
-        samples.push(Sample { scenario: "spawn-global-lock", workers, tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || nodeps_unbatched(workers, tasks));
-        samples.push(Sample { scenario: "nodeps-unbatched", workers, tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || nodeps_batched(workers, tasks, wave));
-        samples.push(Sample { scenario: "nodeps-batched", workers, tasks, spawn_secs: spawn, total_secs: total });
+        let mut push = |scenario: &'static str, tasks: usize, m: (f64, f64, Option<u64>, Tiers)| {
+            samples.push(Sample {
+                scenario,
+                workers,
+                tasks,
+                spawn_secs: m.0,
+                total_secs: m.1,
+                allocs_per_task: m.2.map(|a| a as f64 / tasks as f64),
+                tiers: m.3,
+            });
+        };
+        push("spawn-unbatched", tasks, measure(args.repeat, || flat_unbatched(workers, tasks, false)));
+        push("spawn-batched", tasks, measure(args.repeat, || flat_batched(workers, tasks, wave)));
+        push("spawn-global-lock", tasks, measure(args.repeat, || flat_unbatched(workers, tasks, true)));
+        push("nodeps-unbatched", tasks, measure(args.repeat, || nodeps_unbatched(workers, tasks)));
+        push("nodeps-batched", tasks, measure(args.repeat, || nodeps_batched(workers, tasks, wave)));
+        push("fragmented-deps", tasks, measure(args.repeat, || fragmented_deps(workers, tasks, wave)));
 
         let nested_tasks = spawners * children;
-        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, false, false));
-        samples.push(Sample { scenario: "nested-unbatched", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, true, false));
-        samples.push(Sample { scenario: "nested-batched", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
-        let (spawn, total) = measure(args.repeat, || nested(workers, spawners, children, false, true));
-        samples.push(Sample { scenario: "nested-global-lock", workers, tasks: nested_tasks, spawn_secs: spawn, total_secs: total });
+        push("nested-unbatched", nested_tasks, measure(args.repeat, || nested(workers, spawners, children, false, false)));
+        push("nested-batched", nested_tasks, measure(args.repeat, || nested(workers, spawners, children, true, false)));
+        push("nested-global-lock", nested_tasks, measure(args.repeat, || nested(workers, spawners, children, false, true)));
     }
 
     let headers = [
@@ -235,6 +307,10 @@ fn main() {
         "total_ms",
         "spawn_tasks_per_sec",
         "total_tasks_per_sec",
+        "allocs_per_task",
+        "exact_hits",
+        "promotions",
+        "fragmented",
     ];
     let rows: Vec<Vec<String>> = samples
         .iter()
@@ -247,6 +323,10 @@ fn main() {
                 format!("{:.2}", s.total_secs * 1e3),
                 format!("{:.0}", s.spawn_rate()),
                 format!("{:.0}", s.total_rate()),
+                s.allocs_per_task.map_or_else(|| "-".to_string(), |a| format!("{a:.1}")),
+                s.tiers.0.to_string(),
+                s.tiers.1.to_string(),
+                s.tiers.2.to_string(),
             ]
         })
         .collect();
@@ -286,11 +366,16 @@ fn main() {
     }
 
     // Machine-readable trajectory file. An existing "soak" section (spliced in by the `soak`
-    // binary) is preserved — the two binaries own disjoint sections of the same artifact.
+    // binary) and the one-off pre-two-tier allocation baseline are preserved — regenerating
+    // the samples must not drop the other sections of the artifact.
     let path = "BENCH_overheads.json";
-    let soak_section = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|existing| weakdep_bench::overheads_json::extract_soak(&existing));
+    let existing = std::fs::read_to_string(path).ok();
+    let soak_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_soak);
+    let baseline_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_alloc_baseline);
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
@@ -298,7 +383,7 @@ fn main() {
     ));
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"workers\": {}, \"tasks\": {}, \"spawn_secs\": {:.6}, \"total_secs\": {:.6}, \"spawn_tasks_per_sec\": {:.0}, \"total_tasks_per_sec\": {:.0}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"tasks\": {}, \"spawn_secs\": {:.6}, \"total_secs\": {:.6}, \"spawn_tasks_per_sec\": {:.0}, \"total_tasks_per_sec\": {:.0}, \"allocs_per_task\": {}, \"exact_hits\": {}, \"promotions\": {}, \"fragmented_updates\": {}}}{}\n",
             s.scenario,
             s.workers,
             s.tasks,
@@ -306,10 +391,26 @@ fn main() {
             s.total_secs,
             s.spawn_rate(),
             s.total_rate(),
+            s.allocs_per_task.map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
+            s.tiers.0,
+            s.tiers.1,
+            s.tiers.2,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    // Carry the historical allocation baseline forward (recorded once, when the two-tier store
+    // landed, on the pre-two-tier engine), so the allocs/task reduction stays visible next to
+    // the current numbers without any rerun re-stamping a stale measurement as fresh.
+    match &baseline_section {
+        Some(section) => {
+            json.push_str(",\n");
+            json.push_str(section);
+            json.push('\n');
+        }
+        None => json.push('\n'),
+    }
+    json.push_str("}\n");
     // Re-attach the preserved soak section through the same tested splice the `soak` binary
     // uses, so the merge format lives in exactly one place.
     let json = match soak_section {

@@ -18,6 +18,13 @@ use std::time::Instant;
 use weakdep_bench::CommonArgs;
 use weakdep_core::{CapacityStats, Runtime, SharedSlice, TaskSpec};
 
+/// With `--features count-allocs`, heap allocations are counted and the soak section of
+/// `BENCH_overheads.json` records steady-state allocations per task.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: weakdep_bench::alloc_counter::CountingAllocator =
+    weakdep_bench::alloc_counter::CountingAllocator;
+
 /// Resident set size in KiB, if the platform exposes `/proc/self/status`.
 fn rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -42,6 +49,7 @@ fn main() {
     let data = SharedSlice::<u64>::new(cells);
     let executed = Arc::new(AtomicUsize::new(0));
     let mut samples: Vec<WaveSample> = Vec::with_capacity(waves);
+    let allocs_before = weakdep_bench::alloc_counter::allocations();
     let start = Instant::now();
 
     {
@@ -72,6 +80,10 @@ fn main() {
         });
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let alloc_delta = weakdep_bench::alloc_counter::allocations() - allocs_before;
+    // `0` means the counting allocator is not installed (the default build).
+    let allocs_per_task =
+        (alloc_delta > 0).then(|| alloc_delta as f64 / total_tasks as f64);
 
     // ---- Verification: throughput sanity and the capacity plateau. ----
     assert_eq!(executed.load(Ordering::Relaxed), total_tasks);
@@ -130,6 +142,9 @@ fn main() {
         println!("  rss: wave0={r0} KiB final={r1} KiB");
     }
     println!("  retired: {} / registered: {}", stats.engine.tasks_retired, stats.engine.tasks_registered);
+    if let Some(a) = allocs_per_task {
+        println!("  allocs/task: {a:.1}");
+    }
 
     // ---- Splice the soak record into BENCH_overheads.json. ----
     let soak = format!(
@@ -138,7 +153,8 @@ fn main() {
             "\"quick\": {}, \"elapsed_secs\": {:.6}, \"tasks_per_sec\": {:.0}, ",
             "\"table_slots_wave0\": {}, \"table_slots_final\": {}, \"table_slots_max\": {}, ",
             "\"pending_slots_wave0\": {}, \"pending_slots_final\": {}, \"pending_slots_max\": {}, ",
-            "\"rss_kb_wave0\": {}, \"rss_kb_final\": {}, \"tasks_retired\": {}}}\n"
+            "\"rss_kb_wave0\": {}, \"rss_kb_final\": {}, \"tasks_retired\": {}, ",
+            "\"allocs_per_task\": {}}}\n"
         ),
         total_tasks,
         waves,
@@ -156,6 +172,7 @@ fn main() {
         first.rss_kb.map_or("null".to_string(), |v| v.to_string()),
         last.rss_kb.map_or("null".to_string(), |v| v.to_string()),
         stats.engine.tasks_retired,
+        allocs_per_task.map_or("null".to_string(), |a| format!("{a:.1}")),
     );
     let path = "BENCH_overheads.json";
     let existing = std::fs::read_to_string(path).ok();

@@ -200,12 +200,63 @@ mod tests {
     }
 }
 
+/// Heap-allocation counting for the `count-allocs` feature: the `overheads` and `soak` binaries
+/// install [`alloc_counter::CountingAllocator`] as the global allocator when built with
+/// `--features count-allocs`, and report allocations per task next to the throughput numbers.
+/// The type itself is always compiled (it is inert unless registered via `#[global_allocator]`),
+/// so only the registration in the binaries is feature-gated.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// A pass-through global allocator that counts every allocation (and reallocation — each
+    /// grow/shrink is a fresh trip to the allocator, which is exactly the hot-path cost the
+    /// counter exists to expose). Frees are not counted: allocs/task is the metric.
+    pub struct CountingAllocator;
+
+    // SAFETY: defers every operation to `System` unchanged; the counter is a relaxed atomic.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Total heap allocations observed so far. Stays `0` unless [`CountingAllocator`] has been
+    /// installed as the global allocator (the `count-allocs` feature of the bench binaries).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
 /// Shared handling of `BENCH_overheads.json`, which two binaries co-own: `overheads` writes the
 /// `samples` sections and `soak` splices a trailing `"soak"` section. Both go through these
 /// helpers so neither writer can silently drop the other's data. Invariant maintained by both:
 /// the soak section, when present, is the **last** top-level key of the object.
 pub mod overheads_json {
     const MARKER: &str = "  \"soak\":";
+    const BASELINE_MARKER: &str = "  \"alloc_baseline_pre_two_tier\":";
+
+    /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
+    /// snapshot recorded once when the two-tier store landed), if present. The `overheads`
+    /// binary *preserves* this across regenerations — it is a historical reference point, not
+    /// something a rerun can re-measure.
+    pub fn extract_alloc_baseline(text: &str) -> Option<String> {
+        let start = text.find(BASELINE_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
 
     /// Extracts the soak section (marker through the end of the object, without the file's
     /// closing brace or a trailing comma) from a previously written file, if present.
@@ -250,6 +301,16 @@ pub mod overheads_json {
         use super::*;
 
         const SOAK: &str = "  \"soak\": {\"tasks\": 7}\n";
+
+        #[test]
+        fn alloc_baseline_is_extracted_verbatim() {
+            let text = "{\n  \"samples\": [\n  ],\n  \"alloc_baseline_pre_two_tier\": {\"spawn-batched\": 37.2},\n  \"soak\": {}\n}\n";
+            assert_eq!(
+                extract_alloc_baseline(text).as_deref(),
+                Some("  \"alloc_baseline_pre_two_tier\": {\"spawn-batched\": 37.2}")
+            );
+            assert_eq!(extract_alloc_baseline("{\n}\n"), None);
+        }
 
         #[test]
         fn splice_appends_replaces_and_round_trips_with_extract() {

@@ -122,30 +122,36 @@ pub struct NormalizedDep {
 /// combining them with an upgrade rule is the conservative choice and what the Nanos6 runtime
 /// does in practice.
 pub fn normalize_deps(deps: &[Depend]) -> Vec<NormalizedDep> {
-    // Fast path for the overwhelmingly common declarations (one dependency, or a few over
-    // strictly separated regions): no fragmentation or combining can occur, so the general
-    // region-map machinery — several allocations per call, on the task-creation hot path — is
-    // skipped. Adjacent same-space regions fall through so they still coalesce.
-    if deps.len() <= 3 {
-        let separated = deps.iter().enumerate().all(|(i, a)| {
-            !a.region.is_empty()
-                && deps[..i].iter().all(|b| {
-                    a.region.space != b.region.space
-                        || a.region.end < b.region.start
-                        || b.region.end < a.region.start
-                })
-        });
-        if separated {
-            let mut out: Vec<NormalizedDep> = deps
-                .iter()
-                .map(|d| NormalizedDep {
-                    region: d.region,
-                    is_write: d.access.is_write(),
-                    weak: d.access.is_weak(),
-                })
-                .collect();
+    // Fast path for the overwhelmingly common declarations: pairwise strictly separated
+    // regions. No fragmentation or combining can occur then, so the general region-map
+    // machinery — several allocations per call, on the task-creation hot path — is skipped
+    // entirely. The check sorts the candidate output (which the slow path produces sorted
+    // anyway) and scans adjacent pairs, so it is O(n log n) for any clause length instead of
+    // the quadratic scan the old ≤3-entry fast path used. Adjacent same-space regions fall
+    // through to the slow path so equal-mode neighbours still coalesce.
+    if !deps.is_empty() {
+        let mut out: Vec<NormalizedDep> = Vec::with_capacity(deps.len());
+        let mut all_non_empty = true;
+        for d in deps {
+            if d.region.is_empty() {
+                all_non_empty = false;
+                break;
+            }
+            out.push(NormalizedDep {
+                region: d.region,
+                is_write: d.access.is_write(),
+                weak: d.access.is_weak(),
+            });
+        }
+        if all_non_empty {
             out.sort_unstable_by_key(|d| (d.region.space, d.region.start));
-            return out;
+            let separated = out.windows(2).all(|pair| {
+                pair[0].region.space != pair[1].region.space
+                    || pair[0].region.end < pair[1].region.start
+            });
+            if separated {
+                return out;
+            }
         }
     }
 
@@ -244,6 +250,40 @@ mod tests {
         ];
         let norm = normalize_deps(&deps);
         assert_eq!(norm, vec![NormalizedDep { region: r(0, 20), is_write: false, weak: false }]);
+    }
+
+    #[test]
+    fn normalize_long_disjoint_clause_takes_fast_path() {
+        // More entries than the historical fast-path bound, deliberately unsorted: the result
+        // must be sorted and identical to what the general path would produce.
+        let deps: Vec<Depend> = [4usize, 0, 2, 5, 1, 3]
+            .iter()
+            .map(|&i| Depend::new(AccessType::InOut, r(i * 20, i * 20 + 10)))
+            .collect();
+        let norm = normalize_deps(&deps);
+        assert_eq!(norm.len(), 6);
+        for (i, d) in norm.iter().enumerate() {
+            assert_eq!(d.region, r(i * 20, i * 20 + 10));
+            assert!(d.is_write && !d.weak);
+        }
+    }
+
+    #[test]
+    fn normalize_long_overlapping_clause_still_combines() {
+        // Six entries where two overlap: the fast path must reject and the slow path combine.
+        let mut deps: Vec<Depend> = (0..5)
+            .map(|i| Depend::new(AccessType::In, r(i * 20, i * 20 + 10)))
+            .collect();
+        deps.push(Depend::new(AccessType::Out, r(5, 25)));
+        let norm = normalize_deps(&deps);
+        // [0,5) stays read-only; [5,25) combines into one write fragment (upgraded overlaps
+        // coalesced with the write-only middle).
+        assert!(norm.iter().any(|d| d.region == r(0, 5) && !d.is_write));
+        assert!(norm.iter().any(|d| d.region == r(5, 25) && d.is_write));
+        // Sorted output, no overlaps.
+        for pair in norm.windows(2) {
+            assert!(pair[0].region.end <= pair[1].region.start);
+        }
     }
 
     #[test]

@@ -75,8 +75,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
-use smallvec::SmallVec;
-use weakdep_regions::{CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet};
+use smallvec::{smallvec, SmallVec};
+use weakdep_regions::{
+    CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet, RegionStore, StoreTier,
+};
 
 use crate::access::{normalize_deps, Depend, NormalizedDep, WaitMode};
 
@@ -198,6 +200,16 @@ pub struct EngineStats {
     /// Tasks whose table slot has been retired (recycled for reuse). Under steady-state load
     /// this tracks `tasks_deeply_completed`; the difference is the not-yet-reclaimed tail.
     pub tasks_retired: usize,
+    /// Bottom-map registrations served entirely by the exact-match fast tier of the two-tier
+    /// [`RegionStore`] (a hash hit on the declared region, or a fresh admission of a region
+    /// overlapping nothing).
+    pub exact_hits: usize,
+    /// Bottom-map registrations that *promoted* at least one exact-tier region to the
+    /// fragmented tier — the first partial overlap ever seen over those regions.
+    pub promotions: usize,
+    /// Bottom-map registrations that ran on the fragmented (interval) tier, the promoting ones
+    /// included.
+    pub fragmented_updates: usize,
 }
 
 #[derive(Default)]
@@ -210,6 +222,9 @@ struct AtomicStats {
     incremental_releases: AtomicUsize,
     tasks_deeply_completed: AtomicUsize,
     tasks_retired: AtomicUsize,
+    exact_hits: AtomicUsize,
+    promotions: AtomicUsize,
+    fragmented_updates: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -223,6 +238,9 @@ impl AtomicStats {
             incremental_releases: self.incremental_releases.load(Ordering::Relaxed),
             tasks_deeply_completed: self.tasks_deeply_completed.load(Ordering::Relaxed),
             tasks_retired: self.tasks_retired.load(Ordering::Relaxed),
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            fragmented_updates: self.fragmented_updates.load(Ordering::Relaxed),
         }
     }
 
@@ -259,6 +277,20 @@ struct BottomEntry {
 /// fragment, which `SmallVec` keeps allocation-free.
 type EdgeMap = RegionMap<SmallVec<[u32; 2]>>;
 
+/// Inline-capacity fragment list used by the domain-local cascade and the cross-domain
+/// messages. The exact-match common case carries a single whole region, so these never touch
+/// the heap on the hot path. Inline capacity 1 keeps queued events/messages small (the vendored
+/// `SmallVec` stores inline slots as `Option<T>`); multi-fragment lists only occur on the
+/// already-promoted slow path, where the spill allocation is noise.
+type Parts = SmallVec<[Region; 1]>;
+
+/// Inline-capacity fragment list for one staged own-access pending mirror: empty (the access
+/// was satisfied at registration) or the whole region, in the common case.
+type SeedParts = SmallVec<[Region; 1]>;
+
+/// The staged own-access seeds of a not-yet-expanded domain (see [`Domain::own_seed`]).
+type Seeds = SmallVec<[(Region, SeedParts); 2]>;
+
 /// The node half of an access: lives in the domain the access was registered in (the domain of
 /// its task's parent), where it participates in the dependency DAG.
 #[derive(Debug)]
@@ -277,6 +309,45 @@ struct AccessNode {
     /// `true` if the owning task's domain mirrors part of this access as unsatisfied
     /// (`OwnAccess::pending_down` started non-empty), so satisfaction must be forwarded down.
     has_mirror: bool,
+    /// Per-fragment dependency state: compact while the region transitions as one unit,
+    /// promoted to the general containers on the first partial-fragment operation.
+    state: NodeState,
+    /// Own accesses of this domain's owner whose coverage this access contributes to, with the
+    /// overlap region (the §V hand-over bookkeeping).
+    parent_coverage: SmallVec<[(u32, Region); 2]>,
+}
+
+/// Per-fragment state of an access node.
+///
+/// The overwhelming majority of accesses (whole-block deps of blocked kernels) live and die as
+/// a **single fragment**: every predecessor, successor edge, completion and release covers the
+/// whole declared region. [`NodeState::Compact`] represents that case with a counter, two flags
+/// and an inline successor list — no heap allocation at any point in the node's life. The first
+/// operation that touches a *proper sub-region* (a partially overlapping sibling, a weakwait
+/// hand-over of a sub-block, a partial `release` directive) promotes the node to
+/// [`NodeState::Fragmented`], which carries the general per-fragment containers. The box keeps
+/// the slab slot at the compact size; promotion is the rare path and pays the one allocation.
+#[derive(Debug)]
+enum NodeState {
+    Compact(CompactState),
+    Fragmented(Box<FragmentedState>),
+}
+
+#[derive(Debug)]
+struct CompactState {
+    /// Number of predecessors over the whole region that have not delivered the data yet.
+    unsatisfied: u32,
+    /// The task (or a live child) may still access the region.
+    uncompleted: bool,
+    /// The region has not been handed to successors yet.
+    unreleased: bool,
+    /// Same-domain successors waiting for the whole region.
+    release_edges: SmallVec<[u32; 2]>,
+}
+
+/// The general (per-fragment) containers, exactly the pre-two-tier node layout.
+#[derive(Debug)]
+struct FragmentedState {
     /// Per-fragment count of predecessors that have not delivered the data yet. A fragment is
     /// *satisfied* when its count drops to zero (several predecessors — e.g. a group of readers —
     /// can cover the same fragment).
@@ -287,9 +358,238 @@ struct AccessNode {
     unreleased: RegionSet,
     /// Same-domain successors (satisfied by my release), by pending fragment.
     release_edges: EdgeMap,
-    /// Own accesses of this domain's owner whose coverage this access contributes to, with the
-    /// overlap region (the §V hand-over bookkeeping).
-    parent_coverage: SmallVec<[(u32, Region); 2]>,
+}
+
+impl AccessNode {
+    /// Expands the compact state into the general containers. Idempotent; called on the first
+    /// operation that does not cover the whole region.
+    fn promote(&mut self) {
+        let NodeState::Compact(c) = &mut self.state else { return };
+        let mut fragmented = FragmentedState {
+            unsatisfied: CoverageCounter::new(),
+            uncompleted: RegionSet::new(),
+            unreleased: RegionSet::new(),
+            release_edges: EdgeMap::new(),
+        };
+        for _ in 0..c.unsatisfied {
+            fragmented.unsatisfied.increment(&self.region);
+        }
+        if c.uncompleted {
+            fragmented.uncompleted.add(&self.region);
+        }
+        if c.unreleased {
+            fragmented.unreleased.add(&self.region);
+        }
+        let edges = std::mem::take(&mut c.release_edges);
+        if !edges.is_empty() {
+            fragmented.release_edges.insert(&self.region, edges);
+        }
+        self.state = NodeState::Fragmented(Box::new(fragmented));
+    }
+
+    /// `true` if no fragment still waits for a predecessor.
+    fn fully_satisfied(&self) -> bool {
+        match &self.state {
+            NodeState::Compact(c) => c.unsatisfied == 0,
+            NodeState::Fragmented(f) => f.unsatisfied.is_empty(),
+        }
+    }
+
+    /// `true` once every fragment has been released to successors.
+    fn fully_released(&self) -> bool {
+        match &self.state {
+            NodeState::Compact(c) => !c.unreleased,
+            NodeState::Fragmented(f) => f.unreleased.is_empty(),
+        }
+    }
+
+    /// The still-unsatisfied parts of the declared region — the staged `pending_down` mirror
+    /// for the task's own domain.
+    fn unsatisfied_parts(&self) -> SeedParts {
+        match &self.state {
+            NodeState::Compact(c) => {
+                if c.unsatisfied > 0 {
+                    smallvec![self.region]
+                } else {
+                    SmallVec::new()
+                }
+            }
+            NodeState::Fragmented(f) => f
+                .unsatisfied
+                .covered_parts(&self.region)
+                .into_iter()
+                .map(|(part, _count)| part)
+                .collect(),
+        }
+    }
+
+    /// Registers one pending predecessor over `part`.
+    fn add_unsatisfied(&mut self, part: &Region) {
+        if let NodeState::Compact(c) = &mut self.state {
+            if part.contains_region(&self.region) {
+                c.unsatisfied += 1;
+                return;
+            }
+            self.promote();
+        }
+        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
+        f.unsatisfied.increment(part);
+    }
+
+    /// Registers a same-domain successor edge over `part`.
+    fn add_release_edge(&mut self, part: &Region, to: u32) {
+        if let NodeState::Compact(c) = &mut self.state {
+            if part.contains_region(&self.region) {
+                c.release_edges.push(to);
+                return;
+            }
+            self.promote();
+        }
+        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
+        f.release_edges.update(part, |_, existing| {
+            let mut targets: SmallVec<[u32; 2]> = existing.cloned().unwrap_or_default();
+            targets.push(to);
+            RangeUpdate::Set(targets)
+        });
+    }
+
+    /// Appends the not-yet-released parts of `over` to `out` (the pending extent of a new edge
+    /// from this node).
+    fn unreleased_parts(&self, over: &Region, out: &mut Parts) {
+        match &self.state {
+            NodeState::Compact(c) => {
+                if c.unreleased {
+                    if let Some(part) = self.region.intersection(over) {
+                        out.push(part);
+                    }
+                }
+            }
+            NodeState::Fragmented(f) => {
+                f.unreleased.for_each_intersection(over, |part| out.push(part));
+            }
+        }
+    }
+
+    /// Marks `part` as satisfied by one predecessor; appends the fragments that became *fully*
+    /// satisfied to `newly`.
+    fn satisfy_part(&mut self, part: &Region, newly: &mut Parts) {
+        if let NodeState::Compact(c) = &mut self.state {
+            if part.contains_region(&self.region) {
+                if c.unsatisfied > 0 {
+                    c.unsatisfied -= 1;
+                    if c.unsatisfied == 0 {
+                        newly.push(self.region);
+                    }
+                }
+                return;
+            }
+            if !part.intersects(&self.region) {
+                return;
+            }
+            self.promote();
+        }
+        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
+        newly.extend(f.unsatisfied.decrement(part));
+    }
+
+    /// Marks `part` as completed; appends the fragments that transitioned to `newly`.
+    fn complete_part(&mut self, part: &Region, newly: &mut Parts) {
+        if let NodeState::Compact(c) = &mut self.state {
+            if part.contains_region(&self.region) {
+                if c.uncompleted {
+                    c.uncompleted = false;
+                    newly.push(self.region);
+                }
+                return;
+            }
+            if !part.intersects(&self.region) {
+                return;
+            }
+            self.promote();
+        }
+        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
+        newly.extend(f.uncompleted.remove(part));
+    }
+
+    /// Appends the sub-parts of `candidate` that are releasable *now* (unreleased, fully
+    /// satisfied and completed) to `out`.
+    fn releasable_parts(&self, candidate: &Region, out: &mut SmallVec<[Region; 4]>) {
+        match &self.state {
+            NodeState::Compact(c) => {
+                // Compact state is all-or-nothing: the region is releasable exactly when the
+                // whole of it is satisfied and completed.
+                if c.unreleased && c.unsatisfied == 0 && !c.uncompleted {
+                    if let Some(part) = self.region.intersection(candidate) {
+                        out.push(part);
+                    }
+                }
+            }
+            NodeState::Fragmented(f) => {
+                // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted
+                let mut unreleased: SmallVec<[Region; 4]> = SmallVec::new();
+                f.unreleased.for_each_intersection(candidate, |part| unreleased.push(part));
+                for part in &unreleased {
+                    let blocked_by_satisfaction = f.unsatisfied.covered_parts(part);
+                    let blocked_by_completion = f.uncompleted.intersection(part);
+                    let mut pieces: SmallVec<[Region; 4]> = smallvec![*part];
+                    let blockers = blocked_by_satisfaction
+                        .iter()
+                        .map(|(region, _count)| region)
+                        .chain(blocked_by_completion.iter());
+                    for blocker in blockers {
+                        let mut rest: SmallVec<[Region; 4]> = SmallVec::new();
+                        for piece in &pieces {
+                            piece.subtract_each(blocker, |r| rest.push(r));
+                        }
+                        pieces = rest;
+                    }
+                    out.extend(pieces);
+                }
+            }
+        }
+    }
+
+    /// Removes `part` from the unreleased set, appending what was actually removed to `out`.
+    fn release_part(&mut self, part: &Region, out: &mut Parts) {
+        if let NodeState::Compact(c) = &mut self.state {
+            if part.contains_region(&self.region) {
+                if c.unreleased {
+                    c.unreleased = false;
+                    out.push(self.region);
+                }
+                return;
+            }
+            if !part.intersects(&self.region) {
+                return;
+            }
+            self.promote();
+        }
+        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
+        out.extend(f.unreleased.remove(part));
+    }
+
+    /// Consumes the release edges overlapping the just-released `part`, delivering each
+    /// `(fragment, targets)` group.
+    fn take_release_edges(
+        &mut self,
+        part: &Region,
+        mut deliver: impl FnMut(Region, SmallVec<[u32; 2]>),
+    ) {
+        match &mut self.state {
+            NodeState::Compact(c) => {
+                // Compact edges always span the whole region; a partial release would have
+                // promoted the node in `release_part` before reaching here.
+                if part.contains_region(&self.region) && !c.release_edges.is_empty() {
+                    deliver(self.region, std::mem::take(&mut c.release_edges));
+                }
+            }
+            NodeState::Fragmented(f) => {
+                for (fragment, targets) in f.release_edges.remove(part) {
+                    deliver(fragment, targets);
+                }
+            }
+        }
+    }
 }
 
 /// A slab slot holding an access node. The generation is bumped on free so stale [`NodeRef`]s
@@ -352,19 +652,36 @@ struct Domain {
     /// the first time anything needs them. Most tasks are leaves that never spawn children nor
     /// receive `SatisfyDown`, so the laziness keeps several container allocations and map inserts
     /// off the per-spawn hot path.
-    own_seed: Option<Vec<(Region, Vec<Region>)>>,
+    own_seed: Option<Seeds>,
     /// Lower halves of the owner's own accesses (parallel to `TaskEntry::nodes_in_parent`).
     own: Vec<OwnAccess>,
     /// Region → own-access index (used for coverage bookkeeping at child registration).
     own_map: RegionMap<u32>,
-    /// The dependency domain for the owner's children.
-    bottom_map: RegionMap<BottomEntry>,
+    /// The dependency domain for the owner's children: the two-tier store (exact-match hash
+    /// tier with lazy per-region promotion to the interval tier on the first partial overlap).
+    bottom_map: RegionStore<BottomEntry>,
     /// Slab of child access nodes.
     nodes: Vec<NodeSlot>,
     free_nodes: Vec<u32>,
     /// Slab of per-child scheduling records.
     sched: Vec<Option<ChildSched>>,
     free_sched: Vec<u32>,
+    /// Reusable scratch for the edges planned during one `link_into_domain` (lives here so the
+    /// per-registration buffer is allocated once per domain, not once per access).
+    scratch_edges: Vec<PlannedEdge>,
+}
+
+/// One edge recorded while fragmenting a new access against the bottom map, created after the
+/// map update completes (the map is borrowed during the visit).
+struct PlannedEdge {
+    from: Accessor,
+    over: Region,
+}
+
+impl std::fmt::Debug for PlannedEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} over {:?}", self.from, self.over)
+    }
 }
 
 impl Domain {
@@ -377,14 +694,15 @@ impl Domain {
             body_finished: false,
             deeply_completed: false,
             live_children: 0,
-            own_seed: Some(Vec::new()),
+            own_seed: Some(SmallVec::new()),
             own: Vec::new(),
             own_map: RegionMap::new(),
-            bottom_map: RegionMap::new(),
+            bottom_map: RegionStore::new(),
             nodes: Vec::new(),
             free_nodes: Vec::new(),
             sched: Vec::new(),
             free_sched: Vec::new(),
+            scratch_edges: Vec::new(),
         }
     }
 
@@ -414,7 +732,9 @@ impl Domain {
                 early_release: RegionSet::new(),
             });
             self.own_map.insert(&region, own_idx as u32);
-            self.bottom_map.insert(
+            // Own regions are normalised (pairwise disjoint), so the seeds land in the exact
+            // tier; the first partially-overlapping child promotes its region.
+            let _ = self.bottom_map.insert(
                 &region,
                 BottomEntry {
                     last_writer: Some(Accessor::Own(own_idx as u32)),
@@ -478,7 +798,7 @@ impl Domain {
     /// caller must retire its table slot.
     fn try_free_node(&mut self, idx: u32) -> Option<TaskId> {
         let node = self.node(idx)?;
-        if !node.unreleased.is_empty() {
+        if !node.fully_released() {
             return None;
         }
         let sched_idx = node.sched;
@@ -524,10 +844,10 @@ struct TaskEntry {
 enum Message {
     /// Fragments of `target`'s own access `own_idx` became satisfied in the parent's domain:
     /// update the `pending_down` mirror and fire downward satisfaction edges.
-    SatisfyDown { target: Arc<TaskEntry>, own_idx: u32, parts: Vec<Region> },
+    SatisfyDown { target: Arc<TaskEntry>, own_idx: u32, parts: Parts },
     /// Fragments of `task`'s own access `own_idx` completed from below (weakwait hand-over or
     /// `release` directive): complete them on the node half in the parent's domain `target`.
-    CompleteUp { target: Arc<TaskEntry>, task: Arc<TaskEntry>, own_idx: u32, parts: Vec<Region> },
+    CompleteUp { target: Arc<TaskEntry>, task: Arc<TaskEntry>, own_idx: u32, parts: Parts },
     /// `child` deeply completed: complete its remaining fragments in the parent's domain
     /// `target`, decrement the parent's live-child count and recycle the child's slots.
     ChildDone { target: Arc<TaskEntry>, child: Arc<TaskEntry> },
@@ -548,8 +868,8 @@ impl Message {
 /// Domain-local cascade events, processed iteratively to keep the call stack flat.
 #[derive(Debug)]
 enum Event {
-    Satisfy { node: u32, parts: Vec<Region> },
-    Complete { node: u32, parts: Vec<Region> },
+    Satisfy { node: u32, parts: Parts },
+    Complete { node: u32, parts: Parts },
 }
 
 /// Number of stripes in the task table. Lookups take a stripe lock only long enough to clone an
@@ -813,10 +1133,14 @@ impl DependencyEngine {
                 region: dep.region,
                 weak: dep.weak,
                 has_mirror: false,
-                unsatisfied: CoverageCounter::new(),
-                uncompleted: RegionSet::from_region(dep.region),
-                unreleased: RegionSet::from_region(dep.region),
-                release_edges: EdgeMap::new(),
+                // The compact single-fragment state: uncompleted, unreleased, no predecessors
+                // yet. No container is allocated unless the region ever fragments.
+                state: NodeState::Compact(CompactState {
+                    unsatisfied: 0,
+                    uncompleted: true,
+                    unreleased: true,
+                    release_edges: SmallVec::new(),
+                }),
                 parent_coverage: SmallVec::new(),
             });
             domain.sched[sched_idx as usize]
@@ -833,19 +1157,14 @@ impl DependencyEngine {
             // The seed is only expanded into live structures if the child ever needs a domain
             // (`Domain::ensure_seeded`).
             let node = domain.node(node_ref.idx).expect("node just allocated");
-            let pending_down: Vec<Region> = node
-                .unsatisfied
-                .covered_parts(&dep.region)
-                .into_iter()
-                .map(|(part, _count)| part)
-                .collect();
+            let pending_down = node.unsatisfied_parts();
             let has_mirror = !pending_down.is_empty();
             domain.node_mut(node_ref.idx).expect("node just allocated").has_mirror = has_mirror;
             child_seeds.push((dep.region, pending_down));
 
             // Count the access towards readiness if it is strong and has pending predecessors.
             let node = domain.node(node_ref.idx).expect("node just allocated");
-            if !node.weak && !node.unsatisfied.is_empty() {
+            if !node.weak && !node.fully_satisfied() {
                 domain.sched[sched_idx as usize]
                     .as_mut()
                     .expect("sched slot just allocated")
@@ -888,18 +1207,18 @@ impl DependencyEngine {
 
     /// Links a freshly created access node into the (locked) domain's bottom map, fragmenting
     /// against existing entries and creating the required edges.
+    ///
+    /// The common case — the declared region matches a bottom-map entry exactly, or overlaps
+    /// nothing — is served by the store's exact tier: one hash operation, no fragmentation, no
+    /// allocation (the planned-edge scratch lives in the domain and is reused).
     fn link_into_domain(&self, domain: &mut Domain, node_ref: NodeRef, region: Region, is_write: bool) {
-        struct PlannedEdge {
-            from: Accessor,
-            over: Region,
-        }
-        let mut planned: Vec<PlannedEdge> = Vec::new();
+        let mut planned = std::mem::take(&mut domain.scratch_edges);
+        debug_assert!(planned.is_empty());
 
         // First pass: fragment the region against the bottom map, record which edges to create
-        // and compute the new entry for every fragment. (The map is taken out of the domain to
-        // appease the borrow checker; only `planned` is touched inside the closure.)
-        let mut bottom_map = std::mem::take(&mut domain.bottom_map);
-        bottom_map.update(&region, |fragment, existing| {
+        // and compute the new entry for every fragment. (The scratch is taken out of the domain
+        // so the closure only captures locals.)
+        let tier = domain.bottom_map.update(&region, |fragment, existing| {
             let new_entry = match existing {
                 Some(entry) => {
                     if is_write {
@@ -946,27 +1265,42 @@ impl DependencyEngine {
             };
             RangeUpdate::Set(new_entry)
         });
-        domain.bottom_map = bottom_map;
+        match tier {
+            StoreTier::ExactHit | StoreTier::ExactNew => {
+                AtomicStats::bump(&self.stats.exact_hits, 1);
+            }
+            StoreTier::Promoted => {
+                AtomicStats::bump(&self.stats.promotions, 1);
+                AtomicStats::bump(&self.stats.fragmented_updates, 1);
+            }
+            StoreTier::Fragmented => {
+                AtomicStats::bump(&self.stats.fragmented_updates, 1);
+            }
+        }
 
-        for edge in planned {
+        for edge in planned.drain(..) {
             self.add_edge(domain, edge.from, node_ref.idx, &edge.over);
         }
+        domain.scratch_edges = planned;
     }
 
     /// Creates a dependency edge from `from` to the new node `to` over `over`. An edge whose
     /// source is one of the domain owner's own accesses is a cross-domain (satisfaction
     /// forwarding) edge; a sibling source makes a same-domain release edge.
     fn add_edge(&self, domain: &mut Domain, from: Accessor, to: u32, over: &Region) {
-        let pending: Vec<Region> = match from {
+        let mut pending: Parts = SmallVec::new();
+        match from {
             Accessor::Own(own_idx) => {
-                domain.own[own_idx as usize].pending_down.intersection(over)
+                domain.own[own_idx as usize]
+                    .pending_down
+                    .for_each_intersection(over, |part| pending.push(part));
             }
             Accessor::Child(source) => match domain.resolve(source) {
                 // A recycled slot means the source was fully released: no pending fragments.
-                None => Vec::new(),
-                Some(node) => node.unreleased.intersection(over),
+                None => {}
+                Some(node) => node.unreleased_parts(over, &mut pending),
             },
-        };
+        }
         if pending.is_empty() {
             return;
         }
@@ -974,29 +1308,28 @@ impl DependencyEngine {
             domain
                 .node_mut(to)
                 .expect("edge target just allocated")
-                .unsatisfied
-                .increment(part);
+                .add_unsatisfied(part);
         }
-        let edge_map = match from {
+        match from {
             Accessor::Own(own_idx) => {
                 AtomicStats::bump(&self.stats.satisfaction_edges, 1);
-                &mut domain.own[own_idx as usize].satisfaction_edges
+                let edge_map = &mut domain.own[own_idx as usize].satisfaction_edges;
+                for part in &pending {
+                    edge_map.update(part, |_, existing| {
+                        let mut targets: SmallVec<[u32; 2]> =
+                            existing.cloned().unwrap_or_default();
+                        targets.push(to);
+                        RangeUpdate::Set(targets)
+                    });
+                }
             }
             Accessor::Child(source) => {
                 AtomicStats::bump(&self.stats.release_edges, 1);
-                &mut domain
-                    .node_mut(source.idx)
-                    .expect("resolved above")
-                    .release_edges
+                let node = domain.node_mut(source.idx).expect("resolved above");
+                for part in &pending {
+                    node.add_release_edge(part, to);
+                }
             }
-        };
-        for part in &pending {
-            edge_map.update(part, |_, existing| {
-                let mut targets: SmallVec<[u32; 2]> =
-                    existing.cloned().unwrap_or_default();
-                targets.push(to);
-                RangeUpdate::Set(targets)
-            });
         }
     }
 
@@ -1022,7 +1355,7 @@ impl DependencyEngine {
                             target: Arc::clone(&target),
                             task: Arc::clone(&entry),
                             own_idx: own_idx as u32,
-                            parts: vec![region],
+                            parts: smallvec![region],
                         });
                     };
                     match &domain.own_seed {
@@ -1053,7 +1386,7 @@ impl DependencyEngine {
                                 target: Arc::clone(&target),
                                 task: Arc::clone(&entry),
                                 own_idx: own_idx as u32,
-                                parts: uncovered,
+                                parts: uncovered.into_iter().collect(),
                             });
                         }
                     }
@@ -1095,7 +1428,7 @@ impl DependencyEngine {
                         target: Arc::clone(&target),
                         task: Arc::clone(&entry),
                         own_idx: own_idx as u32,
-                        parts: uncovered,
+                        parts: uncovered.into_iter().collect(),
                     });
                 }
             }
@@ -1160,9 +1493,9 @@ impl DependencyEngine {
                     // common dependent-leaf case stays allocation-free).
                     let (_region, pending) = &mut seeds[own_idx as usize];
                     for part in &parts {
-                        let mut rest = Vec::with_capacity(pending.len());
-                        for fragment in pending.drain(..) {
-                            rest.extend(fragment.subtract(part));
+                        let mut rest: SeedParts = SmallVec::new();
+                        for fragment in pending.iter() {
+                            fragment.subtract_each(part, |piece| rest.push(piece));
                         }
                         *pending = rest;
                     }
@@ -1175,7 +1508,7 @@ impl DependencyEngine {
                             for &to in targets.iter() {
                                 queue.push_back(Event::Satisfy {
                                     node: to,
-                                    parts: vec![fragment],
+                                    parts: smallvec![fragment],
                                 });
                             }
                         }
@@ -1220,7 +1553,7 @@ impl DependencyEngine {
                     if let Some(node) = domain.resolve(*node_ref) {
                         queue.push_back(Event::Complete {
                             node: node_ref.idx,
-                            parts: vec![node.region],
+                            parts: smallvec![node.region],
                         });
                     }
                 }
@@ -1287,15 +1620,15 @@ impl DependencyEngine {
         &self,
         domain: &mut Domain,
         idx: u32,
-        parts: &[Region],
+        parts: &Parts,
         queue: &mut VecDeque<Event>,
         effects: &mut Effects,
         outbox: &mut VecDeque<Message>,
     ) {
         let Some(node) = domain.node_mut(idx) else { return };
-        let mut newly = Vec::new();
+        let mut newly: Parts = SmallVec::new();
         for part in parts {
-            newly.extend(node.unsatisfied.decrement(part));
+            node.satisfy_part(part, &mut newly);
         }
         if newly.is_empty() {
             return;
@@ -1311,7 +1644,7 @@ impl DependencyEngine {
                 node.weak,
                 node.has_mirror,
                 node.own_idx,
-                node.unsatisfied.is_empty(),
+                node.fully_satisfied(),
             )
         };
         if !weak && fully_satisfied {
@@ -1348,14 +1681,14 @@ impl DependencyEngine {
         &self,
         domain: &mut Domain,
         idx: u32,
-        parts: &[Region],
+        parts: &Parts,
         queue: &mut VecDeque<Event>,
         outbox: &mut VecDeque<Message>,
     ) {
         let Some(node) = domain.node_mut(idx) else { return };
-        let mut newly = Vec::new();
+        let mut newly: Parts = SmallVec::new();
         for part in parts {
-            newly.extend(node.uncompleted.remove(part));
+            node.complete_part(part, &mut newly);
         }
         if newly.is_empty() {
             return;
@@ -1365,56 +1698,34 @@ impl DependencyEngine {
 
     /// Releases the fragments of `candidates` that are both satisfied and completed, notifying
     /// same-domain successors and the owner's hand-over bookkeeping.
+    ///
+    /// For a compact node (the common case) this is all-or-nothing arithmetic: the region
+    /// releases as one unit and its inline edge list fires — no container is touched.
     fn try_release(
         &self,
         domain: &mut Domain,
         idx: u32,
-        candidates: &[Region],
+        candidates: &Parts,
         queue: &mut VecDeque<Event>,
         outbox: &mut VecDeque<Message>,
     ) {
         // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted
-        let mut releasable: Vec<Region> = Vec::new();
+        let mut releasable: SmallVec<[Region; 4]> = SmallVec::new();
         {
             let Some(node) = domain.node(idx) else { return };
             for candidate in candidates {
-                for part in node.unreleased.intersection(candidate) {
-                    let blocked_by_satisfaction: Vec<Region> = node
-                        .unsatisfied
-                        .covered_parts(&part)
-                        .into_iter()
-                        .map(|(region, _count)| region)
-                        .collect();
-                    let blocked_by_completion: Vec<Region> = node.uncompleted.intersection(&part);
-                    let mut pieces = vec![part];
-                    for blockers in [blocked_by_satisfaction, blocked_by_completion] {
-                        let mut next = Vec::new();
-                        for piece in pieces {
-                            let mut rest = vec![piece];
-                            for blocker in &blockers {
-                                let mut tmp = Vec::new();
-                                for r in rest {
-                                    tmp.extend(r.subtract(blocker));
-                                }
-                                rest = tmp;
-                            }
-                            next.extend(rest);
-                        }
-                        pieces = next;
-                    }
-                    releasable.extend(pieces);
-                }
+                node.releasable_parts(candidate, &mut releasable);
             }
         }
         if releasable.is_empty() {
             return;
         }
 
-        let mut actually_released = Vec::new();
+        let mut actually_released: Parts = SmallVec::new();
         {
             let node = domain.node_mut(idx).expect("checked above");
             for part in &releasable {
-                actually_released.extend(node.unreleased.remove(part));
+                node.release_part(part, &mut actually_released);
             }
         }
         if actually_released.is_empty() {
@@ -1424,15 +1735,12 @@ impl DependencyEngine {
         // Notify same-domain successors: consume exactly the edge fragments that overlap the
         // released parts.
         for part in &actually_released {
-            let delivered = {
-                let node = domain.node_mut(idx).expect("checked above");
-                node.release_edges.remove(part)
-            };
-            for (fragment, targets) in delivered {
+            let node = domain.node_mut(idx).expect("checked above");
+            node.take_release_edges(part, |fragment, targets| {
                 for &to in targets.iter() {
-                    queue.push_back(Event::Satisfy { node: to, parts: vec![fragment] });
+                    queue.push_back(Event::Satisfy { node: to, parts: smallvec![fragment] });
                 }
-            }
+            });
         }
 
         // Hand-over bookkeeping: this access no longer covers the overlapping parts of the
@@ -1447,7 +1755,7 @@ impl DependencyEngine {
         let weakwait_active = domain.body_finished && domain.wait_mode == WaitMode::WeakWait;
         for (own_idx, overlap) in parent_coverage.iter() {
             let own = &mut domain.own[*own_idx as usize];
-            let mut zeroed_all = Vec::new();
+            let mut zeroed_all: Parts = SmallVec::new();
             for part in &actually_released {
                 if let Some(sub) = overlap.intersection(part) {
                     zeroed_all.extend(own.child_coverage.decrement(&sub));
@@ -1456,14 +1764,14 @@ impl DependencyEngine {
             if zeroed_all.is_empty() {
                 continue;
             }
-            let mut completable = Vec::new();
-            for part in zeroed_all {
+            let mut completable: Parts = SmallVec::new();
+            for part in &zeroed_all {
                 if weakwait_active {
-                    completable.push(part);
+                    completable.push(*part);
                 } else {
                     // Early-release armed fragments complete as soon as coverage drops, even if
                     // the body is still running.
-                    completable.extend(own.early_release.intersection(&part));
+                    own.early_release.for_each_intersection(part, |piece| completable.push(piece));
                 }
             }
             if !completable.is_empty() {
@@ -1567,17 +1875,19 @@ impl DependencyEngine {
 }
 
 /// Records that the new node covers parts of the domain owner's own accesses (used for the
-/// fine-grained hand-over of §V).
+/// fine-grained hand-over of §V). Disjoint field borrows keep this a single allocation-free
+/// pass over the own-access map (which is empty for root domains — the flat-spawn fast path).
 fn register_parent_coverage(domain: &mut Domain, idx: u32, region: Region) {
-    let overlaps: Vec<(Region, u32)> = domain.own_map.query_vec(&region);
-    for (overlap, own_idx) in overlaps {
-        domain.own[own_idx as usize].child_coverage.increment(&overlap);
-        domain
-            .node_mut(idx)
+    let Domain { own_map, own, nodes, .. } = domain;
+    own_map.query(&region, |overlap, &own_idx| {
+        own[own_idx as usize].child_coverage.increment(&overlap);
+        nodes[idx as usize]
+            .node
+            .as_mut()
             .expect("node just allocated")
             .parent_coverage
             .push((own_idx, overlap));
-    }
+    });
 }
 
 /// Marks the (locked) domain's owner deeply complete and notifies the parent domain. The

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use smallvec::SmallVec;
+
 /// Decision returned by the visitor passed to [`IntervalMap::update_range`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RangeUpdate<V> {
@@ -175,14 +177,16 @@ impl<V: Clone> IntervalMap<V> {
         self.split_at(end);
 
         // Collect the existing fragments inside the range (all fully contained after splitting).
-        let existing: Vec<(usize, usize)> = self
+        // Inline storage: the overwhelming majority of updates touch a handful of fragments, and
+        // this runs on the dependency engine's hot path.
+        let existing: SmallVec<[(usize, usize); 8]> = self
             .entries
             .range(start..end)
             .map(|(&s, e)| (s, e.end))
             .collect();
 
         let mut cursor = start;
-        let mut plan: Vec<(usize, usize, bool)> = Vec::new(); // (start, end, is_existing)
+        let mut plan: SmallVec<[(usize, usize, bool); 8]> = SmallVec::new(); // (start, end, is_existing)
         for (s, e) in existing {
             if s > cursor {
                 plan.push((cursor, s, false));
@@ -232,6 +236,43 @@ impl<V: Clone> IntervalMap<V> {
             }
         });
         removed
+    }
+
+    /// Merges adjacent equal-valued fragments, but only in the neighbourhood of `[start, end)`:
+    /// the chain beginning at the entry touching `start` from the left (or the first entry at or
+    /// after `start`) through any entry beginning at or before `end`. This is the targeted
+    /// variant [`crate::RegionSet`] uses after an insert — a full [`IntervalMap::coalesce`]
+    /// walks (and allocates a key list for) the whole map on every add.
+    pub fn coalesce_range(&mut self, start: usize, end: usize)
+    where
+        V: PartialEq,
+    {
+        // The chain anchor: the last entry starting strictly before `start` whose extent reaches
+        // `start` (so a left neighbour ending exactly at `start` can absorb rightwards), else
+        // the first entry inside the range.
+        let mut key = self
+            .entries
+            .range(..start)
+            .next_back()
+            .filter(|(_, e)| e.end >= start)
+            .map(|(&s, _)| s)
+            .or_else(|| self.entries.range(start..=end).next().map(|(&s, _)| s));
+        while let Some(k) = key {
+            if k > end {
+                break;
+            }
+            let mut cur_end = self.entries[&k].end;
+            while let Some(next) = self.entries.get(&cur_end) {
+                if next.value != self.entries[&k].value {
+                    break;
+                }
+                let next_end = next.end;
+                self.entries.remove(&cur_end);
+                self.entries.get_mut(&k).expect("current entry").end = next_end;
+                cur_end = next_end;
+            }
+            key = self.entries.range(cur_end..).next().map(|(&s, _)| s);
+        }
     }
 
     /// Merges adjacent fragments holding equal values (requires `V: PartialEq`).
@@ -362,6 +403,28 @@ mod tests {
         m.insert_range(20, 30, 'b');
         m.coalesce();
         assert_eq!(collect(&m), vec![(0, 20, 'a'), (20, 30, 'b')]);
+    }
+
+    #[test]
+    fn coalesce_range_merges_only_the_neighbourhood() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'a');
+        m.insert_range(10, 20, 'a');
+        m.insert_range(30, 40, 'a');
+        m.insert_range(40, 50, 'a');
+        // Coalescing around [10, 20) merges the left pair but not the distant one.
+        m.coalesce_range(10, 20);
+        assert_eq!(collect(&m), vec![(0, 20, 'a'), (30, 40, 'a'), (40, 50, 'a')]);
+        // A left neighbour ending exactly at the range start absorbs rightwards.
+        m.insert_range(20, 30, 'a');
+        m.coalesce_range(20, 30);
+        assert_eq!(collect(&m), vec![(0, 50, 'a')]);
+        // Unequal values never merge.
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, 'a');
+        m.insert_range(10, 20, 'b');
+        m.coalesce_range(10, 20);
+        assert_eq!(collect(&m), vec![(0, 10, 'a'), (10, 20, 'b')]);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`RegionSet`] — a set of regions (union of disjoint fragments across spaces).
 //! * [`CoverageCounter`] — a multiset of regions with increment/decrement, used to know when the
 //!   last live child access over a fragment disappears.
+//! * [`RegionStore`] — the two-tier (exact-match hash tier + fragmented interval tier) map the
+//!   engine's bottom maps use, with per-region lazy promotion on the first partial overlap.
 //!
 //! All containers use plain `BTreeMap`/`HashMap` storage: the dependency engine serialises
 //! mutations under a single lock, so these types are deliberately not `Sync`-optimised.
@@ -32,9 +34,11 @@ mod interval_map;
 mod region;
 mod region_map;
 mod set;
+mod store;
 
 pub use coverage::CoverageCounter;
 pub use interval_map::{IntervalMap, RangeUpdate};
 pub use region::{Region, SpaceId};
 pub use region_map::RegionMap;
 pub use set::RegionSet;
+pub use store::{RegionStore, StoreTier};

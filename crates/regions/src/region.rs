@@ -98,18 +98,32 @@ impl Region {
 
     /// Subtracts `other` from `self`, producing the (zero to two) remaining pieces.
     pub fn subtract(&self, other: &Region) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.subtract_each(other, |r| out.push(r));
+        out
+    }
+
+    /// Subtracts `other` from `self`, visiting the (zero to two) remaining pieces without
+    /// allocating — the hot-path variant of [`Region::subtract`].
+    pub fn subtract_each(&self, other: &Region, mut f: impl FnMut(Region)) {
         if self.space != other.space || !self.intersects(other) {
-            return if self.is_empty() { vec![] } else { vec![*self] };
+            if !self.is_empty() {
+                f(*self);
+            }
+            return;
         }
-        let mut out = Vec::with_capacity(2);
         if self.start < other.start {
-            out.push(Region::new(self.space, self.start, other.start.min(self.end)));
+            let piece = Region::new(self.space, self.start, other.start.min(self.end));
+            if !piece.is_empty() {
+                f(piece);
+            }
         }
         if other.end < self.end {
-            out.push(Region::new(self.space, other.end.max(self.start), self.end));
+            let piece = Region::new(self.space, other.end.max(self.start), self.end);
+            if !piece.is_empty() {
+                f(piece);
+            }
         }
-        out.retain(|r| !r.is_empty());
-        out
     }
 
     /// Merges two regions into one if they are adjacent or overlapping in the same space.

@@ -157,6 +157,17 @@ impl<V: Clone> RegionMap<V> {
             m.coalesce();
         }
     }
+
+    /// Merges adjacent equal-valued fragments only around `region` (see
+    /// [`IntervalMap::coalesce_range`]) — the constant-work variant for post-insert cleanup.
+    pub fn coalesce_region(&mut self, region: &Region)
+    where
+        V: PartialEq,
+    {
+        if let Some(m) = self.spaces.get_mut(&region.space) {
+            m.coalesce_range(region.start, region.end);
+        }
+    }
 }
 
 #[cfg(test)]

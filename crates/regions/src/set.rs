@@ -40,7 +40,13 @@ impl RegionSet {
             return;
         }
         self.map.insert(region, ());
-        self.map.coalesce();
+        // Only the inserted neighbourhood can have produced mergeable fragments.
+        self.map.coalesce_region(region);
+    }
+
+    /// Visits the fragments of `region` that are in the set, without allocating.
+    pub fn for_each_intersection(&self, region: &Region, mut f: impl FnMut(Region)) {
+        self.map.query(region, |r, ()| f(r));
     }
 
     /// Removes a region from the set; returns the fragments that were actually removed.

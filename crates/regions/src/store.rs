@@ -1,0 +1,444 @@
+//! [`RegionStore`]: a two-tier map from disjoint region fragments to values, optimised for the
+//! exact-match access pattern of the dependency engine's bottom maps.
+//!
+//! Blocked kernels (axpy, gauss_seidel, sort_scan — §VII of the paper) declare whole-block
+//! dependencies that recur with **identical** regions: wave after wave, the bottom map is
+//! queried and updated with exactly the same `[start, end)` keys. The general [`RegionMap`]
+//! pays the full fragmentation machinery (ordered range queries, entry splitting, per-update
+//! scratch vectors) on every one of those updates even though no fragmentation ever happens.
+//!
+//! `RegionStore` splits the storage into two tiers:
+//!
+//! * the **exact tier** — a hash map keyed by the full [`Region`], plus a lightweight per-space
+//!   ordered index of its keys (`start → end`) used only on misses to detect overlap. A lookup
+//!   that hits a key exactly is O(1) and allocation-free.
+//! * the **fragmented tier** — a plain [`RegionMap`], carrying every region that has ever been
+//!   involved in a *partial* overlap.
+//!
+//! Exactness is tracked **per base region**: a region enters the exact tier when it is first
+//! stored and nothing it overlaps is present, and it is *promoted* (moved to the fragmented
+//! tier) the first time an update partially overlaps it. Promotion is one-way and per-region,
+//! so one partially-overlapped allocation does not tax the exact-matching traffic of the
+//! others. Semantics are identical to a single `RegionMap` receiving the same updates — the
+//! `proptest_region_store` suite asserts observational equivalence — because a region sits in
+//! the exact tier only while no update has ever split it, which is exactly when the general
+//! machinery would have kept it as a single fragment too.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound::{Excluded, Included};
+
+use crate::{RangeUpdate, Region, RegionMap, SpaceId};
+
+/// Which tier served a [`RegionStore`] operation. Returned so callers (the dependency engine)
+/// can keep visibility counters without the store owning any statistics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StoreTier {
+    /// The region matched an exact-tier key (or was empty): O(1), no fragmentation.
+    ExactHit,
+    /// The region overlapped nothing and was admitted to (or bypassed) the exact tier.
+    ExactNew,
+    /// The update partially overlapped exact-tier entries, which were promoted to the
+    /// fragmented tier first; the update then ran there.
+    Promoted,
+    /// The update ran on the fragmented tier (its overlaps were already promoted earlier).
+    Fragmented,
+}
+
+/// A two-tier map from disjoint [`Region`] fragments to values. See the module docs.
+///
+/// Invariants:
+/// * exact-tier keys are pairwise disjoint, and disjoint from the fragmented tier's coverage;
+/// * `index` mirrors the exact tier's keys, exactly (one `start → end` entry per key);
+/// * a region is promoted out of the exact tier the first time an update partially overlaps it,
+///   and never demoted back.
+#[derive(Debug, Clone)]
+pub struct RegionStore<V> {
+    exact: HashMap<Region, V>,
+    index: HashMap<SpaceId, BTreeMap<usize, usize>>,
+    fragmented: RegionMap<V>,
+}
+
+impl<V> Default for RegionStore<V> {
+    fn default() -> Self {
+        RegionStore {
+            exact: HashMap::new(),
+            index: HashMap::new(),
+            fragmented: RegionMap::new(),
+        }
+    }
+}
+
+impl<V> RegionStore<V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored fragments across both tiers.
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.fragmented.len()
+    }
+
+    /// `true` if no fragment is stored.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.fragmented.is_empty()
+    }
+
+    /// Number of entries currently held by the exact tier.
+    pub fn exact_len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Number of fragments currently held by the fragmented tier.
+    pub fn fragmented_len(&self) -> usize {
+        self.fragmented.len()
+    }
+
+    /// Removes every fragment from both tiers.
+    pub fn clear(&mut self) {
+        self.exact.clear();
+        self.index.clear();
+        self.fragmented.clear();
+    }
+
+    /// Iterates over all stored fragments as `(Region, &value)`. Order is unspecified (the
+    /// exact tier is hashed); sort if determinism is needed.
+    pub fn iter(&self) -> impl Iterator<Item = (Region, &V)> {
+        self.exact
+            .iter()
+            .map(|(&r, v)| (r, v))
+            .chain(self.fragmented.iter())
+    }
+
+    /// Visits all stored fragments overlapping `region`, clipped to it. Exact-tier fragments
+    /// are visited before fragmented-tier ones; within a tier, order follows the underlying
+    /// container.
+    pub fn query(&self, region: &Region, mut f: impl FnMut(Region, &V)) {
+        if region.is_empty() {
+            return;
+        }
+        if let Some(value) = self.exact.get(region) {
+            // Exact hit: by the disjointness invariant this is the only overlap anywhere.
+            f(*region, value);
+            return;
+        }
+        if let Some(idx) = self.index.get(&region.space) {
+            for (&start, &end) in overlapping(idx, region) {
+                let key = Region::new(region.space, start, end);
+                let clipped = key.intersection(region).expect("indexed key overlaps");
+                f(clipped, &self.exact[&key]);
+            }
+        }
+        self.fragmented.query(region, &mut f);
+    }
+
+    /// `true` if at least one stored coordinate of `region` is covered.
+    pub fn intersects(&self, region: &Region) -> bool {
+        let mut found = false;
+        self.query(region, |_, _| found = true);
+        found
+    }
+
+    /// `true` if any exact-tier key overlaps `region` without being equal to it. (An equal key
+    /// is handled by the exact-hit path before this is consulted.)
+    fn exact_overlaps(&self, region: &Region) -> bool {
+        self.index
+            .get(&region.space)
+            .is_some_and(|idx| overlapping(idx, region).next().is_some())
+    }
+
+    fn index_add(&mut self, region: &Region) {
+        self.index
+            .entry(region.space)
+            .or_default()
+            .insert(region.start, region.end);
+    }
+
+    fn index_remove(&mut self, region: &Region) {
+        if let Some(idx) = self.index.get_mut(&region.space) {
+            idx.remove(&region.start);
+            if idx.is_empty() {
+                self.index.remove(&region.space);
+            }
+        }
+    }
+}
+
+/// The exact-tier keys of `idx` overlapping `region`, as `(&start, &end)` pairs: the (at most
+/// one) predecessor straddling `region.start`, then every key starting inside the region.
+fn overlapping<'a>(
+    idx: &'a BTreeMap<usize, usize>,
+    region: &Region,
+) -> impl Iterator<Item = (&'a usize, &'a usize)> {
+    let straddler = idx
+        .range(..=region.start)
+        .next_back()
+        .filter(|&(_, &end)| end > region.start);
+    let inside = idx.range((Excluded(region.start), Included(region.end.saturating_sub(1))));
+    straddler.into_iter().chain(inside)
+}
+
+impl<V: Clone> RegionStore<V> {
+    /// Fragment-and-visit update over `region`, with [`RegionMap::update`] semantics: the
+    /// visitor sees every maximal fragment of `region` (stored or gap, clipped) and decides per
+    /// fragment. Returns the tier that served the update.
+    ///
+    /// The fast path — `region` equals an exact-tier key, or overlaps nothing at all — runs
+    /// without touching the interval machinery. A partial overlap with exact-tier entries
+    /// promotes exactly those entries, then delegates to the fragmented tier.
+    pub fn update(
+        &mut self,
+        region: &Region,
+        mut f: impl FnMut(Region, Option<&V>) -> RangeUpdate<V>,
+    ) -> StoreTier {
+        if region.is_empty() {
+            return StoreTier::ExactHit;
+        }
+        if let Some(value) = self.exact.get_mut(region) {
+            match f(*region, Some(value)) {
+                RangeUpdate::Keep => {}
+                RangeUpdate::Set(new_value) => *value = new_value,
+                RangeUpdate::Remove => {
+                    self.exact.remove(region);
+                    self.index_remove(region);
+                }
+            }
+            return StoreTier::ExactHit;
+        }
+        let overlaps_exact = self.exact_overlaps(region);
+        if !overlaps_exact && !self.fragmented.intersects(region) {
+            // The whole query is one gap: admit the region to the exact tier if the visitor
+            // stores a value.
+            match f(*region, None) {
+                RangeUpdate::Set(value) => {
+                    self.exact.insert(*region, value);
+                    self.index_add(region);
+                }
+                RangeUpdate::Keep | RangeUpdate::Remove => {}
+            }
+            return StoreTier::ExactNew;
+        }
+        if overlaps_exact {
+            self.promote_overlapping(region);
+        }
+        self.fragmented.update(region, f);
+        if overlaps_exact {
+            StoreTier::Promoted
+        } else {
+            StoreTier::Fragmented
+        }
+    }
+
+    /// Sets `region` to `value`, overwriting any overlapping fragments.
+    pub fn insert(&mut self, region: &Region, value: V) -> StoreTier {
+        self.update(region, |_, _| RangeUpdate::Set(value.clone()))
+    }
+
+    /// Moves every exact-tier entry overlapping `region` into the fragmented tier.
+    fn promote_overlapping(&mut self, region: &Region) {
+        let keys: Vec<Region> = match self.index.get(&region.space) {
+            Some(idx) => overlapping(idx, region)
+                .map(|(&start, &end)| Region::new(region.space, start, end))
+                .collect(),
+            None => return,
+        };
+        for key in keys {
+            let value = self.exact.remove(&key).expect("index names a missing exact entry");
+            self.index_remove(&key);
+            self.fragmented.insert(&key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(space: u64, start: usize, end: usize) -> Region {
+        Region::new(SpaceId(space), start, end)
+    }
+
+    fn sorted_fragments<V: Clone>(store: &RegionStore<V>) -> Vec<(Region, V)> {
+        let mut out: Vec<(Region, V)> =
+            store.iter().map(|(region, v)| (region, v.clone())).collect();
+        out.sort_by_key(|(region, _)| (region.space, region.start));
+        out
+    }
+
+    #[test]
+    fn disjoint_inserts_stay_exact() {
+        let mut s = RegionStore::new();
+        assert_eq!(s.insert(&r(1, 0, 8), 'a'), StoreTier::ExactNew);
+        assert_eq!(s.insert(&r(1, 8, 16), 'b'), StoreTier::ExactNew);
+        assert_eq!(s.insert(&r(2, 0, 8), 'c'), StoreTier::ExactNew);
+        assert_eq!(s.exact_len(), 3);
+        assert_eq!(s.fragmented_len(), 0);
+        assert_eq!(
+            sorted_fragments(&s),
+            vec![(r(1, 0, 8), 'a'), (r(1, 8, 16), 'b'), (r(2, 0, 8), 'c')]
+        );
+    }
+
+    #[test]
+    fn repeated_exact_updates_hit_the_fast_tier() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 0);
+        for i in 1..100 {
+            assert_eq!(s.insert(&r(1, 0, 8), i), StoreTier::ExactHit);
+        }
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(sorted_fragments(&s), vec![(r(1, 0, 8), 99)]);
+    }
+
+    #[test]
+    fn partial_overlap_promotes_only_the_touched_region() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        s.insert(&r(1, 8, 16), 'b');
+        // Overlaps [0,8) only: that entry is promoted, [8,16) stays exact.
+        assert_eq!(s.insert(&r(1, 4, 6), 'c'), StoreTier::Promoted);
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(
+            sorted_fragments(&s),
+            vec![
+                (r(1, 0, 4), 'a'),
+                (r(1, 4, 6), 'c'),
+                (r(1, 6, 8), 'a'),
+                (r(1, 8, 16), 'b')
+            ]
+        );
+        // [8,16) continues to hit the exact tier after its neighbour was promoted.
+        assert_eq!(s.insert(&r(1, 8, 16), 'd'), StoreTier::ExactHit);
+        // Follow-up updates over the promoted range run fragmented (no second promotion).
+        assert_eq!(s.insert(&r(1, 0, 4), 'e'), StoreTier::Fragmented);
+    }
+
+    #[test]
+    fn spanning_update_promotes_every_overlapped_entry() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        s.insert(&r(1, 8, 16), 'b');
+        s.insert(&r(1, 20, 24), 'c');
+        // [4, 22) straddles all three.
+        let mut visited = Vec::new();
+        let tier = s.update(&r(1, 4, 22), |region, v| {
+            visited.push((region, v.copied()));
+            RangeUpdate::Keep
+        });
+        assert_eq!(tier, StoreTier::Promoted);
+        assert_eq!(
+            visited,
+            vec![
+                (r(1, 4, 8), Some('a')),
+                (r(1, 8, 16), Some('b')),
+                (r(1, 16, 20), None),
+                (r(1, 20, 22), Some('c')),
+            ]
+        );
+        assert_eq!(s.exact_len(), 0);
+    }
+
+    #[test]
+    fn update_visits_gap_and_admits_to_exact_tier() {
+        let mut s: RegionStore<u32> = RegionStore::new();
+        let mut visited = Vec::new();
+        let tier = s.update(&r(1, 10, 20), |region, v| {
+            visited.push((region, v.copied()));
+            RangeUpdate::Set(7)
+        });
+        assert_eq!(tier, StoreTier::ExactNew);
+        assert_eq!(visited, vec![(r(1, 10, 20), None)]);
+        assert_eq!(s.exact_len(), 1);
+        // Keep on a gap stores nothing.
+        let mut s2: RegionStore<u32> = RegionStore::new();
+        assert_eq!(s2.update(&r(1, 0, 4), |_, _| RangeUpdate::Keep), StoreTier::ExactNew);
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn remove_on_exact_hit_clears_entry_and_index() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        assert_eq!(s.update(&r(1, 0, 8), |_, _| RangeUpdate::Remove), StoreTier::ExactHit);
+        assert!(s.is_empty());
+        // The index no longer names the removed key: a later overlapping insert is ExactNew.
+        assert_eq!(s.insert(&r(1, 4, 12), 'b'), StoreTier::ExactNew);
+    }
+
+    #[test]
+    fn containment_counts_as_overlap() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 2, 4), 'a');
+        // The query strictly contains the stored key. Like `RegionMap`, the store keeps the
+        // update-boundary splits (no automatic coalescing).
+        assert_eq!(s.insert(&r(1, 0, 8), 'b'), StoreTier::Promoted);
+        assert_eq!(
+            sorted_fragments(&s),
+            vec![(r(1, 0, 2), 'b'), (r(1, 2, 4), 'b'), (r(1, 4, 8), 'b')]
+        );
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_promote() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        assert_eq!(s.insert(&r(1, 8, 16), 'b'), StoreTier::ExactNew);
+        assert_eq!(s.exact_len(), 2);
+    }
+
+    #[test]
+    fn query_visits_both_tiers_clipped() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        s.insert(&r(1, 16, 24), 'b');
+        s.insert(&r(1, 4, 6), 'c'); // promotes [0,8)
+        let mut seen = Vec::new();
+        s.query(&r(1, 2, 20), |region, v| seen.push((region, *v)));
+        seen.sort_by_key(|(region, _)| region.start);
+        assert_eq!(
+            seen,
+            vec![
+                (r(1, 2, 4), 'a'),
+                (r(1, 4, 6), 'c'),
+                (r(1, 6, 8), 'a'),
+                (r(1, 16, 20), 'b')
+            ]
+        );
+        assert!(s.intersects(&r(1, 7, 9)));
+        assert!(!s.intersects(&r(1, 8, 16)));
+        assert!(!s.intersects(&r(2, 0, 100)));
+    }
+
+    #[test]
+    fn empty_region_is_a_noop() {
+        let mut s: RegionStore<u8> = RegionStore::new();
+        assert_eq!(s.update(&r(1, 5, 5), |_, _| panic!("must not visit")), StoreTier::ExactHit);
+        s.query(&r(1, 5, 5), |_, _| panic!("must not visit"));
+        assert!(s.is_empty());
+    }
+
+    /// Mirrors `RegionMap` behaviour over a mixed update sequence (the unit-level version of
+    /// the proptest equivalence suite).
+    #[test]
+    fn matches_region_map_reference() {
+        let updates = [
+            (r(1, 0, 10), 1u32),
+            (r(1, 10, 20), 2),
+            (r(1, 5, 15), 3),
+            (r(2, 0, 4), 4),
+            (r(1, 0, 30), 5),
+            (r(2, 0, 4), 6),
+            (r(1, 12, 14), 7),
+        ];
+        let mut store = RegionStore::new();
+        let mut reference = RegionMap::new();
+        for (region, value) in updates {
+            store.insert(&region, value);
+            reference.insert(&region, value);
+        }
+        let mut expected: Vec<(Region, u32)> =
+            reference.iter().map(|(region, v)| (region, *v)).collect();
+        expected.sort_by_key(|(region, _)| (region.space, region.start));
+        assert_eq!(sorted_fragments(&store), expected);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based equivalence suite for the two-tier region store.
+//!
+//! Two independent layers:
+//!
+//! 1. **Container equivalence** — under random region/update sequences, [`RegionStore`] must be
+//!    observationally equivalent to a pure [`RegionMap`] reference model: identical visit
+//!    sequences during every update, identical stored fragments, identical query results. The
+//!    exact tier and its lazy promotion are pure optimisations; any divergence is a bug.
+//! 2. **Engine equivalence** — under random mixes of exact-matching and partially-overlapping
+//!    dependencies, the engine built on the store must still execute every task and respect
+//!    program order between conflicting accesses, and its matching-tier counters must account
+//!    for every registered access.
+
+use proptest::prelude::*;
+
+use weakdep::core::DependencyEngine;
+use weakdep::regions::{RangeUpdate, Region, RegionMap, RegionStore, SpaceId};
+use weakdep::{AccessType, Depend, WaitMode};
+
+/// One randomly generated store operation.
+#[derive(Clone, Debug)]
+struct Op {
+    space: u8,
+    start: u16,
+    len: u8,
+    value: u32,
+    /// 0 = set, 1 = remove, 2 = visit-only (Keep).
+    kind: u8,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u16..200, 1u8..40, any::<u32>(), 0u8..3).prop_map(
+        |(space, start, len, value, kind)| Op { space, start, len, value, kind },
+    )
+}
+
+fn op_region(op: &Op) -> Region {
+    let start = op.start as usize;
+    Region::new(SpaceId(op.space as u64), start, start + op.len as usize)
+}
+
+fn sorted_fragments<V: Clone + std::fmt::Debug>(
+    it: impl Iterator<Item = (Region, V)>,
+) -> Vec<(Region, V)> {
+    let mut out: Vec<(Region, V)> = it.collect();
+    out.sort_by_key(|(region, _)| (region.space, region.start, region.end));
+    out
+}
+
+/// Deterministic pseudo-random picker (the interleaving source), seeded by proptest.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two-tier store and the pure interval-map reference must agree on every visit, every
+    /// stored fragment and every query, whatever mix of exact matches, partial overlaps,
+    /// removals and read-only visits the sequence throws at them.
+    #[test]
+    fn store_matches_region_map_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut store: RegionStore<u32> = RegionStore::new();
+        let mut reference: RegionMap<u32> = RegionMap::new();
+
+        for op in &ops {
+            let region = op_region(op);
+            let mut store_visits: Vec<(Region, Option<u32>)> = Vec::new();
+            let mut reference_visits: Vec<(Region, Option<u32>)> = Vec::new();
+            store.update(&region, |fragment, existing| {
+                store_visits.push((fragment, existing.copied()));
+                match op.kind {
+                    0 => RangeUpdate::Set(op.value),
+                    1 => RangeUpdate::Remove,
+                    _ => RangeUpdate::Keep,
+                }
+            });
+            reference.update(&region, |fragment, existing| {
+                reference_visits.push((fragment, existing.copied()));
+                match op.kind {
+                    0 => RangeUpdate::Set(op.value),
+                    1 => RangeUpdate::Remove,
+                    _ => RangeUpdate::Keep,
+                }
+            });
+            prop_assert_eq!(&store_visits, &reference_visits,
+                "visit sequences diverged on {:?}", op);
+
+            // Stored fragments agree after every operation (sorted: the exact tier is hashed).
+            let store_now = sorted_fragments(store.iter().map(|(r, v)| (r, *v)));
+            let reference_now = sorted_fragments(reference.iter().map(|(r, v)| (r, *v)));
+            prop_assert_eq!(&store_now, &reference_now, "fragments diverged after {:?}", op);
+        }
+
+        // Random queries agree too (including spaces the sequence never touched).
+        for probe in 0..10usize {
+            let region = Region::new(SpaceId((probe % 4) as u64), probe * 23, probe * 23 + 17);
+            let mut store_hits: Vec<(Region, u32)> = Vec::new();
+            store.query(&region, |r, v| store_hits.push((r, *v)));
+            let mut reference_hits: Vec<(Region, u32)> = Vec::new();
+            reference.query(&region, |r, v| reference_hits.push((r, *v)));
+            prop_assert_eq!(
+                sorted_fragments(store_hits.into_iter()),
+                sorted_fragments(reference_hits.into_iter())
+            );
+            prop_assert_eq!(store.intersects(&region), reference.intersects(&region));
+        }
+    }
+}
+
+/// One randomly declared flat task: 1–3 accesses drawn from a pool that mixes aligned blocks
+/// (exact-tier traffic) with misaligned half-overlapping ranges (promotion + fragmented-tier
+/// traffic).
+#[derive(Clone, Debug)]
+struct Decl {
+    accesses: Vec<(u8, u8)>, // (region selector 0..12, access-type selector 0..3)
+}
+
+fn decl_strategy() -> impl Strategy<Value = Decl> {
+    proptest::collection::vec((0u8..12, 0u8..3), 1..4).prop_map(|accesses| Decl { accesses })
+}
+
+fn pool_region(selector: u8) -> Region {
+    let i = (selector % 6) as usize;
+    if selector < 6 {
+        // Aligned block: always matches itself exactly.
+        Region::new(SpaceId(1), i * 10, i * 10 + 10)
+    } else {
+        // Misaligned: straddles two aligned blocks, forcing promotion and fragmentation.
+        Region::new(SpaceId(1), i * 10 + 5, i * 10 + 15)
+    }
+}
+
+fn deps_of(decl: &Decl) -> Vec<Depend> {
+    decl.accesses
+        .iter()
+        .map(|&(r, a)| {
+            let access = match a {
+                0 => AccessType::In,
+                1 => AccessType::Out,
+                _ => AccessType::InOut,
+            };
+            Depend::new(access, pool_region(r))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// End-to-end through the engine: random exact/overlapping dependency mixes executed in a
+    /// random legal order must run every task, respect program order between conflicting
+    /// accesses, and account for every access in the matching-tier counters.
+    #[test]
+    fn engine_ordering_is_unchanged_by_the_two_tier_store(
+        decls in proptest::collection::vec(decl_strategy(), 1..25),
+        seed in any::<u64>(),
+    ) {
+        let engine = DependencyEngine::new();
+        let root = engine.register_root();
+        let mut rng = Lcg(seed);
+
+        let mut ready: Vec<usize> = Vec::new();
+        let mut ids = Vec::with_capacity(decls.len());
+        for (i, decl) in decls.iter().enumerate() {
+            let (id, is_ready) = engine.register_task(root, &deps_of(decl), WaitMode::None);
+            if is_ready {
+                ready.push(i);
+            }
+            ids.push(id);
+        }
+
+        let mut finish_position = vec![usize::MAX; decls.len()];
+        let mut finished = 0usize;
+        while finished < decls.len() {
+            prop_assert!(!ready.is_empty(), "engine stuck: pending tasks but none ready");
+            let pick = ready.swap_remove(rng.next(ready.len()));
+            let effects = engine.body_finished(ids[pick]);
+            finish_position[pick] = finished;
+            finished += 1;
+            for newly in effects.ready {
+                let pos = ids.iter().position(|id| *id == newly);
+                prop_assert!(pos.is_some(), "ready effect for an unknown task");
+                ready.push(pos.unwrap());
+            }
+        }
+
+        // Program order between conflicting accesses survives whatever tier served them.
+        for i in 0..decls.len() {
+            for j in (i + 1)..decls.len() {
+                let conflict = deps_of(&decls[i]).iter().any(|a| {
+                    deps_of(&decls[j]).iter().any(|b| {
+                        a.region.intersects(&b.region)
+                            && (a.access.is_write() || b.access.is_write())
+                    })
+                });
+                if conflict {
+                    prop_assert!(
+                        finish_position[i] < finish_position[j],
+                        "task {} (finished {}) must precede task {} (finished {})",
+                        i, finish_position[i], j, finish_position[j]
+                    );
+                }
+            }
+        }
+
+        // Every registered access was served by exactly one tier.
+        let stats = engine.stats();
+        prop_assert_eq!(
+            stats.exact_hits + stats.fragmented_updates,
+            stats.accesses_registered,
+            "tier counters must account for every access (promotions: {})",
+            stats.promotions
+        );
+    }
+}

@@ -112,6 +112,18 @@ impl<A: Array> std::ops::Index<usize> for SmallVec<A> {
     }
 }
 
+impl<A: Array> std::ops::IndexMut<usize> for SmallVec<A> {
+    fn index_mut(&mut self, index: usize) -> &mut A::Item {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                assert!(index < *len, "index {index} out of bounds (len {len})");
+                buf.as_mut()[index].as_mut().expect("inline slot within len is filled")
+            }
+            Repr::Heap(v) => &mut v[index],
+        }
+    }
+}
+
 impl<A: Array> Default for SmallVec<A> {
     fn default() -> Self {
         Self::new()

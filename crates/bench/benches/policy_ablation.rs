@@ -1,14 +1,15 @@
-//! Ablation of the locality-aware successor scheduling (§VIII-A): the same dependency-chain
-//! workload with the immediate-successor dispatch enabled vs. disabled. The enabled variant keeps
-//! a task's successor on the releasing worker (warm cache, no queue round-trip); the disabled
-//! variant routes every ready task through the global injector. DESIGN.md lists this as the
-//! design-choice ablation behind the Figure 3 cache results.
+//! Ablation of the pluggable scheduling policies: the same dependency-chain workload under
+//! every [`SchedulingPolicy`]. The chains are what the §VIII-A locality machinery exists for —
+//! each link's input is its predecessor's output, so a policy that keeps a chain on one worker
+//! (successor slot, LIFO deque) avoids both the queue round-trip and the cache refill, while
+//! the breadth-first `fifo` baseline pays both. `fig3_policies` measures the cache side of this
+//! ablation; this bench measures the wall-clock side.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use weakdep_core::{Runtime, RuntimeConfig, SchedulingPolicy, SharedSlice};
 
 /// `chains` independent chains of `length` dependent block tasks each; every task streams its
-/// block (so cache reuse between consecutive links is what the locality policy buys).
+/// block (so cache reuse between consecutive links is what the locality policies buy).
 fn run_chains(rt: &Runtime, data: &[SharedSlice<f64>], length: usize) {
     let block = data[0].len();
     let data: Vec<SharedSlice<f64>> = data.to_vec();
@@ -27,18 +28,15 @@ fn run_chains(rt: &Runtime, data: &[SharedSlice<f64>], length: usize) {
     });
 }
 
-fn bench_locality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("locality-ablation");
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy-ablation");
     group.sample_size(10);
     let chains = 8usize;
     let length = 200usize;
     let block = 16 * 1024; // 128 KiB of f64 per chain: fits the simulated/real L2, not L1.
     group.throughput(Throughput::Elements((chains * length) as u64));
-    for (name, policy) in [
-        ("successor-slot", SchedulingPolicy::LocalitySlot),
-        ("injector-only", SchedulingPolicy::Fifo),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+    for policy in SchedulingPolicy::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
             let rt = Runtime::new(RuntimeConfig::new().scheduling_policy(policy));
             let data: Vec<SharedSlice<f64>> =
                 (0..chains).map(|_| SharedSlice::<f64>::new(block)).collect();
@@ -48,5 +46,5 @@ fn bench_locality(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_locality);
+criterion_group!(benches, bench_policies);
 criterion_main!(benches);

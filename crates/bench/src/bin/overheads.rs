@@ -376,6 +376,9 @@ fn main() {
     let baseline_section = existing
         .as_deref()
         .and_then(weakdep_bench::overheads_json::extract_alloc_baseline);
+    let policies_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_policies);
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
@@ -411,8 +414,12 @@ fn main() {
         None => json.push('\n'),
     }
     json.push_str("}\n");
-    // Re-attach the preserved soak section through the same tested splice the `soak` binary
-    // uses, so the merge format lives in exactly one place.
+    // Re-attach the preserved policies and soak sections through the same tested splices the
+    // `fig3_policies` and `soak` binaries use, so the merge format lives in exactly one place.
+    let json = match policies_section {
+        Some(section) => weakdep_bench::overheads_json::splice_policies(Some(&json), &section),
+        None => json,
+    };
     let json = match soak_section {
         Some(section) => weakdep_bench::overheads_json::splice_soak(
             Some(&json),

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use weakdep_cachesim::{CacheConfig, CacheSimObserver};
-use weakdep_core::{Runtime, RuntimeConfig};
+use weakdep_core::{Runtime, RuntimeConfig, SchedulingPolicy};
 use weakdep_trace::TraceCollector;
 
 /// Options common to all figure binaries.
@@ -101,11 +101,18 @@ pub struct InstrumentedRuntime {
 impl InstrumentedRuntime {
     /// Builds a runtime with `cores` workers, a cache simulator and a trace collector attached.
     pub fn new(cores: usize) -> Self {
+        Self::with_policy(cores, SchedulingPolicy::default())
+    }
+
+    /// Like [`InstrumentedRuntime::new`], with an explicit scheduling policy (the
+    /// `fig3_policies` sweep).
+    pub fn with_policy(cores: usize, policy: SchedulingPolicy) -> Self {
         let cachesim = CacheSimObserver::shared(CacheConfig::default());
         let trace = TraceCollector::shared();
         let runtime = Runtime::new(
             RuntimeConfig::new()
                 .workers(cores)
+                .scheduling_policy(policy)
                 .observer(cachesim.clone())
                 .observer(trace.clone()),
         );
@@ -240,13 +247,16 @@ pub mod alloc_counter {
     }
 }
 
-/// Shared handling of `BENCH_overheads.json`, which two binaries co-own: `overheads` writes the
-/// `samples` sections and `soak` splices a trailing `"soak"` section. Both go through these
-/// helpers so neither writer can silently drop the other's data. Invariant maintained by both:
-/// the soak section, when present, is the **last** top-level key of the object.
+/// Shared handling of `BENCH_overheads.json`, which three binaries co-own: `overheads` writes
+/// the `samples` sections, `fig3_policies` splices a `"policies"` section and `soak` splices a
+/// trailing `"soak"` section. All go through these helpers so no writer can silently drop
+/// another's data. Invariant maintained by every writer: the `"policies"` section, when
+/// present, sits directly before the `"soak"` section, and the soak section, when present, is
+/// the **last** top-level key of the object.
 pub mod overheads_json {
     const MARKER: &str = "  \"soak\":";
     const BASELINE_MARKER: &str = "  \"alloc_baseline_pre_two_tier\":";
+    const POLICIES_MARKER: &str = "  \"policies\":";
 
     /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
     /// snapshot recorded once when the two-tier store landed), if present. The `overheads`
@@ -256,6 +266,52 @@ pub mod overheads_json {
         let start = text.find(BASELINE_MARKER)?;
         let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
         Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Extracts the single-line `"policies"` section (written by the `fig3_policies` binary),
+    /// if present, so the `overheads` binary can carry it across regenerations.
+    pub fn extract_policies(text: &str) -> Option<String> {
+        let start = text.find(POLICIES_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Replaces (or inserts) the `"policies"` section, preserving every other section and the
+    /// soak-last invariant. `policies` must be a complete single-line `  "policies": {...}`
+    /// entry without a trailing comma or newline.
+    pub fn splice_policies(existing: Option<&str>, policies: &str) -> String {
+        let (head, soak) = match existing {
+            Some(text) => {
+                let soak = extract_soak(text);
+                let text = text.trim_end();
+                let cut = match (text.find(POLICIES_MARKER), text.find(MARKER)) {
+                    (Some(p), Some(s)) => Some(p.min(s)),
+                    (p, s) => p.or(s),
+                };
+                let head = match cut {
+                    // Everything before the first of the two movable sections; it already ends
+                    // with the previous section's `,\n`.
+                    Some(pos) => text[..pos].to_string(),
+                    None => match text.strip_suffix('}') {
+                        Some(body) => {
+                            let mut body = body.trim_end().to_string();
+                            if !body.ends_with(['{', ',']) {
+                                body.push(',');
+                            }
+                            body.push('\n');
+                            body
+                        }
+                        None => String::from("{\n"),
+                    },
+                };
+                (head, soak)
+            }
+            None => (String::from("{\n"), None),
+        };
+        match soak {
+            Some(soak) => format!("{head}{policies},\n{soak}\n}}\n"),
+            None => format!("{head}{policies}\n}}\n"),
+        }
     }
 
     /// Extracts the soak section (marker through the end of the object, without the file's
@@ -310,6 +366,30 @@ pub mod overheads_json {
                 Some("  \"alloc_baseline_pre_two_tier\": {\"spawn-batched\": 37.2}")
             );
             assert_eq!(extract_alloc_baseline("{\n}\n"), None);
+        }
+
+        #[test]
+        fn splice_policies_preserves_every_other_section() {
+            const POLICIES: &str = "  \"policies\": {\"rows\": 1}";
+            // Insert into a samples-only file.
+            let base = "{\n  \"samples\": [\n    {}\n  ]\n}\n";
+            let spliced = splice_policies(Some(base), POLICIES);
+            assert!(spliced.contains("\"samples\""));
+            assert!(spliced.ends_with("  \"policies\": {\"rows\": 1}\n}\n"));
+            // Insert before an existing soak section (which must stay last).
+            let with_soak = splice_soak(Some(base), SOAK);
+            let spliced = splice_policies(Some(&with_soak), POLICIES);
+            assert!(spliced.ends_with("  \"policies\": {\"rows\": 1},\n  \"soak\": {\"tasks\": 7}\n}\n"));
+            // Replace an existing policies section, soak still last.
+            let replaced = splice_policies(Some(&spliced), "  \"policies\": {\"rows\": 2}");
+            assert!(replaced.contains("\"rows\": 2") && !replaced.contains("\"rows\": 1"));
+            assert!(replaced.trim_end().ends_with("  \"soak\": {\"tasks\": 7}\n}"));
+            // Round-trips through extract, and soak re-splicing keeps policies.
+            assert_eq!(extract_policies(&replaced).as_deref(), Some("  \"policies\": {\"rows\": 2}"));
+            let resoaked = splice_soak(Some(&replaced), "  \"soak\": {\"tasks\": 9}\n");
+            assert!(resoaked.contains("\"rows\": 2") && resoaked.contains("\"tasks\": 9"));
+            // Missing file behaves.
+            assert_eq!(splice_policies(None, POLICIES), format!("{{\n{POLICIES}\n}}\n"));
         }
 
         #[test]

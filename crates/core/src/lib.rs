@@ -80,3 +80,7 @@ pub use runtime::{
 
 /// Re-export of the region types used in dependency declarations.
 pub use weakdep_regions::{Region, SpaceId};
+
+/// Re-export of the scheduling-policy selector consumed by
+/// [`RuntimeConfig::scheduling_policy`].
+pub use weakdep_threadpool::SchedulingPolicy;

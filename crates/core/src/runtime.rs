@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 use weakdep_regions::{Region, RegionSet};
-use weakdep_threadpool::{ThreadPool, WorkerContext};
+use weakdep_threadpool::{SchedulingPolicy, ThreadPool, WorkerContext};
 
 use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 use crate::engine::{DependencyEngine, Effects, StaleTaskId, TaskId};
@@ -46,7 +46,7 @@ use crate::observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
 pub struct RuntimeConfig {
     workers: usize,
     observers: Vec<Arc<dyn RuntimeObserver>>,
-    locality_scheduling: bool,
+    scheduling: SchedulingPolicy,
     serialized_engine: bool,
 }
 
@@ -56,15 +56,15 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             workers,
             observers: Vec::new(),
-            locality_scheduling: true,
+            scheduling: SchedulingPolicy::default(),
             serialized_engine: false,
         }
     }
 }
 
 impl RuntimeConfig {
-    /// Default configuration: one worker per available hardware thread, no observers,
-    /// locality-aware scheduling enabled.
+    /// Default configuration: one worker per available hardware thread, no observers, the
+    /// [`SchedulingPolicy::LocalitySlot`] policy (§VIII-A locality scheduling).
     pub fn new() -> Self {
         Self::default()
     }
@@ -81,13 +81,27 @@ impl RuntimeConfig {
         self
     }
 
-    /// Enables or disables the locality-aware successor scheduling (§VIII-A: dispatching a task
-    /// whose last dependency was just released to the releasing worker). Disabling it is the
-    /// ablation used to quantify the cache effects of Figure 3; ready tasks then always go to
-    /// the global injector.
-    pub fn locality_scheduling(mut self, enabled: bool) -> Self {
-        self.locality_scheduling = enabled;
+    /// Selects the scheduling policy: how ready tasks are placed (successor slot, deque,
+    /// injector) and how idle workers search for work. See [`SchedulingPolicy`] and
+    /// `docs/scheduling.md` for the inventory; the default is the paper's §VIII-A
+    /// [`SchedulingPolicy::LocalitySlot`], and [`SchedulingPolicy::Fifo`] is the no-locality
+    /// baseline Figure 3 compares against.
+    pub fn scheduling_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling = policy;
         self
+    }
+
+    /// Enables or disables the locality-aware successor scheduling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use scheduling_policy(SchedulingPolicy::LocalitySlot / SchedulingPolicy::Fifo)"
+    )]
+    pub fn locality_scheduling(self, enabled: bool) -> Self {
+        self.scheduling_policy(if enabled {
+            SchedulingPolicy::LocalitySlot
+        } else {
+            SchedulingPolicy::Fifo
+        })
     }
 
     /// Routes every dependency-engine operation (registration, body retirement, `release`)
@@ -115,18 +129,35 @@ pub struct CapacityStats {
 }
 
 /// Snapshot of runtime-wide statistics.
+///
+/// Scheduler accounting invariant: `tasks_executed == successor_slot_hits + local_pops +
+/// injector_pops + steals` — every executed task was acquired from exactly one source.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
     /// Statistics of the dependency engine.
     pub engine: crate::engine::EngineStats,
+    /// Name of the active scheduling policy (see [`SchedulingPolicy::name`]).
+    pub policy: &'static str,
     /// Tasks executed by the worker pool.
     pub tasks_executed: usize,
     /// Ready tasks that were dispatched through the immediate-successor slot (locality hits).
     pub successor_slot_hits: usize,
     /// Tasks taken from a worker's own deque.
     pub local_pops: usize,
+    /// Tasks taken from the global injector.
+    pub injector_pops: usize,
     /// Tasks stolen from another worker.
     pub steals: usize,
+    /// Subset of `steals` taken from a victim in the thief's own locality domain.
+    pub steals_same_domain: usize,
+    /// Subset of `steals` taken across locality domains (hierarchical policy only).
+    pub steals_cross_domain: usize,
+    /// Successor-slot jobs displaced by a newer successor (re-dispatched below it).
+    pub successor_displacements: usize,
+    /// Domain-preferring wake-ups that hit a sleeper of the preferred domain.
+    pub targeted_wakes: usize,
+    /// Domain-preferring wake-ups that fell back to another domain's sleeper.
+    pub fallback_wakes: usize,
     /// Cumulative wall time spent creating tasks (dependency registration included), in ns.
     pub spawn_ns: u64,
     /// Cumulative wall time spent executing task bodies, in ns.
@@ -284,7 +315,6 @@ struct Inner {
     recruit_epoch: std::sync::atomic::AtomicUsize,
     observers: Vec<Arc<dyn RuntimeObserver>>,
     panic_message: Mutex<Option<String>>,
-    locality_scheduling: bool,
     timers: PhaseTimers,
 }
 
@@ -300,11 +330,15 @@ impl Runtime {
         let observers = config.observers.clone();
         let inner = Arc::new_cyclic(|weak: &std::sync::Weak<Inner>| {
             let weak_for_pool = weak.clone();
-            let pool = ThreadPool::new(config.workers, move |record: Arc<TaskRecord>, wctx| {
-                if let Some(inner) = weak_for_pool.upgrade() {
-                    execute_task(&inner, record, wctx);
-                }
-            });
+            let pool = ThreadPool::with_policy(
+                config.workers,
+                config.scheduling,
+                move |record: Arc<TaskRecord>, wctx| {
+                    if let Some(inner) = weak_for_pool.upgrade() {
+                        execute_task(&inner, record, wctx);
+                    }
+                },
+            );
             Inner {
                 pool,
                 engine: DependencyEngine::new(),
@@ -317,7 +351,6 @@ impl Runtime {
                 recruit_epoch: std::sync::atomic::AtomicUsize::new(0),
                 observers,
                 panic_message: Mutex::new(None),
-                locality_scheduling: config.locality_scheduling,
                 timers: PhaseTimers::default(),
             }
         });
@@ -335,6 +368,11 @@ impl Runtime {
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.inner.pool.worker_count()
+    }
+
+    /// The scheduling policy the runtime's worker pool was created with.
+    pub fn scheduling_policy(&self) -> SchedulingPolicy {
+        self.inner.pool.policy()
     }
 
     /// Executes `body` as the root task and waits for it *and every descendant task* to finish
@@ -390,10 +428,17 @@ impl Runtime {
         let pool_stats = self.inner.pool.stats();
         RuntimeStats {
             engine: self.inner.engine.stats(),
+            policy: self.inner.pool.policy().name(),
             tasks_executed: pool_stats.executed.load(Ordering::Relaxed),
             successor_slot_hits: pool_stats.from_successor_slot.load(Ordering::Relaxed),
             local_pops: pool_stats.from_local.load(Ordering::Relaxed),
+            injector_pops: pool_stats.from_injector.load(Ordering::Relaxed),
             steals: pool_stats.stolen.load(Ordering::Relaxed),
+            steals_same_domain: pool_stats.stolen_same_domain.load(Ordering::Relaxed),
+            steals_cross_domain: pool_stats.stolen_cross_domain.load(Ordering::Relaxed),
+            successor_displacements: pool_stats.successor_displacements.load(Ordering::Relaxed),
+            targeted_wakes: pool_stats.targeted_wakes.load(Ordering::Relaxed),
+            fallback_wakes: pool_stats.fallback_wakes.load(Ordering::Relaxed),
             spawn_ns: self.inner.timers.spawn_ns.load(Ordering::Relaxed),
             body_ns: self.inner.timers.body_ns.load(Ordering::Relaxed),
             retire_ns: self.inner.timers.retire_ns.load(Ordering::Relaxed),
@@ -492,11 +537,9 @@ impl<'a> TaskCtx<'a> {
             ids.push(id);
         }
         match self.worker {
-            Some(worker) => {
-                for record in ready_records {
-                    worker.push_local(record);
-                }
-            }
+            // Spawned-ready waves are not successor waves: the spawner is still running, so
+            // the policy's wave placement (deque, or injector under Fifo) applies to all.
+            Some(worker) => worker.dispatch_ready(ready_records, false),
             None => self.inner.pool.submit_batch(ready_records),
         }
         PhaseTimers::add(&self.inner.timers.spawn_ns, spawn_start);
@@ -799,7 +842,7 @@ impl<'a> TaskBuilder<'a> {
         let record = finish_spawn(ctx, spec, normalized, id, ready);
         if let Some(record) = record {
             match ctx.worker {
-                Some(worker) => worker.push_local(record),
+                Some(worker) => worker.dispatch_spawned(record),
                 None => ctx.inner.pool.submit(record),
             }
         }
@@ -910,11 +953,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// strictly after every engine lock has been dropped (the effects were accumulated and returned
 /// by the engine call).
 ///
-/// When the effects come from a finished body (`use_successor_slot == true`), the first ready
-/// task goes to the releasing worker's immediate-successor slot (temporal locality, §VIII-A) and
-/// the rest to its LIFO deque. Effects produced mid-body (the `release` directive) only use the
-/// deque, so other workers can steal them while the current task keeps running. Effects produced
-/// outside a worker (root body) go to the global injector.
+/// When the effects come from a finished body (`use_successor_slot == true`), the wave is
+/// dispatched through the pool's [`SchedulingPolicy`]: under the locality policies the first
+/// ready task goes to the releasing worker's immediate-successor slot (temporal locality,
+/// §VIII-A) and the rest to its LIFO deque — with a displaced previous successor re-ordered
+/// *above* the incoming wave, see [`WorkerContext::dispatch_ready`] — while under the Fifo
+/// baseline everything goes to the global injector. Effects produced mid-body (the `release`
+/// directive) never use the slot, so other workers can steal them while the current task keeps
+/// running. Effects produced outside a worker (root body) go to the global injector.
 fn schedule_effects(
     inner: &Arc<Inner>,
     effects: Effects,
@@ -927,18 +973,8 @@ fn schedule_effects(
         let records: Vec<Arc<TaskRecord>> =
             effects.ready.iter().filter_map(|id| inner.pending.claim(*id)).collect();
         match worker {
-            Some((wctx, use_successor_slot)) if inner.locality_scheduling => {
-                let mut records = records.into_iter();
-                if use_successor_slot {
-                    if let Some(first) = records.next() {
-                        wctx.schedule_next(first);
-                    }
-                }
-                for record in records {
-                    wctx.push_local(record);
-                }
-            }
-            _ => {
+            Some((wctx, use_successor_slot)) => wctx.dispatch_ready(records, use_successor_slot),
+            None => {
                 // One injector operation and one wake signal for the whole wave.
                 inner.pool.submit_batch(records);
             }
@@ -1208,11 +1244,11 @@ mod tests {
     }
 
     #[test]
-    fn locality_scheduling_can_be_disabled() {
-        // With the locality policy disabled, the successor slot is never used; with it enabled,
-        // a dependency chain uses it for every hand-over.
-        for enabled in [true, false] {
-            let rt = Runtime::new(RuntimeConfig::new().workers(2).locality_scheduling(enabled));
+    fn every_policy_runs_the_chain_correctly() {
+        // Policies reorder execution but never change results; the slot policies must use the
+        // immediate-successor slot on a dependency chain, the others must never touch it.
+        for policy in SchedulingPolicy::all() {
+            let rt = Runtime::new(RuntimeConfig::new().workers(2).scheduling_policy(policy));
             let data = SharedSlice::<u64>::new(1);
             let d = data.clone();
             rt.run(move |ctx| {
@@ -1223,14 +1259,47 @@ mod tests {
                     });
                 }
             });
-            assert_eq!(data.snapshot()[0], 64);
-            let hits = rt.stats().successor_slot_hits;
-            if enabled {
-                assert!(hits > 0, "the chain must use the immediate-successor slot");
+            assert_eq!(data.snapshot()[0], 64, "policy {}", policy.name());
+            let stats = rt.stats();
+            assert_eq!(stats.policy, policy.name());
+            assert_eq!(rt.scheduling_policy(), policy);
+            if policy.uses_successor_slot() {
+                assert!(
+                    stats.successor_slot_hits > 0,
+                    "policy {}: the chain must use the immediate-successor slot",
+                    policy.name()
+                );
             } else {
-                assert_eq!(hits, 0, "the ablation must bypass the successor slot");
+                assert_eq!(
+                    stats.successor_slot_hits, 0,
+                    "policy {}: the slot must stay unused",
+                    policy.name()
+                );
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn locality_scheduling_shim_maps_to_policies() {
+        // The deprecated toggle keeps its observable behavior: `false` routes every ready task
+        // through the injector (successor slot unused), `true` is the locality default.
+        let rt = Runtime::new(RuntimeConfig::new().workers(2).locality_scheduling(false));
+        assert_eq!(rt.scheduling_policy(), SchedulingPolicy::Fifo);
+        let data = SharedSlice::<u64>::new(1);
+        let d = data.clone();
+        rt.run(move |ctx| {
+            for _ in 0..16 {
+                let d2 = d.clone();
+                ctx.task().inout(d.region(0..1)).label("chain").spawn(move |t| {
+                    d2.write(t, 0..1)[0] += 1;
+                });
+            }
+        });
+        assert_eq!(data.snapshot()[0], 16);
+        assert_eq!(rt.stats().successor_slot_hits, 0);
+        let rt = Runtime::new(RuntimeConfig::new().locality_scheduling(true));
+        assert_eq!(rt.scheduling_policy(), SchedulingPolicy::LocalitySlot);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * a global [`crossbeam_deque::Injector`] for submissions from outside the pool;
 //! * an *immediate-successor slot* per worker: the highest-priority, single-entry slot a job can
 //!   be placed in from within the executor, bypassing all queues (the locality hint);
-//! * random-victim stealing when a worker runs dry;
-//! * a mutex/condvar sleep protocol with an epoch counter so wake-ups are never lost.
+//! * a pluggable [`SchedulingPolicy`] deciding successor-slot usage, ready-wave placement and
+//!   the steal-victim order (see `docs/scheduling.md` for the inventory);
+//! * a mutex/condvar sleep protocol with an epoch counter so wake-ups are never lost, extended
+//!   with per-domain wake targeting for the hierarchical policy.
 //!
 //! The pool is generic over the job type `T` and executes jobs through a caller-provided
 //! executor callback, which receives a [`WorkerContext`] usable to schedule follow-up jobs.
@@ -31,12 +33,120 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use sleep::SleepState;
+use sleep::{SleepState, WakeTarget};
 
 /// The executor callback: invoked once per job on a worker thread.
 pub type Executor<T> = dyn Fn(T, &WorkerContext<'_, T>) + Send + Sync;
 
+/// How the pool places ready jobs and searches for work. Every policy is *observationally
+/// equivalent* on data results — policies reorder execution, they never change what executes —
+/// but they produce very different (task → worker) schedules, which is exactly the Figure 3
+/// axis the cache model measures.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// The paper's §VIII-A policy (the default): the first successor a finishing job releases
+    /// goes to the releasing worker's immediate-successor slot, the rest to its LIFO deque;
+    /// idle workers batch-steal from a random victim.
+    #[default]
+    LocalitySlot,
+    /// Breadth-first baseline with **no** locality: every ready job goes to the global FIFO
+    /// injector, the successor slot and the per-worker deques are bypassed, and idle workers
+    /// take single jobs from the injector in strict submission order. This is the "scheduler
+    /// ignores the dependency information" baseline Figure 3 compares against.
+    Fifo,
+    /// Depth-first without the successor slot: every ready job goes to the releasing worker's
+    /// LIFO deque (so chains are still followed, newest-first), but no job ever bypasses the
+    /// deque; idle workers batch-steal from a random victim. Isolates the slot's contribution
+    /// from plain LIFO ordering.
+    DepthFirst,
+    /// [`SchedulingPolicy::LocalitySlot`] plus locality domains: workers are grouped into
+    /// domains of `domain_size` (modelling cores that share an L2/L3 slice), idle workers
+    /// steal *single* jobs from their own domain first and only batch-steal across domains,
+    /// and wake-ups prefer sleepers of the domain whose queues hold the work (see
+    /// `sleep.rs`).
+    HierarchicalSteal {
+        /// Workers per locality domain (clamped to `1..=workers`). Domain of worker `i` is
+        /// `i / domain_size`.
+        domain_size: usize,
+    },
+}
+
+impl SchedulingPolicy {
+    /// The default domain size of [`SchedulingPolicy::hierarchical`] (4 workers per domain,
+    /// loosely an L2 cluster).
+    pub const DEFAULT_DOMAIN_SIZE: usize = 4;
+
+    /// The hierarchical policy with the default domain size.
+    pub fn hierarchical() -> Self {
+        SchedulingPolicy::HierarchicalSteal { domain_size: Self::DEFAULT_DOMAIN_SIZE }
+    }
+
+    /// All concrete policies (hierarchical with its default domain size), in ablation order.
+    pub fn all() -> [SchedulingPolicy; 4] {
+        [
+            SchedulingPolicy::LocalitySlot,
+            SchedulingPolicy::HierarchicalSteal { domain_size: Self::DEFAULT_DOMAIN_SIZE },
+            SchedulingPolicy::DepthFirst,
+            SchedulingPolicy::Fifo,
+        ]
+    }
+
+    /// The name used in benchmark output and `BENCH_overheads.json`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicy::LocalitySlot => "locality-slot",
+            SchedulingPolicy::Fifo => "fifo",
+            SchedulingPolicy::DepthFirst => "depth-first",
+            SchedulingPolicy::HierarchicalSteal { .. } => "hierarchical-steal",
+        }
+    }
+
+    /// Parses a policy name as printed by [`SchedulingPolicy::name`] (hierarchical gets the
+    /// default domain size).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Whether the policy dispatches through the immediate-successor slot.
+    pub fn uses_successor_slot(&self) -> bool {
+        matches!(
+            self,
+            SchedulingPolicy::LocalitySlot | SchedulingPolicy::HierarchicalSteal { .. }
+        )
+    }
+
+    /// Whether ready waves go to the producing worker's deque (`true`) or to the global
+    /// injector (`false`, the breadth-first baseline).
+    fn wave_goes_local(&self) -> bool {
+        !matches!(self, SchedulingPolicy::Fifo)
+    }
+
+    /// Effective workers-per-domain for a pool of `workers` (1 domain for every
+    /// non-hierarchical policy).
+    pub fn domain_size(&self, workers: usize) -> usize {
+        match self {
+            SchedulingPolicy::HierarchicalSteal { domain_size } => {
+                (*domain_size).clamp(1, workers.max(1))
+            }
+            _ => workers.max(1),
+        }
+    }
+
+    /// Locality domain of worker `index` in a pool of `workers`.
+    pub fn domain_of(&self, index: usize, workers: usize) -> usize {
+        index / self.domain_size(workers)
+    }
+
+    /// Number of locality domains in a pool of `workers`.
+    pub fn domain_count(&self, workers: usize) -> usize {
+        workers.max(1).div_ceil(self.domain_size(workers))
+    }
+}
+
 /// Statistics counters exposed by the pool (all monotonically increasing).
+///
+/// Accounting invariant (asserted by tests): `executed == from_successor_slot + from_local +
+/// from_injector + stolen` — every executed job was acquired from exactly one source.
 #[derive(Debug, Default)]
 pub struct PoolStats {
     /// Jobs executed, across all workers.
@@ -49,6 +159,19 @@ pub struct PoolStats {
     pub from_injector: AtomicUsize,
     /// Jobs stolen from another worker.
     pub stolen: AtomicUsize,
+    /// Subset of `stolen` taken from a victim in the thief's own locality domain (all steals,
+    /// for single-domain policies).
+    pub stolen_same_domain: AtomicUsize,
+    /// Subset of `stolen` taken from a victim in another locality domain (hierarchical policy
+    /// only; always the batch-steal path).
+    pub stolen_cross_domain: AtomicUsize,
+    /// Jobs displaced out of the successor slot by a newer successor (each was re-dispatched
+    /// through the policy's wave placement).
+    pub successor_displacements: AtomicUsize,
+    /// Domain-preferring wake-ups that woke a sleeper of the preferred domain.
+    pub targeted_wakes: AtomicUsize,
+    /// Domain-preferring wake-ups that fell back to a sleeper of another domain.
+    pub fallback_wakes: AtomicUsize,
     /// Times a worker went to sleep.
     pub sleeps: AtomicUsize,
 }
@@ -71,6 +194,23 @@ struct Shared<T: Send + 'static> {
     shutdown: AtomicBool,
     stats: PoolStats,
     workers: usize,
+    policy: SchedulingPolicy,
+}
+
+impl<T: Send + 'static> Shared<T> {
+    /// Records the outcome of a domain-preferring wake into the stats counters.
+    fn count_wake(&self, target: WakeTarget) {
+        match target {
+            WakeTarget::Preferred => PoolStats::bump(&self.stats.targeted_wakes),
+            WakeTarget::Fallback => PoolStats::bump(&self.stats.fallback_wakes),
+            WakeTarget::NoSleeper => {}
+        }
+    }
+
+    fn count_wakes(&self, (hit, fallback): (usize, usize)) {
+        self.stats.targeted_wakes.fetch_add(hit, Ordering::Relaxed);
+        self.stats.fallback_wakes.fetch_add(fallback, Ordering::Relaxed);
+    }
 }
 
 /// A handle to the worker pool. Dropping the pool shuts it down and joins all worker threads;
@@ -90,13 +230,23 @@ pub struct WorkerContext<'a, T: Send + 'static> {
     successor_slot: &'a Cell<Option<T>>,
     rng: &'a RefCell<SmallRng>,
     index: usize,
+    domain: usize,
 }
 
 impl<T: Send + 'static> ThreadPool<T> {
-    /// Creates a pool with `workers` worker threads executing jobs through `executor`.
+    /// Creates a pool with `workers` worker threads executing jobs through `executor`, under
+    /// the default [`SchedulingPolicy::LocalitySlot`] policy.
     ///
     /// `workers` is clamped to at least 1.
     pub fn new<F>(workers: usize, executor: F) -> Self
+    where
+        F: Fn(T, &WorkerContext<'_, T>) + Send + Sync + 'static,
+    {
+        Self::with_policy(workers, SchedulingPolicy::default(), executor)
+    }
+
+    /// Creates a pool with `workers` worker threads and an explicit scheduling policy.
+    pub fn with_policy<F>(workers: usize, policy: SchedulingPolicy, executor: F) -> Self
     where
         F: Fn(T, &WorkerContext<'_, T>) + Send + Sync + 'static,
     {
@@ -106,10 +256,11 @@ impl<T: Send + 'static> ThreadPool<T> {
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
-            sleep: SleepState::new(),
+            sleep: SleepState::new(policy.domain_count(workers)),
             shutdown: AtomicBool::new(false),
             stats: PoolStats::default(),
             workers,
+            policy,
         });
         let executor: Arc<Executor<T>> = Arc::new(executor);
 
@@ -131,10 +282,20 @@ impl<T: Send + 'static> ThreadPool<T> {
         self.shared.workers
     }
 
+    /// The scheduling policy the pool was created with.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.shared.policy
+    }
+
+    /// Access to the pool statistics counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.shared.stats
+    }
+
     /// Submits a job from outside the pool (goes to the global injector).
     pub fn submit(&self, job: T) {
         self.shared.injector.push(job);
-        self.shared.sleep.notify_one();
+        self.shared.sleep.notify_one(None);
     }
 
     /// Submits many jobs at once, waking as many workers as needed. The whole wave enters the
@@ -143,22 +304,26 @@ impl<T: Send + 'static> ThreadPool<T> {
         let mut count = 0usize;
         self.shared.injector.push_batch(jobs.into_iter().inspect(|_| count += 1));
         if count > 0 {
-            self.shared.sleep.notify_many(count);
+            self.shared.sleep.notify_many(count, None);
         }
     }
 
-    /// Access to the pool statistics counters.
-    pub fn stats(&self) -> &PoolStats {
-        &self.shared.stats
-    }
-
-    /// Requests shutdown and joins all workers. Queued jobs that have not started are dropped.
+    /// Requests shutdown and joins all workers. Queued jobs that have not started are dropped
+    /// **without being executed**: each worker stops taking work the moment it observes the
+    /// shutdown flag and drains its own deque and successor slot (running the jobs'
+    /// destructors) before exiting, so by the time `shutdown` returns every undelivered job of
+    /// a joined worker has been dropped. Jobs still in the global injector are drained by
+    /// [`ThreadPool::drop`].
     ///
     /// The shutdown may itself run *on* a worker thread: the executor callback can hold the last
     /// reference to the structure owning the pool (e.g. a runtime dropped on the main thread
     /// while a worker was still retiring its final task). A thread cannot join itself, so that
-    /// worker's handle is detached instead — the thread observes the shutdown flag and exits on
-    /// its own, keeping the shared state alive through its own `Arc`.
+    /// worker's handle is detached instead — the thread observes the shutdown flag and exits
+    /// (draining its deque and slot) on its own, keeping the shared state alive through its own
+    /// `Arc`. **This is the one documented exception** to the destructors-before-return
+    /// guarantee: jobs stranded in the *detached self-shutdown worker's* deque or slot are
+    /// dropped when that thread exits, which happens after `shutdown`/`drop` returns (covered
+    /// by `self_shutdown_worker_drains_after_drop` in the tests).
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -203,27 +368,106 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
         self.shared.workers
     }
 
-    /// Schedules `job` to run *next* on this worker (the locality hint used when a finishing
-    /// task releases a dependency and its successor should reuse the warm cache).
+    /// The pool's scheduling policy.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.shared.policy
+    }
+
+    /// Locality domain of the current worker (always 0 for non-hierarchical policies).
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Places one ready job according to the policy's *wave* rule: the local LIFO deque for
+    /// the locality policies, the global injector for [`SchedulingPolicy::Fifo`].
+    pub fn dispatch_spawned(&self, job: T) {
+        if self.shared.policy.wave_goes_local() {
+            self.push_local(job);
+        } else {
+            self.push_global(job);
+        }
+    }
+
+    /// Dispatches a wave of ready jobs according to the policy, in one shot.
     ///
-    /// If the slot is already occupied, the previously stored job is demoted to the local deque.
+    /// `successor_hint` marks the wave as produced by a *finished* job (its first entry is the
+    /// immediate successor of §VIII-A); waves produced mid-body (the `release` directive) pass
+    /// `false`, so other workers can steal everything while the producer keeps running.
+    ///
+    /// Priority order established on this worker (highest first): the slot job, then a job it
+    /// displaced from the slot, then the rest of this wave (newest first), then older deque
+    /// content. The displaced job is re-pushed **after** the wave so the LIFO pop order keeps
+    /// it ahead of the colder wave jobs — pushing it first (as `schedule_next` + per-job
+    /// pushes used to) buried the previous hot successor *below* the incoming wave, inverting
+    /// the §VIII-A priority (see `displaced_successor_outranks_the_displacing_wave`).
+    pub fn dispatch_ready(&self, jobs: Vec<T>, successor_hint: bool) {
+        let policy = self.shared.policy;
+        if !(successor_hint && policy.uses_successor_slot()) {
+            if policy.wave_goes_local() {
+                let count = jobs.len();
+                for job in jobs {
+                    self.deque.push(job);
+                }
+                let woken = self.shared.sleep.notify_many(count, Some(self.domain));
+                self.shared.count_wakes(woken);
+            } else {
+                let count = jobs.len();
+                self.shared.injector.push_batch(jobs);
+                self.shared.sleep.notify_many(count, None);
+            }
+            return;
+        }
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next();
+        let mut pushed = 0usize;
+        for job in jobs {
+            self.deque.push(job);
+            pushed += 1;
+        }
+        if let Some(first) = first {
+            if let Some(displaced) = self.successor_slot.replace(Some(first)) {
+                PoolStats::bump(&self.shared.stats.successor_displacements);
+                self.deque.push(displaced);
+                pushed += 1;
+            }
+        }
+        if pushed > 0 {
+            let woken = self.shared.sleep.notify_many(pushed, Some(self.domain));
+            self.shared.count_wakes(woken);
+        }
+    }
+
+    /// Schedules `job` to run *next* on this worker (the locality hint used when a finishing
+    /// task releases a dependency and its successor should reuse the warm cache). Under a
+    /// policy without a successor slot this degrades to the policy's wave placement.
+    ///
+    /// If the slot is already occupied, the previously stored job is demoted through the
+    /// policy's wave placement; on the deque it lands on top, i.e. directly *below* the
+    /// incoming job in priority (the slot always outranks the deque). Callers dispatching a
+    /// whole wave must use [`WorkerContext::dispatch_ready`], which also orders the displaced
+    /// job against the rest of the wave.
     pub fn schedule_next(&self, job: T) {
+        if !self.shared.policy.uses_successor_slot() {
+            self.dispatch_spawned(job);
+            return;
+        }
         if let Some(previous) = self.successor_slot.replace(Some(job)) {
-            self.deque.push(previous);
-            self.shared.sleep.notify_one();
+            PoolStats::bump(&self.shared.stats.successor_displacements);
+            self.dispatch_spawned(previous);
         }
     }
 
     /// Pushes `job` onto this worker's LIFO deque (recently produced work, likely cache warm).
     pub fn push_local(&self, job: T) {
         self.deque.push(job);
-        self.shared.sleep.notify_one();
+        let target = self.shared.sleep.notify_one(Some(self.domain));
+        self.shared.count_wake(target);
     }
 
     /// Pushes `job` onto the global injector (oldest-first, any worker may pick it up).
     pub fn push_global(&self, job: T) {
         self.shared.injector.push(job);
-        self.shared.sleep.notify_one();
+        self.shared.sleep.notify_one(None);
     }
 
     /// Tries to find one queued job (including the successor slot, which only this worker can
@@ -244,7 +488,8 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
         (self.executor)(job, self);
     }
 
-    /// Looks for work: successor slot (if `use_successor_slot`), local deque, injector, steal.
+    /// Looks for work: successor slot (if `use_successor_slot`), local deque, injector, then
+    /// steal in the policy's victim order.
     fn find_work(&self, use_successor_slot: bool) -> Option<T> {
         if use_successor_slot {
             if let Some(job) = self.successor_slot.take() {
@@ -259,7 +504,14 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
         // Retry loop around the lock-free structures that can return `Steal::Retry`.
         loop {
             let mut retry = false;
-            match self.shared.injector.steal_batch_and_pop(self.deque) {
+            // Fifo takes single jobs in strict submission order (breadth-first by
+            // construction); every other policy batch-refills its deque from the injector.
+            let taken = if self.shared.policy == SchedulingPolicy::Fifo {
+                self.shared.injector.steal()
+            } else {
+                self.shared.injector.steal_batch_and_pop(self.deque)
+            };
+            match taken {
                 Steal::Success(job) => {
                     PoolStats::bump(&self.shared.stats.from_injector);
                     return Some(job);
@@ -267,28 +519,83 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
-            // Steal from a random victim, then scan the rest.
-            let victims = self.shared.stealers.len();
-            let start = self.rng.borrow_mut().gen_range(0..victims.max(1));
-            for offset in 0..victims {
-                let victim = (start + offset) % victims;
-                if victim == self.index {
-                    continue;
-                }
-                match self.shared.stealers[victim].steal_batch_and_pop(self.deque) {
-                    Steal::Success(job) => {
-                        PoolStats::bump(&self.shared.stats.stolen);
-                        return Some(job);
-                    }
-                    Steal::Retry => retry = true,
-                    Steal::Empty => {}
-                }
+            if let Some(job) = self.try_steal(&mut retry) {
+                return Some(job);
             }
             if !retry {
                 return None;
             }
             std::hint::spin_loop();
         }
+    }
+
+    /// One pass over the steal victims in the policy's order. Under Fifo all deques are empty
+    /// by construction, so the pass is skipped entirely.
+    fn try_steal(&self, retry: &mut bool) -> Option<T> {
+        let victims = self.shared.stealers.len();
+        if victims <= 1 || self.shared.policy == SchedulingPolicy::Fifo {
+            return None;
+        }
+        if let SchedulingPolicy::HierarchicalSteal { .. } = self.shared.policy {
+            // Nearest first: single-job steals inside the domain (fine-grained, keeps the
+            // victim's backlog — and its locality — mostly intact) ...
+            let size = self.shared.policy.domain_size(victims);
+            let first = self.domain * size;
+            let len = size.min(victims - first);
+            let start = self.rng.borrow_mut().gen_range(0..len.max(1));
+            for offset in 0..len {
+                let victim = first + (start + offset) % len;
+                if victim == self.index {
+                    continue;
+                }
+                match self.shared.stealers[victim].steal() {
+                    Steal::Success(job) => {
+                        PoolStats::bump(&self.shared.stats.stolen);
+                        PoolStats::bump(&self.shared.stats.stolen_same_domain);
+                        return Some(job);
+                    }
+                    Steal::Retry => *retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            // ... then batch migration across domains (amortise the cross-domain traffic by
+            // moving a chunk of the victim's backlog over in one steal).
+            return self.batch_steal_pass(
+                retry,
+                |victim| self.shared.policy.domain_of(victim, victims) == self.domain,
+                &self.shared.stats.stolen_cross_domain,
+            );
+        }
+        // Single-domain policies: batch-steal from a random victim, then scan the rest.
+        self.batch_steal_pass(retry, |victim| victim == self.index, &self.shared.stats.stolen_same_domain)
+    }
+
+    /// One randomized batch-steal sweep over all victims, skipping those `skip` rejects;
+    /// `counter` is the same/cross-domain sub-counter the successful steal is attributed to.
+    fn batch_steal_pass(
+        &self,
+        retry: &mut bool,
+        skip: impl Fn(usize) -> bool,
+        counter: &AtomicUsize,
+    ) -> Option<T> {
+        let victims = self.shared.stealers.len();
+        let start = self.rng.borrow_mut().gen_range(0..victims);
+        for offset in 0..victims {
+            let victim = (start + offset) % victims;
+            if skip(victim) {
+                continue;
+            }
+            match self.shared.stealers[victim].steal_batch_and_pop(self.deque) {
+                Steal::Success(job) => {
+                    PoolStats::bump(&self.shared.stats.stolen);
+                    PoolStats::bump(counter);
+                    return Some(job);
+                }
+                Steal::Retry => *retry = true,
+                Steal::Empty => {}
+            }
+        }
+        None
     }
 }
 
@@ -307,9 +614,15 @@ fn worker_main<T: Send + 'static>(
         successor_slot: &successor_slot,
         rng: &rng,
         index,
+        domain: shared.policy.domain_of(index, shared.workers),
     };
 
     loop {
+        // Stop taking work the moment shutdown is observed (checked *before* scanning, so
+        // undelivered jobs are dropped, not executed — see `ThreadPool::shutdown`).
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
         // Record the sleep epoch *before* scanning, so a submission racing with the scan is
         // guaranteed to be observed either by the scan or by the epoch check before sleeping.
         let epoch = shared.sleep.current_epoch();
@@ -317,18 +630,20 @@ fn worker_main<T: Send + 'static>(
             ctx.run(job);
             continue;
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
         PoolStats::bump(&shared.stats.sleeps);
-        shared.sleep.sleep(epoch, || shared.shutdown.load(Ordering::SeqCst));
+        shared.sleep.sleep(ctx.domain, epoch, || shared.shutdown.load(Ordering::SeqCst));
     }
+    // Shutdown drain: run the destructors of every job stranded in this worker's private
+    // structures (successor slot + deque) before the thread exits, so `shutdown`'s join
+    // returns only after they ran. Nobody can re-fill them: only the owner pushes to either.
+    drop(successor_slot.take());
+    while deque.pop().is_some() {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -443,6 +758,270 @@ mod tests {
                 + stats.stolen.load(Ordering::Relaxed)
                 >= 50
         );
+    }
+
+    /// The accounting identity behind `RuntimeStats`: every executed job was acquired from
+    /// exactly one of the four sources, under every policy.
+    #[test]
+    fn stats_accounting_identity_holds_for_every_policy() {
+        for policy in SchedulingPolicy::all() {
+            let pool: ThreadPool<u32> = ThreadPool::with_policy(3, policy, |depth, ctx| {
+                if depth > 0 {
+                    ctx.schedule_next(depth - 1);
+                    ctx.push_local(depth - 1);
+                }
+            });
+            pool.submit_batch((0..32).map(|_| 4u32));
+            let expected = 32 * ((1usize << 5) - 1);
+            assert!(
+                wait_for(|| pool.stats().executed_jobs() == expected, Duration::from_secs(10)),
+                "policy {}: executed {} of {expected}",
+                policy.name(),
+                pool.stats().executed_jobs()
+            );
+            let s = pool.stats();
+            let acquired = s.from_successor_slot.load(Ordering::Relaxed)
+                + s.from_local.load(Ordering::Relaxed)
+                + s.from_injector.load(Ordering::Relaxed)
+                + s.stolen.load(Ordering::Relaxed);
+            assert_eq!(acquired, expected, "policy {}", policy.name());
+            assert_eq!(
+                s.stolen.load(Ordering::Relaxed),
+                s.stolen_same_domain.load(Ordering::Relaxed)
+                    + s.stolen_cross_domain.load(Ordering::Relaxed),
+                "policy {}: steals must split into same- and cross-domain",
+                policy.name()
+            );
+            if !policy.uses_successor_slot() {
+                assert_eq!(
+                    s.from_successor_slot.load(Ordering::Relaxed),
+                    0,
+                    "policy {} must never use the successor slot",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    /// Regression test for the §VIII-A demotion order (ISSUE 5 satellite): a job displaced
+    /// from the successor slot must execute directly after its displacer — *before* the rest
+    /// of the displacing wave — not buried below it.
+    #[test]
+    fn displaced_successor_outranks_the_displacing_wave() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let pool: ThreadPool<usize> = ThreadPool::new(1, move |job, ctx| {
+            o.lock().push(job);
+            if job == 0 {
+                // First wave: 1 takes the slot, 2 and 3 go to the deque.
+                ctx.dispatch_ready(vec![1, 2, 3], true);
+                // Second wave displaces 1: priority must become 4 (slot), 1 (displaced),
+                // then the wave 6, 5 (LIFO), then the older wave 3, 2.
+                ctx.dispatch_ready(vec![4, 5, 6], true);
+            }
+        });
+        pool.submit(0);
+        assert!(wait_for(|| order.lock().len() == 7, Duration::from_secs(5)));
+        assert_eq!(*order.lock(), vec![0, 4, 1, 6, 5, 3, 2]);
+        assert_eq!(pool.stats().successor_displacements.load(Ordering::Relaxed), 1);
+    }
+
+    /// Satellite: every undelivered job's destructor runs before `drop` returns — deque,
+    /// successor slot and injector occupancy all covered (main-thread shutdown).
+    #[test]
+    fn shutdown_drops_jobs_in_deque_slot_and_injector() {
+        struct Job {
+            id: usize,
+            dropped: Arc<AtomicUsize>,
+        }
+        impl Drop for Job {
+            fn drop(&mut self) {
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let ready = Arc::new(AtomicBool::new(false));
+        let proceed = Arc::new(AtomicBool::new(false));
+        let job = |id: usize| Job { id, dropped: Arc::clone(&dropped) };
+
+        let (e, r, p, d) = (
+            Arc::clone(&executed),
+            Arc::clone(&ready),
+            Arc::clone(&proceed),
+            Arc::clone(&dropped),
+        );
+        let mut pool: ThreadPool<Job> = ThreadPool::new(1, move |incoming: Job, ctx| {
+            e.fetch_add(1, Ordering::SeqCst);
+            if incoming.id == 0 {
+                // Occupy the slot and the deque while the worker is pinned inside this job.
+                ctx.schedule_next(Job { id: 1, dropped: Arc::clone(&d) });
+                ctx.push_local(Job { id: 2, dropped: Arc::clone(&d) });
+                ctx.push_local(Job { id: 3, dropped: Arc::clone(&d) });
+                r.store(true, Ordering::SeqCst);
+                while !p.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        pool.submit(job(0));
+        assert!(wait_for(|| ready.load(Ordering::SeqCst), Duration::from_secs(5)));
+        // Two more stranded in the injector (the single worker is busy inside job 0).
+        pool.submit(job(4));
+        pool.submit(job(5));
+        let unblocker = {
+            let p = Arc::clone(&proceed);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(200));
+                p.store(true, Ordering::SeqCst);
+            })
+        };
+        // shutdown() sets the flag, then the worker finishes job 0, observes the flag before
+        // scanning again, and drains its slot + deque (destructors run) before being joined.
+        pool.shutdown();
+        unblocker.join().unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 1, "only job 0 may execute");
+        assert_eq!(
+            dropped.load(Ordering::SeqCst),
+            4,
+            "job 0 + slot + two deque jobs must be dropped once the workers are joined"
+        );
+        drop(pool);
+        assert_eq!(dropped.load(Ordering::SeqCst), 6, "drop must drain the injector too");
+    }
+
+    /// The documented exception: a pool shut down *from a worker thread* cannot join that
+    /// worker, so jobs stranded in its private deque/slot outlive `drop` (they are still
+    /// dropped when the detached thread exits).
+    #[test]
+    fn self_shutdown_worker_drains_after_drop() {
+        struct Job {
+            shutdown_here: bool,
+            dropped: Arc<AtomicUsize>,
+        }
+        impl Drop for Job {
+            fn drop(&mut self) {
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let pool: Arc<parking_lot::Mutex<Option<ThreadPool<Job>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let pool_ref = Arc::clone(&pool);
+        let d = Arc::clone(&dropped);
+        let created: ThreadPool<Job> = ThreadPool::new(1, move |incoming: Job, ctx| {
+            if incoming.shutdown_here {
+                // Strand one job in the deque, then drop the pool from this worker thread.
+                ctx.push_local(Job { shutdown_here: false, dropped: Arc::clone(&d) });
+                let taken = pool_ref.lock().take();
+                drop(taken);
+            }
+        });
+        *pool.lock() = Some(created);
+        pool.lock()
+            .as_ref()
+            .unwrap()
+            .submit(Job { shutdown_here: true, dropped: Arc::clone(&dropped) });
+        // The detached worker exits on its own and drains its deque; the stranded job's
+        // destructor runs then (after `drop(taken)` returned inside the executor).
+        assert!(
+            wait_for(|| dropped.load(Ordering::SeqCst) == 2, Duration::from_secs(5)),
+            "the self-shutdown worker must still drain its deque on exit"
+        );
+    }
+
+    /// Fifo is strictly breadth-first: a single worker executes jobs in submission order, and
+    /// never touches the slot or its deque.
+    #[test]
+    fn fifo_policy_preserves_submission_order() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let pool: ThreadPool<usize> =
+            ThreadPool::with_policy(1, SchedulingPolicy::Fifo, move |job, ctx| {
+                o.lock().push(job);
+                if job == 0 {
+                    // Even "locality" requests degrade to the injector under Fifo.
+                    ctx.schedule_next(100);
+                    ctx.dispatch_spawned(101);
+                }
+            });
+        // One batch: all ten enter the injector atomically, so the follow-ups the first job
+        // pushes are guaranteed to queue behind them (plain per-job submits could race the
+        // worker and interleave 100/101 into the middle).
+        pool.submit_batch(0..10);
+        assert!(wait_for(|| order.lock().len() == 12, Duration::from_secs(5)));
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 100, 101]);
+        let stats = pool.stats();
+        assert_eq!(stats.from_successor_slot.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.from_local.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.stolen.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.from_injector.load(Ordering::Relaxed), 12);
+    }
+
+    /// DepthFirst follows chains through the deque (LIFO) without ever using the slot.
+    #[test]
+    fn depth_first_policy_bypasses_the_slot() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&done);
+        let pool: ThreadPool<u32> =
+            ThreadPool::with_policy(1, SchedulingPolicy::DepthFirst, move |depth, ctx| {
+                c.fetch_add(1, Ordering::SeqCst);
+                if depth > 0 {
+                    ctx.dispatch_ready(vec![depth - 1], true);
+                }
+            });
+        pool.submit(16);
+        assert!(wait_for(|| done.load(Ordering::SeqCst) == 17, Duration::from_secs(5)));
+        let stats = pool.stats();
+        assert_eq!(stats.from_successor_slot.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.from_local.load(Ordering::Relaxed), 16);
+    }
+
+    /// Hierarchical stealing keeps the counters consistent and executes everything; domain
+    /// arithmetic is pinned separately (which domain wins a steal is timing-dependent).
+    #[test]
+    fn hierarchical_policy_executes_and_splits_steal_counters() {
+        let policy = SchedulingPolicy::HierarchicalSteal { domain_size: 2 };
+        assert_eq!(policy.domain_count(4), 2);
+        assert_eq!(policy.domain_of(0, 4), 0);
+        assert_eq!(policy.domain_of(1, 4), 0);
+        assert_eq!(policy.domain_of(2, 4), 1);
+        assert_eq!(policy.domain_of(3, 4), 1);
+
+        let done = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&done);
+        let pool: ThreadPool<u32> = ThreadPool::with_policy(4, policy, move |fanout, ctx| {
+            c.fetch_add(1, Ordering::SeqCst);
+            if fanout > 0 {
+                // Pile work on the producing worker's deque so the others must steal.
+                for _ in 0..8 {
+                    ctx.push_local(fanout - 1);
+                }
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        pool.submit(2);
+        let expected = 1 + 8 + 64;
+        assert!(wait_for(|| done.load(Ordering::SeqCst) == expected, Duration::from_secs(10)));
+        let s = pool.stats();
+        assert_eq!(
+            s.stolen.load(Ordering::Relaxed),
+            s.stolen_same_domain.load(Ordering::Relaxed)
+                + s.stolen_cross_domain.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in SchedulingPolicy::all() {
+            assert_eq!(SchedulingPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(SchedulingPolicy::from_name("nope"), None);
+        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::LocalitySlot);
+        // Degenerate domain sizes clamp instead of dividing by zero.
+        let degenerate = SchedulingPolicy::HierarchicalSteal { domain_size: 0 };
+        assert_eq!(degenerate.domain_size(4), 1);
+        assert_eq!(SchedulingPolicy::hierarchical().domain_size(2), 2);
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub use weakdep_trace as trace;
 
 pub use weakdep_core::{
     AccessType, CapacityStats, Depend, Region, Runtime, RuntimeConfig, RuntimeObserver,
-    RuntimeStats, SharedSlice, SpaceId, StaleTaskId, TaskBuilder, TaskCtx, TaskId, TaskSpec,
-    WaitMode,
+    RuntimeStats, SchedulingPolicy, SharedSlice, SpaceId, StaleTaskId, TaskBuilder, TaskCtx,
+    TaskId, TaskSpec, WaitMode,
 };

@@ -9,6 +9,7 @@
 //! * `--repeat N` — repetitions per configuration (the best run is reported, as is customary
 //!   for throughput benchmarks).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -227,15 +228,21 @@ pub mod alloc_counter {
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `layout` is forwarded unchanged; the caller upholds `GlobalAlloc::alloc`'s
+            // contract and `System` is the real allocator.
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr` was returned by `Self::alloc`/`Self::realloc`, which delegate to
+            // `System` with the same layout — so it is a valid `System` allocation.
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: as for `dealloc` — `ptr`/`layout` describe a live `System` allocation and
+            // the caller upholds `GlobalAlloc::realloc`'s contract for `new_size`.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

@@ -16,6 +16,7 @@
 //! [`CacheSimObserver`] implements [`weakdep_core::RuntimeObserver`]; register it with
 //! `RuntimeConfig::observer`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

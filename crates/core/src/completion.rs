@@ -1,0 +1,132 @@
+//! The completion gate: the waiter-gated mutex/condvar protocol behind [`Runtime::run`]'s
+//! root-completion wait and [`TaskCtx::taskwait`]'s work-recruiting sleep.
+//!
+//! Extracted into its own type so the protocol is *model-checkable*: under the `loom-model`
+//! feature the primitives below are loom-lite shims and `tests/loom_completion.rs` explores
+//! every bounded interleaving of exactly this code. The protocol (from PR 3, hardened in PR 5):
+//!
+//! * The mutex guards nothing but the wait — the completion predicate lives in the engine,
+//!   which has its own locks. Waiters register in an atomic counter (SeqCst) *before*
+//!   re-checking their predicate under the mutex; notifiers check the counter and, when it is
+//!   non-zero, notify **while holding the mutex** — so a notify can neither miss a registered
+//!   waiter nor slip between a waiter's predicate check and its wait.
+//! * Worker `taskwait`ers additionally register as *helpers* and are woken when new ready work
+//!   is dispatched (work recruitment). Recruitment is not part of their completion predicate,
+//!   so dispatches also bump a `recruit_epoch` (strictly after the queue pushes): a worker
+//!   re-reads it under the mutex before committing to an untimed sleep, which makes the
+//!   pre-sleep queue scan sound — either the scan saw the pushed work, or the epoch changed.
+//!
+//! [`Runtime::run`]: crate::Runtime::run
+//! [`TaskCtx::taskwait`]: crate::TaskCtx::taskwait
+
+// Sync shim: the real primitives by default, loom-lite's model-checked ones under `loom-model`.
+#[cfg(not(feature = "loom-model"))]
+use parking_lot::{Condvar, Mutex};
+#[cfg(not(feature = "loom-model"))]
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+#[cfg(feature = "loom-model")]
+use loom_lite::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+#[cfg(feature = "loom-model")]
+use loom_lite::sync::{Condvar, Mutex};
+
+/// Completion/recruitment wake-up gate. See the module docs for the protocol.
+pub struct CompletionGate {
+    /// Guards nothing but the waits (predicates live in the engine); exists because a condvar
+    /// needs a mutex, and because notifying under it closes the check-then-wait race.
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    /// Threads registered to wait (or about to wait). Notifiers check it first, so the common
+    /// no-waiter retire path costs one load instead of a mutex acquisition.
+    waiters: AtomicUsize,
+    /// Subset of `waiters` that are workers blocked in `taskwait` — the only waiters that can
+    /// steal ready tasks, hence the only ones worth waking on ready-work dispatch.
+    helpers: AtomicUsize,
+    /// Bumped once per dispatch of ready work, strictly after the queue pushes. See
+    /// [`CompletionGate::wait_once`] for the soundness argument.
+    recruit_epoch: AtomicUsize,
+}
+
+impl Default for CompletionGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionGate {
+    /// Creates an idle gate (no waiters, epoch 0).
+    pub fn new() -> Self {
+        CompletionGate {
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            helpers: AtomicUsize::new(0),
+            recruit_epoch: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until `done()` holds. The untimed `Runtime::run` wait: the waiter registers
+    /// before the first predicate check and stays registered across the whole sleep, so every
+    /// predicate flip is delivered.
+    pub fn wait_until(&self, mut done: impl FnMut() -> bool) {
+        self.waiters.fetch_add(1, SeqCst);
+        {
+            let mut guard = self.mutex.lock();
+            while !done() {
+                self.condvar.wait(&mut guard);
+            }
+        }
+        self.waiters.fetch_sub(1, SeqCst);
+    }
+
+    /// The recruitment epoch, to be read *before* a `taskwait`er's queue scan. A dispatch
+    /// bumps it after its pushes, so either the pre-sleep recheck in [`Self::wait_once`] sees
+    /// a newer epoch (and the caller rescans), or the epoch is unchanged — in which case
+    /// reading the bumped value here would have ordered the pushes before the scan, i.e. the
+    /// scan saw everything.
+    pub fn recruit_epoch(&self) -> usize {
+        self.recruit_epoch.load(SeqCst)
+    }
+
+    /// One sleep round of the `taskwait` loop: registers the caller (as a helper too when
+    /// `is_worker`), re-checks `should_sleep()` under the mutex — workers additionally require
+    /// the recruitment epoch to still equal `epoch` (the value read before their queue scan) —
+    /// and sleeps through at most one wake-up. The caller loops, re-checking its predicate.
+    pub fn wait_once(&self, is_worker: bool, epoch: usize, should_sleep: impl FnOnce() -> bool) {
+        self.waiters.fetch_add(1, SeqCst);
+        if is_worker {
+            self.helpers.fetch_add(1, SeqCst);
+        }
+        {
+            let mut guard = self.mutex.lock();
+            // Non-workers cannot steal, so the epoch is irrelevant to them — their wake
+            // condition is fully covered by the predicate-flip notify.
+            if should_sleep() && (!is_worker || self.recruit_epoch.load(SeqCst) == epoch) {
+                self.condvar.wait(&mut guard);
+            }
+        }
+        self.waiters.fetch_sub(1, SeqCst);
+        if is_worker {
+            self.helpers.fetch_sub(1, SeqCst);
+        }
+    }
+
+    /// Publishes a dispatch of ready work to `taskwait`ers committing to an untimed sleep.
+    /// Must be called strictly *after* the queue pushes it describes.
+    pub fn publish_dispatch(&self) {
+        self.recruit_epoch.fetch_add(1, SeqCst);
+    }
+
+    /// Wakes sleeping waiters — but only when a waiter's condition can actually have changed:
+    /// a waiter predicate flipped and a waiter is registered, or ready work was dispatched and
+    /// a helper is asleep. The notify runs while holding the mutex; see the module docs for
+    /// why both halves are load-bearing.
+    pub fn notify(&self, predicate_flipped: bool, work_dispatched: bool) {
+        let wake = (predicate_flipped && self.waiters.load(SeqCst) > 0)
+            || (work_dispatched && self.helpers.load(SeqCst) > 0);
+        if wake {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
+    }
+}

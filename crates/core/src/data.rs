@@ -140,6 +140,10 @@ impl<T> SharedSlice<T> {
             range,
             self
         );
+        // Sentinel: additionally validate against the *live* footprint (declared minus
+        // `release`d) — catches use-after-`release`, which the static assert above cannot.
+        #[cfg(feature = "sentinel")]
+        ctx.sentinel_check_access(&region, false);
         // SAFETY: the dependency engine orders this access after the writes it depends on and
         // before any conflicting write that depends on it.
         unsafe { &(&*self.inner.data.get())[range] }
@@ -160,6 +164,8 @@ impl<T> SharedSlice<T> {
             range,
             self
         );
+        #[cfg(feature = "sentinel")]
+        ctx.sentinel_check_access(&region, true);
         // SAFETY: as for `read`, plus exclusivity: two overlapping strong write declarations are
         // always ordered by the engine, so no other task holds a borrow of this range right now.
         unsafe { &mut (&mut *self.inner.data.get())[range] }

@@ -1852,6 +1852,26 @@ impl DependencyEngine {
         self.stats.snapshot()
     }
 
+    /// Asserts the engine's counter identities. Sound only at **quiescence** (e.g. after a
+    /// root deeply completed): the paired counters are bumped at different moments under
+    /// relaxed ordering, so a mid-run snapshot can legitimately be torn. Debug builds only —
+    /// release builds compile this to nothing.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_check_invariants(&self) {
+        let stats = self.stats.snapshot();
+        // Every registered access went through the bottom map exactly once, on exactly one
+        // tier: the exact-match fast path or the fragmented interval tier (docs/matching.md).
+        debug_assert_eq!(
+            stats.exact_hits + stats.fragmented_updates,
+            stats.accesses_registered,
+            "engine accounting: every access registers on exactly one matching tier"
+        );
+        debug_assert!(
+            stats.tasks_retired <= stats.tasks_deeply_completed,
+            "engine accounting: retirement implies deep completion"
+        );
+    }
+
     /// Number of tasks ever registered.
     pub fn task_count(&self) -> usize {
         self.stats.tasks_registered.load(Ordering::Relaxed)
@@ -2001,6 +2021,31 @@ mod tests {
         assert!(!h.is_ready(reader));
         h.finish(writer);
         assert!(h.is_ready(reader));
+    }
+
+    /// Counter identity: every registered access runs on exactly one bottom-map tier, so
+    /// `exact_hits + fragmented_updates == accesses_registered` — checked here with both tiers
+    /// exercised (whole-region re-declarations for the exact tier, a partial overlap to force
+    /// promotion into the fragmented tier).
+    #[test]
+    fn matching_tier_accounting_identity() {
+        let mut h = Harness::new();
+        let half = Region { space: SpaceId(1), start: 4, end: 12 };
+        let w = h.spawn_root(&[dep(AccessType::Out, A)], WaitMode::None);
+        let exact = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        let partial = h.spawn_root(&[dep(AccessType::In, half)], WaitMode::None);
+        for t in [w, exact, partial] {
+            h.finish(t);
+        }
+        let stats = h.engine.stats();
+        assert!(stats.exact_hits > 0, "exact tier unexercised");
+        assert!(stats.fragmented_updates > 0, "fragmented tier unexercised");
+        assert_eq!(
+            stats.exact_hits + stats.fragmented_updates,
+            stats.accesses_registered,
+            "every access must register on exactly one matching tier"
+        );
+        h.engine.debug_check_invariants();
     }
 
     #[test]

@@ -61,10 +61,12 @@
 //! assert!(y.snapshot().iter().all(|&v| (v - 5.0).abs() < 1e-12));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod access;
+pub mod completion;
 mod data;
 mod engine;
 mod observer;

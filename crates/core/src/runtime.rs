@@ -34,9 +34,11 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use weakdep_regions::{Region, RegionSet};
 use weakdep_threadpool::{SchedulingPolicy, ThreadPool, WorkerContext};
+
+use crate::completion::CompletionGate;
 
 use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 use crate::engine::{DependencyEngine, Effects, StaleTaskId, TaskId};
@@ -48,6 +50,9 @@ pub struct RuntimeConfig {
     observers: Vec<Arc<dyn RuntimeObserver>>,
     scheduling: SchedulingPolicy,
     serialized_engine: bool,
+    /// Test-only fault injection; see [`RuntimeConfig::seed_wave_ordering_bug`].
+    #[cfg(feature = "sentinel")]
+    seed_wave_ordering_bug: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +63,8 @@ impl Default for RuntimeConfig {
             observers: Vec::new(),
             scheduling: SchedulingPolicy::default(),
             serialized_engine: false,
+            #[cfg(feature = "sentinel")]
+            seed_wave_ordering_bug: false,
         }
     }
 }
@@ -110,6 +117,20 @@ impl RuntimeConfig {
     /// lock; leave it disabled for real workloads.
     pub fn serialized_engine(mut self, enabled: bool) -> Self {
         self.serialized_engine = enabled;
+        self
+    }
+
+    /// **Test-only fault injection** (mutation regression for the race sentinel): registers
+    /// `spawn_batch` waves with their declared dependencies *dropped*, so the engine dispatches
+    /// all siblings of a wave concurrently — reintroducing the §VIII-A wave-ordering bug class
+    /// fixed in PR 5 — while task records (and the sentinel's shadow table) keep the full
+    /// declared footprints. The sentinel must then report a region conflict; see
+    /// `tests/sentinel.rs`. The engine's own bookkeeping stays consistent: the tasks really are
+    /// registered dependency-free, they just should not have been.
+    #[cfg(feature = "sentinel")]
+    #[doc(hidden)]
+    pub fn seed_wave_ordering_bug(mut self, enabled: bool) -> Self {
+        self.seed_wave_ordering_bug = enabled;
         self
     }
 }
@@ -295,27 +316,28 @@ struct Inner {
     /// taken around every engine operation, emulating the pre-sharding design.
     engine_serializer: Option<Mutex<()>>,
     pending: PendingSlab,
-    /// Guards nothing but the completion wait (the engine has its own locks); exists because a
-    /// condvar needs a mutex.
-    completion_mutex: Mutex<()>,
-    completion: Condvar,
-    /// Number of threads registered to wait (or about to wait) on `completion`. Finishing tasks
-    /// check it before touching `completion_mutex`, so the common no-waiter retire path costs
-    /// one load instead of a global lock acquisition per effects batch.
-    completion_waiters: std::sync::atomic::AtomicUsize,
-    /// Subset of `completion_waiters` that are *workers* blocked in `taskwait` — the only
-    /// waiters that can steal ready tasks, and hence the only ones worth waking on
-    /// ready-without-completion effects (work recruitment).
-    helper_waiters: std::sync::atomic::AtomicUsize,
-    /// Bumped once per effects batch that dispatched ready work. A `taskwait`er re-reads it
-    /// under `completion_mutex` before committing to an untimed sleep: recruitment ("stealable
-    /// work appeared") is not part of the waiter's completion predicate, so without this epoch
-    /// a dispatch that just missed both the waiter's queue scan and the `helper_waiters` gate
-    /// would strand the ready task until an unrelated wake — forever, on a single worker.
-    recruit_epoch: std::sync::atomic::AtomicUsize,
+    /// The waiter-gated completion/recruitment wake-up protocol (root-completion wait,
+    /// `taskwait` sleeps, recruitment epoch). Lives in [`crate::completion`] so the
+    /// `loom-model` harness can model-check it in isolation.
+    completion: CompletionGate,
     observers: Vec<Arc<dyn RuntimeObserver>>,
     panic_message: Mutex<Option<String>>,
     timers: PhaseTimers,
+    /// Shadow table of declared task footprints: every dispatch/retire is cross-checked against
+    /// all concurrently running tasks, and every `SharedSlice` access against the live declared
+    /// footprint. Compiled out (zero cost) without the `sentinel` feature.
+    #[cfg(feature = "sentinel")]
+    sentinel: weakdep_sentinel::Sentinel,
+    /// See [`RuntimeConfig::seed_wave_ordering_bug`].
+    #[cfg(feature = "sentinel")]
+    seed_wave_ordering_bug: bool,
+}
+
+/// Shadow-table key for a task: generation-qualified so a recycled [`TaskId::index`] can never
+/// be confused with its previous occupant.
+#[cfg(feature = "sentinel")]
+fn sentinel_key(id: TaskId) -> u64 {
+    ((id.generation() as u64) << 32) | id.index() as u64
 }
 
 /// The task runtime. Create one with [`Runtime::new`], then call [`Runtime::run`] with the root
@@ -344,14 +366,14 @@ impl Runtime {
                 engine: DependencyEngine::new(),
                 engine_serializer: config.serialized_engine.then(|| Mutex::new(())),
                 pending: PendingSlab::new(),
-                completion_mutex: Mutex::new(()),
-                completion: Condvar::new(),
-                completion_waiters: std::sync::atomic::AtomicUsize::new(0),
-                helper_waiters: std::sync::atomic::AtomicUsize::new(0),
-                recruit_epoch: std::sync::atomic::AtomicUsize::new(0),
+                completion: CompletionGate::new(),
                 observers,
                 panic_message: Mutex::new(None),
                 timers: PhaseTimers::default(),
+                #[cfg(feature = "sentinel")]
+                sentinel: weakdep_sentinel::Sentinel::new(),
+                #[cfg(feature = "sentinel")]
+                seed_wave_ordering_bug: config.seed_wave_ordering_bug,
             }
         });
         for obs in &inner.observers {
@@ -389,6 +411,13 @@ impl Runtime {
             footprint: Vec::new(),
         });
         let ctx = TaskCtx { inner: &self.inner, record: root_record, worker: None };
+        #[cfg(feature = "sentinel")]
+        {
+            // The root declares nothing and conflicts with nothing, but it must be in the
+            // shadow table so its children can record it as their ancestor.
+            self.inner.sentinel.task_created(sentinel_key(root_id), None, "root", []);
+            self.inner.sentinel.task_started(sentinel_key(root_id));
+        }
         let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
 
         let effects = {
@@ -398,20 +427,18 @@ impl Runtime {
         schedule_effects(&self.inner, effects, None);
 
         // Wait until the root (and therefore every descendant) deeply completes. The wait is
-        // untimed: deep completion reliably signals `completion` (see the SeqCst register /
-        // check protocol at `schedule_effects`, which closes the lost-wake-up race). A root
-        // that already deep-completed may also already be *retired* — `is_deeply_completed`
-        // answers `true` for its stale id.
-        {
-            use std::sync::atomic::Ordering::SeqCst;
-            self.inner.completion_waiters.fetch_add(1, SeqCst);
-            let mut guard = self.inner.completion_mutex.lock();
-            while !self.inner.engine.is_deeply_completed(root_id) {
-                self.inner.completion.wait(&mut guard);
-            }
-            drop(guard);
-            self.inner.completion_waiters.fetch_sub(1, SeqCst);
-        }
+        // untimed: deep completion reliably signals the gate (see `CompletionGate`'s
+        // register/check protocol, which closes the lost-wake-up race — model-checked in
+        // `tests/loom_completion.rs`). A root that already deep-completed may also already be
+        // *retired* — `is_deeply_completed` answers `true` for its stale id.
+        self.inner.completion.wait_until(|| self.inner.engine.is_deeply_completed(root_id));
+        // Every descendant has retired (and left the shadow table); drop the root entry too so
+        // the next `run` call starts from an empty table.
+        #[cfg(feature = "sentinel")]
+        self.inner.sentinel.task_finished(sentinel_key(root_id));
+        // Deep completion of the root is a quiescent point for this run's accounting.
+        #[cfg(debug_assertions)]
+        self.inner.engine.debug_check_invariants();
 
         if let Some(message) = self.inner.panic_message.lock().take() {
             panic!("a task panicked: {message}");
@@ -520,10 +547,17 @@ impl<'a> TaskCtx<'a> {
             let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
             self.inner.engine.register_batch(
                 self.record.id,
-                normalized
-                    .iter()
-                    .zip(&specs)
-                    .map(|(norm, spec)| (norm.as_slice(), spec.wait_mode)),
+                normalized.iter().zip(&specs).map(|(norm, spec)| {
+                    // Seeded §VIII-A wave-ordering mutation (test-only, see
+                    // `RuntimeConfig::seed_wave_ordering_bug`): register the wave's siblings
+                    // dependency-free so they dispatch concurrently, while the records and
+                    // the sentinel keep the declared footprints.
+                    #[cfg(feature = "sentinel")]
+                    if self.inner.seed_wave_ordering_bug {
+                        return (&[] as &[NormalizedDep], spec.wait_mode);
+                    }
+                    (norm.as_slice(), spec.wait_mode)
+                }),
             )
         };
 
@@ -550,48 +584,29 @@ impl<'a> TaskCtx<'a> {
     /// task has deeply completed. While waiting, the calling worker keeps executing other ready
     /// tasks (work-conserving wait), so `taskwait` never deadlocks the pool.
     pub fn taskwait(&self) {
-        use std::sync::atomic::Ordering::SeqCst;
         loop {
             if self.inner.engine.live_children(self.record.id) == 0 {
                 return;
             }
             // Version the queue scan below: recruitment ("stealable work appeared") is not
             // part of the completion predicate, so a worker must not commit to an untimed
-            // sleep against a scan that a concurrent dispatch raced past. Reading the epoch
-            // *before* scanning makes the pre-sleep recheck sound: a dispatch bumps the epoch
-            // after its pushes, so either the recheck sees a newer epoch (and we rescan), or
-            // the epoch is unchanged — in which case reading the bumped value here would have
-            // ordered the pushes before this scan, i.e. the scan saw everything.
-            let epoch = self.inner.recruit_epoch.load(SeqCst);
+            // sleep against a scan that a concurrent dispatch raced past. The epoch is read
+            // *before* scanning; `wait_once` re-checks it under the gate's mutex (see
+            // `CompletionGate::recruit_epoch` for the soundness argument).
+            let epoch = self.inner.completion.recruit_epoch();
             if let Some(worker) = self.worker {
                 if worker.help_one() {
                     continue;
                 }
             }
-            // Untimed wait: the drain of any task's last live child notifies `completion`
-            // whenever a waiter is registered (waiters register with SeqCst *before* their
-            // predicate re-check under the mutex, so `schedule_effects`' gate cannot miss
-            // them). Workers additionally register as *helpers* so newly dispatched stealable
-            // work wakes them; both counters are elevated only across the sleep itself.
+            // Untimed wait: the drain of any task's last live child notifies the gate
+            // whenever a waiter is registered. Workers additionally register as *helpers* so
+            // newly dispatched stealable work wakes them; both registrations are elevated
+            // only across the sleep itself.
             let is_worker = self.worker.is_some();
-            self.inner.completion_waiters.fetch_add(1, SeqCst);
-            if is_worker {
-                self.inner.helper_waiters.fetch_add(1, SeqCst);
-            }
-            {
-                let mut guard = self.inner.completion_mutex.lock();
-                // Non-workers cannot steal, so the epoch is irrelevant to them — their wake
-                // condition is fully covered by the `taskwaits_unblocked` notify.
-                if self.inner.engine.live_children(self.record.id) != 0
-                    && (!is_worker || self.inner.recruit_epoch.load(SeqCst) == epoch)
-                {
-                    self.inner.completion.wait(&mut guard);
-                }
-            }
-            self.inner.completion_waiters.fetch_sub(1, SeqCst);
-            if is_worker {
-                self.inner.helper_waiters.fetch_sub(1, SeqCst);
-            }
+            self.inner.completion.wait_once(is_worker, epoch, || {
+                self.inner.engine.live_children(self.record.id) != 0
+            });
         }
     }
 
@@ -606,6 +621,11 @@ impl<'a> TaskCtx<'a> {
             let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
             self.inner.engine.release_region(self.record.id, region)
         };
+        // Shrink the task's live declared footprint *before* dispatching successors: a released
+        // region is no longer ours, so a successor starting on it must not conflict with us,
+        // and our own later accesses to it must trip `check_access`.
+        #[cfg(feature = "sentinel")]
+        self.inner.sentinel.released(sentinel_key(self.record.id), &region);
         schedule_effects(self.inner, effects, self.worker.map(|w| (w, false)));
     }
 
@@ -624,6 +644,19 @@ impl<'a> TaskCtx<'a> {
     /// `true` if the current task declared a strong write dependency covering `region`.
     pub(crate) fn covers_write(&self, region: &Region) -> bool {
         covered_by(&self.record.footprint, region, true)
+    }
+
+    /// Sentinel access check for the `SharedSlice` accessors: validates `region` against the
+    /// task's *live* declared strong footprint (declared minus `release`d). Unlike the static
+    /// `covers_*` asserts above — which check the declaration as spawned — this catches
+    /// use-after-`release`.
+    #[cfg(feature = "sentinel")]
+    pub(crate) fn sentinel_check_access(&self, region: &Region, write: bool) {
+        if let Some(message) =
+            self.inner.sentinel.check_access(sentinel_key(self.record.id), region, write)
+        {
+            panic!("{message}");
+        }
     }
 }
 
@@ -876,6 +909,21 @@ fn finish_spawn(
         footprint,
     });
 
+    // Register the declared footprint in the sentinel's shadow table before the task can
+    // possibly dispatch. The footprint includes the hints: a `footprint_hint` is a claim the
+    // task will touch the region, so the sentinel must hold it against concurrent tasks.
+    #[cfg(feature = "sentinel")]
+    ctx.inner.sentinel.task_created(
+        sentinel_key(id),
+        Some(sentinel_key(ctx.record.id)),
+        label,
+        record.footprint.iter().map(|entry| weakdep_sentinel::DeclaredAccess {
+            region: entry.region,
+            write: entry.write,
+            weak: entry.weak,
+        }),
+    );
+
     let info = TaskInfo {
         id,
         label,
@@ -902,7 +950,13 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
     let body = record.body.lock().take();
     if let Some(body) = body {
         let ctx = TaskCtx { inner, record: Arc::clone(&record), worker: Some(wctx) };
-        let outcome = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Inside the catch so a sentinel conflict panic is captured into `panic_message`
+            // and re-raised by `run` instead of tearing down the worker thread.
+            #[cfg(feature = "sentinel")]
+            inner.sentinel.task_started(sentinel_key(record.id));
+            body(&ctx)
+        }));
         if let Err(payload) = outcome {
             // Note the explicit reborrow: `&payload` would coerce the `Box` itself into
             // `&dyn Any` and make every downcast fail.
@@ -929,6 +983,11 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
     }
 
     let retire_start = Instant::now();
+    // Retire from the shadow table strictly *before* `body_finished` can make successors
+    // ready: a successor starting concurrently with this (finished) task is legal and must not
+    // be flagged against its still-registered footprint.
+    #[cfg(feature = "sentinel")]
+    inner.sentinel.task_finished(sentinel_key(record.id));
     let effects = {
         let _serial = inner.engine_serializer.as_ref().map(Mutex::lock);
         inner.engine.body_finished(record.id)
@@ -979,35 +1038,25 @@ fn schedule_effects(
                 inner.pool.submit_batch(records);
             }
         }
-        // Publish the dispatch to taskwait-ers committing to an untimed sleep (see
-        // `recruit_epoch`): bumped strictly after the pushes above so that reading the new
-        // epoch makes the pushed work visible to the reader's queue scan.
-        inner.recruit_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        // Publish the dispatch to taskwait-ers committing to an untimed sleep: bumped
+        // strictly after the pushes above so that reading the new epoch makes the pushed
+        // work visible to the reader's queue scan.
+        inner.completion.publish_dispatch();
     }
 
     // Wake sleeping waiters — but only when a waiter's condition can actually have changed,
-    // so the common per-task retire path never touches the global completion mutex:
+    // so the common per-task retire path never touches the gate's mutex:
     //
     // * a waiter *predicate* flipped (`run`: a root deeply completed; `taskwait`: some task's
-    //   last live child drained) and a completion waiter is registered, or
-    // * new ready work was dispatched (above, so it is findable) and a *worker* `taskwait`er
-    //   is asleep — it wakes and goes back to helping, the recruitment the old 1 ms timed
-    //   poll provided implicitly.
+    //   last live child drained), or
+    // * new ready work was dispatched (above, so it is findable) — recruitment for worker
+    //   `taskwait`ers, which wake and go back to helping.
     //
-    // The notify runs while holding the completion mutex: waiters check their predicate under
-    // this mutex before an *untimed* wait, so an unlocked notify could fire between the check
-    // and the wait and be lost forever. The waiter-count gates cannot miss a waiter: waiters
-    // register (SeqCst) *before* checking their predicate, so a waiter invisible to these
-    // loads registered after them — and its predicate check, which takes the same engine
-    // locks the state change was published under, then observes that change directly.
-    use std::sync::atomic::Ordering::SeqCst;
+    // The waiter-count gating and the notify-under-mutex discipline live in
+    // `CompletionGate::notify`; the lost-wake-up argument is in `crate::completion`'s docs
+    // and is model-checked in `tests/loom_completion.rs`.
     let predicate_flipped = effects.root_completed || !effects.taskwaits_unblocked.is_empty();
-    let wake = (predicate_flipped && inner.completion_waiters.load(SeqCst) > 0)
-        || (!effects.ready.is_empty() && inner.helper_waiters.load(SeqCst) > 0);
-    if wake {
-        let _guard = inner.completion_mutex.lock();
-        inner.completion.notify_all();
-    }
+    inner.completion.notify(predicate_flipped, !effects.ready.is_empty());
 }
 
 #[cfg(test)]

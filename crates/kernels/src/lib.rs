@@ -12,6 +12,7 @@
 //! * a sequential reference implementation, and
 //! * verification helpers used by the test suite.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

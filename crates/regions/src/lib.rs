@@ -26,6 +26,7 @@
 //! All containers use plain `BTreeMap`/`HashMap` storage: the dependency engine serialises
 //! mutations under a single lock, so these types are deliberately not `Sync`-optimised.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -19,10 +19,11 @@
 //! The pool is generic over the job type `T` and executes jobs through a caller-provided
 //! executor callback, which receives a [`WorkerContext`] usable to schedule follow-up jobs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod sleep;
+pub mod sleep;
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -330,12 +331,39 @@ impl<T: Send + 'static> ThreadPool<T> {
         }
         self.shared.sleep.notify_all();
         let current = std::thread::current().id();
+        let mut _detached = false;
         for handle in self.handles.drain(..) {
             if handle.thread().id() == current {
                 drop(handle);
+                _detached = true;
             } else {
                 let _ = handle.join();
             }
+        }
+        // Scheduler accounting identities, checkable only at quiescence because `executed` is
+        // bumped before the per-source counter (both relaxed). All workers are joined here —
+        // unless one was the detached self-shutdown worker, which may still be draining.
+        #[cfg(debug_assertions)]
+        if !_detached {
+            use std::sync::atomic::Ordering::Relaxed;
+            let stats = &self.shared.stats;
+            let executed = stats.executed.load(Relaxed);
+            let sourced = stats.from_successor_slot.load(Relaxed)
+                + stats.from_local.load(Relaxed)
+                + stats.from_injector.load(Relaxed)
+                + stats.stolen.load(Relaxed);
+            debug_assert_eq!(
+                executed, sourced,
+                "pool accounting: every executed job must come from exactly one source \
+                 (slot + local + injector + stolen)"
+            );
+            let stolen = stats.stolen.load(Relaxed);
+            let split = stats.stolen_same_domain.load(Relaxed)
+                + stats.stolen_cross_domain.load(Relaxed);
+            debug_assert_eq!(
+                stolen, split,
+                "pool accounting: every steal is either same-domain or cross-domain"
+            );
         }
     }
 }
@@ -669,6 +697,39 @@ mod tests {
             pool.submit(i);
         }
         assert!(wait_for(|| counter.load(Ordering::SeqCst) == (0..100).sum(), Duration::from_secs(5)));
+    }
+
+    /// Counter identity: every executed job was acquired from exactly one source
+    /// (`executed == slot + local + injector + stolen`) and every steal is classified by
+    /// domain. Sound only at quiescence (`executed` is bumped before the source counter), so
+    /// the assertion runs after `shutdown` joins the workers — the same checkpoint where the
+    /// pool's own `debug_assert`s fire.
+    #[test]
+    fn execution_source_accounting_identity() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let mut pool: ThreadPool<usize> = ThreadPool::new(4, move |_job, _ctx| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..500 {
+            pool.submit(i);
+        }
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == 500, Duration::from_secs(5)));
+        pool.shutdown();
+        let stats = pool.stats();
+        let executed = stats.executed.load(Ordering::Relaxed);
+        assert_eq!(executed, 500);
+        let sourced = stats.from_successor_slot.load(Ordering::Relaxed)
+            + stats.from_local.load(Ordering::Relaxed)
+            + stats.from_injector.load(Ordering::Relaxed)
+            + stats.stolen.load(Ordering::Relaxed);
+        assert_eq!(executed, sourced, "each job comes from exactly one source");
+        assert_eq!(
+            stats.stolen.load(Ordering::Relaxed),
+            stats.stolen_same_domain.load(Ordering::Relaxed)
+                + stats.stolen_cross_domain.load(Ordering::Relaxed),
+            "each steal is same-domain or cross-domain"
+        );
     }
 
     #[test]

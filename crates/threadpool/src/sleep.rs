@@ -14,13 +14,24 @@
 //! inside the domain whenever it can. When the preferred domain has no sleeper the notify falls
 //! back to any domain with one (work must never be stranded to preserve locality).
 
+// The protocol is written against this two-line sync shim so the `loom-model` feature can swap
+// in loom-lite's model-checked primitives; `tests/loom_model.rs` then explores every bounded
+// interleaving of the exact code below. The default build uses the real primitives and the shim
+// compiles away entirely.
+#[cfg(not(feature = "loom-model"))]
 use parking_lot::{Condvar, Mutex};
+#[cfg(not(feature = "loom-model"))]
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(feature = "loom-model")]
+use loom_lite::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(feature = "loom-model")]
+use loom_lite::sync::{Condvar, Mutex};
 
 /// Where a wake-up with a domain preference actually landed (feeds the pool's
 /// `targeted_wakes` / `fallback_wakes` counters).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub(crate) enum WakeTarget {
+pub enum WakeTarget {
     /// A sleeper of the preferred domain was woken.
     Preferred,
     /// No sleeper in the preferred domain; a sleeper of another domain was woken instead.
@@ -38,7 +49,7 @@ struct DomainSleep {
 }
 
 /// Shared sleep state for all workers of a pool.
-pub(crate) struct SleepState {
+pub struct SleepState {
     epoch: Mutex<u64>,
     domains: Vec<DomainSleep>,
 }
@@ -46,7 +57,7 @@ pub(crate) struct SleepState {
 impl SleepState {
     /// Creates the sleep state for `domains` locality domains (non-hierarchical policies use a
     /// single domain, which makes every notify trivially "targeted").
-    pub(crate) fn new(domains: usize) -> Self {
+    pub fn new(domains: usize) -> Self {
         SleepState {
             epoch: Mutex::new(0),
             domains: (0..domains.max(1))
@@ -56,7 +67,7 @@ impl SleepState {
     }
 
     /// The current wake epoch. Workers read this before scanning for work.
-    pub(crate) fn current_epoch(&self) -> u64 {
+    pub fn current_epoch(&self) -> u64 {
         *self.epoch.lock()
     }
 
@@ -77,7 +88,7 @@ impl SleepState {
 
     /// Signals that one unit of work became available, preferring to wake a sleeper of
     /// `preferred` (the domain whose queues hold the work).
-    pub(crate) fn notify_one(&self, preferred: Option<usize>) -> WakeTarget {
+    pub fn notify_one(&self, preferred: Option<usize>) -> WakeTarget {
         let mut epoch = self.epoch.lock();
         *epoch += 1;
         match self.pick(preferred) {
@@ -96,7 +107,7 @@ impl SleepState {
     /// Signals that `count` units of work became available, waking up to `count` workers —
     /// sleepers of `preferred` first, then the remaining domains. Returns how many wakes
     /// landed in the preferred domain and how many fell back to another one.
-    pub(crate) fn notify_many(&self, count: usize, preferred: Option<usize>) -> (usize, usize) {
+    pub fn notify_many(&self, count: usize, preferred: Option<usize>) -> (usize, usize) {
         if count == 0 {
             return (0, 0);
         }
@@ -134,7 +145,7 @@ impl SleepState {
     }
 
     /// Wakes every worker in every domain (used for shutdown).
-    pub(crate) fn notify_all(&self) {
+    pub fn notify_all(&self) {
         let mut epoch = self.epoch.lock();
         *epoch += 1;
         for domain in &self.domains {
@@ -144,7 +155,7 @@ impl SleepState {
 
     /// Blocks the current worker (a member of `domain`) until the epoch advances past
     /// `seen_epoch` (or immediately returns if it already has, or if `should_exit` is true).
-    pub(crate) fn sleep(&self, domain: usize, seen_epoch: u64, should_exit: impl Fn() -> bool) {
+    pub fn sleep(&self, domain: usize, seen_epoch: u64, should_exit: impl Fn() -> bool) {
         let domain = &self.domains[domain.min(self.domains.len() - 1)];
         let mut epoch = self.epoch.lock();
         if *epoch != seen_epoch || should_exit() {
@@ -156,7 +167,10 @@ impl SleepState {
     }
 }
 
-#[cfg(test)]
+// These tests exercise the protocol with real OS threads and real primitives; under
+// `loom-model` the primitives are loom-lite shims that only work inside a model run, so the
+// module is compiled out (the model harness in `tests/loom_model.rs` covers the feature).
+#[cfg(all(test, not(feature = "loom-model")))]
 mod tests {
     use super::*;
     use std::sync::Arc;

@@ -12,6 +12,7 @@
 //! records one [`TraceEvent`] per executed task. Analysis helpers compute effective parallelism,
 //! per-label statistics and an ASCII timeline (our substitute for Paraver).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

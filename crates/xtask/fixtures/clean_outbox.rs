@@ -1,0 +1,41 @@
+//! Synthetic **clean** fixture for the lock-discipline lint (never compiled — scanned as text
+//! by `crates/xtask/src/lint.rs`'s unit tests). The shapes below mirror the real engine's
+//! outbox protocol: one domain lock at a time, all dispatch strictly after unlock.
+
+/// The `body_finished` shape: collect cross-domain work into the outbox under one domain
+/// lock, drop the lock (scope end), then pump.
+fn collect_then_pump(&self, entry: &TaskEntry) {
+    let mut effects = Effects::default();
+    let mut outbox = VecDeque::new();
+    {
+        let mut domain = entry.domain.lock();
+        domain.body_finished = true;
+        outbox.push_back(Message::ChildDone { child: entry.id });
+    }
+    self.pump(&mut outbox, &mut effects);
+}
+
+/// The `pump` shape: one domain lock per message, released (scope end) before the next.
+fn one_lock_per_message(&self, outbox: &mut VecDeque<Message>) {
+    while let Some(message) = outbox.pop_front() {
+        let target = Arc::clone(message.target());
+        let mut domain = target.domain.lock();
+        self.apply(&mut domain, message, outbox);
+    }
+}
+
+/// An explicit `drop` ends the guard before the wake call.
+fn drop_then_notify(&self, entry: &TaskEntry, sleep: &SleepState) {
+    let mut domain = entry.domain.lock();
+    domain.live_children -= 1;
+    let drained = domain.live_children == 0;
+    drop(domain);
+    if drained {
+        sleep.notify_one(None);
+    }
+}
+
+/// Statement temporaries are instantaneous: the guard never lives past the statement.
+fn temporary(&self, entry: &TaskEntry) -> usize {
+    entry.domain.lock().live_children
+}

@@ -1,0 +1,30 @@
+//! Synthetic **violating** fixture for the lock-discipline lint (never compiled — scanned as
+//! text by `crates/xtask/src/lint.rs`'s unit tests). Each function below breaks exactly one
+//! rule from `docs/locking.md`.
+
+/// Rule: no thread ever holds two domain locks at once. This is the hold-and-wait shape the
+/// outbox/`pump` protocol exists to prevent — with satisfaction flowing down the tree and
+/// completion flowing up, two-domain holds order locks in both directions and deadlock.
+fn hold_and_wait(&self, child: &TaskEntry, parent: &TaskEntry) {
+    let mut child_domain = child.domain.lock();
+    let mut parent_domain = parent.domain.lock(); // <-- nested-lock
+    parent_domain.live_children -= 1;
+    child_domain.body_finished = true;
+}
+
+/// Rule: no domain-lock guard live across a scheduler dispatch or wake call. Effects must be
+/// accumulated and dispatched strictly after every engine lock is dropped.
+fn dispatch_under_lock(&self, entry: &TaskEntry, pool: &ThreadPool) {
+    let mut domain = entry.domain.lock();
+    for record in domain.ready.drain(..) {
+        pool.submit(record); // <-- call-while-locked
+    }
+}
+
+/// Rule: same as above for the message pump — `pump` locks other domains, so calling it with
+/// a domain guard live is a nested acquisition wearing a trenchcoat.
+fn pump_under_lock(&self, entry: &TaskEntry) {
+    let mut domain = entry.domain.lock();
+    domain.body_finished = true;
+    self.pump(&mut outbox, &mut effects); // <-- call-while-locked
+}

@@ -1,0 +1,471 @@
+//! The lock-discipline lint: a hand-rolled source scanner (no `syn`, the container is offline)
+//! that enforces the locking rules documented in `docs/locking.md` on the two files where a
+//! slip would be a deadlock or a lost wake-up:
+//!
+//! * `crates/core/src/engine.rs` — **domain locks** (`….domain.lock()`):
+//!   - `nested-lock`: no thread ever holds two domain locks at once (the acyclic-hierarchy
+//!     rule; cross-domain work goes through the outbox/`pump` protocol instead);
+//!   - `call-while-locked`: no domain-lock guard may be live across the message pump or any
+//!     scheduler dispatch/wake call — effects are dispatched strictly after every engine lock
+//!     is dropped.
+//! * `crates/threadpool/src/sleep.rs` — the **epoch mutex** (`….epoch.lock()`):
+//!   - `leaf-lock`: the epoch mutex is a leaf of the lock hierarchy — no other lock may be
+//!     acquired while it is held;
+//!   - `call-while-locked`: no pump/dispatch call under it. (Condvar notifies under the epoch
+//!     mutex are *required* by the protocol and are deliberately not flagged here.)
+//!
+//! ## How the scanner works
+//!
+//! The scanner is line-based with a character-level sanitizer: comments, string-literal
+//! contents and char literals are blanked first (so braces in format strings cannot corrupt
+//! the scope tracking), then brace depth is tracked across the file. A **guard** is born at a
+//! `let` binding whose right-hand side ends in a matching `.lock()` call, and dies when its
+//! enclosing brace scope closes or a `drop(name)` statement names it. Lock calls used as
+//! statement temporaries (`foo.domain.lock().field`) are instantaneous — they never produce a
+//! live guard, but they still count as acquisitions for the nesting rules.
+//!
+//! False positives are handled by an allowlist file (`crates/xtask/lint-locks.allow`) keyed
+//! `file:function:rule`.
+
+use std::fmt;
+use std::path::Path;
+
+/// One class of lock the lint knows about, with the rules that apply while it is held.
+pub struct LockClass {
+    /// Short name used in messages and allowlist keys.
+    pub name: &'static str,
+    /// Substring identifying an acquisition of this class (e.g. `.domain.lock()`).
+    pub acquire: &'static str,
+    /// Call patterns forbidden on any line while a guard of this class is live.
+    pub forbidden_calls: &'static [&'static str],
+    /// Forbid acquiring a *second* lock of this same class while one is held.
+    pub forbid_nested_same_class: bool,
+    /// Leaf lock: forbid acquiring *any* lock (`.lock(`) while a guard of this class is held.
+    pub leaf: bool,
+}
+
+/// The configured classes for a real workspace file, selected by file name.
+pub fn classes_for(path: &Path) -> &'static [LockClass] {
+    const DOMAIN: LockClass = LockClass {
+        name: "domain",
+        acquire: ".domain.lock()",
+        forbidden_calls: &[
+            ".pump(",
+            ".notify_one(",
+            ".notify_all(",
+            ".notify_many(",
+            ".submit(",
+            ".submit_batch(",
+            ".dispatch_ready(",
+            ".dispatch_spawned(",
+        ],
+        forbid_nested_same_class: true,
+        leaf: false,
+    };
+    const EPOCH: LockClass = LockClass {
+        name: "epoch",
+        acquire: ".epoch.lock()",
+        // Condvar notifies are deliberately absent: notifying *under* the epoch mutex is the
+        // lost-wake-up defence (docs/locking.md), not a violation.
+        forbidden_calls: &[".pump(", ".submit(", ".submit_batch(", ".dispatch_ready(", ".dispatch_spawned("],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
+    const DOMAIN_CLASSES: &[LockClass] = &[DOMAIN];
+    const EPOCH_CLASSES: &[LockClass] = &[EPOCH];
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    // "domain"/"outbox" match the synthetic fixtures, so the CLI can be pointed at them too.
+    if name.contains("engine") || name.contains("domain") || name.contains("outbox") {
+        DOMAIN_CLASSES
+    } else if name.contains("sleep") {
+        EPOCH_CLASSES
+    } else {
+        &[]
+    }
+}
+
+/// One rule breach at a specific line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+    /// `nested-lock`, `leaf-lock` or `call-while-locked`.
+    pub rule: &'static str,
+    pub detail: String,
+}
+
+impl Violation {
+    /// The allowlist key this violation matches: `file:function:rule`.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.function, self.rule)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] in fn {}: {}",
+            self.file, self.line, self.rule, self.function, self.detail
+        )
+    }
+}
+
+/// A live lock guard: the `let` binding name, its class, and the brace depth it was born at
+/// (it dies when the depth drops below that).
+struct Guard {
+    name: String,
+    class_idx: usize,
+    depth: usize,
+    line: usize,
+}
+
+/// Blanks comments, string contents and char literals so brace/paren counting and pattern
+/// matching see only code. `in_block_comment` persists across lines.
+fn sanitize(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i..].starts_with(b"*/") {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes[i..].starts_with(b"//") => break, // line comment: rest is gone
+            b'/' if bytes[i..].starts_with(b"/*") => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // String literal: skip to the closing quote, honouring escapes. Multi-line
+                // strings would need carry-over state; the linted files do not use them, and
+                // an unterminated string simply blanks the rest of the line.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal (`'x'`, `'\n'`) vs lifetime (`'a`): a literal closes with a
+                // quote within a few bytes; a lifetime does not.
+                let lit_len = if bytes.get(i + 1) == Some(&b'\\') {
+                    // escaped char, e.g. '\n' or '\u{..}' — find the closing quote
+                    bytes[i + 2..].iter().position(|&b| b == b'\'').map(|p| p + 3)
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(len) => i += len, // blank the whole literal
+                    None => {
+                        // lifetime — keep the tick (harmless) and move on
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the binding name of `let [mut] name = …` from a sanitized line, if the line is a
+/// simple let statement (destructuring patterns are not lock-guard idioms in these files).
+fn let_binding_name(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `true` if the statement on this line binds a *guard* (the RHS ends with the `.lock()`
+/// call), as opposed to dereferencing through a temporary (`….lock().field`).
+fn is_guard_binding(code: &str) -> bool {
+    let trimmed = code.trim_end();
+    let trimmed = trimmed.strip_suffix(';').unwrap_or(trimmed).trim_end();
+    trimmed.ends_with(".lock()")
+}
+
+/// Extracts the name of a function declared on this line (`fn name(`), if any.
+fn fn_declaration(code: &str) -> Option<String> {
+    let idx = code.find("fn ")?;
+    // Require a word boundary before `fn` (so `often ` cannot match).
+    if idx > 0 {
+        let prev = code.as_bytes()[idx - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let rest = &code[idx + 3..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || !rest[name.len()..].trim_start().starts_with(['(', '<']) {
+        return None;
+    }
+    Some(name)
+}
+
+/// Scans one file's source against the given lock classes.
+pub fn scan_source(file_label: &str, source: &str, classes: &[LockClass]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: usize = 0;
+    let mut in_block_comment = false;
+    // (name, body depth) of the innermost function whose body we are inside.
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let code = sanitize(raw_line, &mut in_block_comment);
+
+        // Function tracking: a declaration opening its body on this (or a later) line. The
+        // body depth is the depth *after* this line's opening brace; recording `depth + 1`
+        // matches the single-line `fn name(…) {` idiom used throughout the linted files.
+        if let Some(name) = fn_declaration(&code) {
+            fn_stack.push((name, depth + 1));
+        }
+
+        let current_fn =
+            || fn_stack.last().map(|(n, _)| n.clone()).unwrap_or_else(|| "<top>".into());
+
+        // Rule checks run against guards live *before* this line's own acquisition.
+        for guard in &guards {
+            let class = &classes[guard.class_idx];
+            for pattern in class.forbidden_calls {
+                if code.contains(pattern) {
+                    violations.push(Violation {
+                        file: file_label.to_string(),
+                        line: line_no,
+                        function: current_fn(),
+                        rule: "call-while-locked",
+                        detail: format!(
+                            "`{pattern}` called while {} guard `{}` (line {}) is live",
+                            class.name, guard.name, guard.line
+                        ),
+                    });
+                }
+            }
+            if class.leaf && code.contains(".lock(") {
+                violations.push(Violation {
+                    file: file_label.to_string(),
+                    line: line_no,
+                    function: current_fn(),
+                    rule: "leaf-lock",
+                    detail: format!(
+                        "lock acquired while leaf {} guard `{}` (line {}) is live",
+                        class.name, guard.name, guard.line
+                    ),
+                });
+            }
+        }
+
+        // Acquisitions of a known class (guard bindings *and* temporaries both count for the
+        // nesting rule; only `let` bindings whose RHS ends in `.lock()` become live guards).
+        for (class_idx, class) in classes.iter().enumerate() {
+            if !code.contains(class.acquire) {
+                continue;
+            }
+            if class.forbid_nested_same_class {
+                if let Some(held) = guards.iter().find(|g| g.class_idx == class_idx) {
+                    violations.push(Violation {
+                        file: file_label.to_string(),
+                        line: line_no,
+                        function: current_fn(),
+                        rule: "nested-lock",
+                        detail: format!(
+                            "{} lock acquired while {} guard `{}` (line {}) is live",
+                            class.name, class.name, held.name, held.line
+                        ),
+                    });
+                }
+            }
+            if is_guard_binding(&code) {
+                if let Some(name) = let_binding_name(&code) {
+                    guards.push(Guard { name, class_idx, depth, line: line_no });
+                }
+            }
+        }
+
+        // Explicit `drop(name)` ends a guard's liveness early.
+        if let Some(idx) = code.find("drop(") {
+            let arg: String = code[idx + 5..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|g| g.name != arg);
+        }
+
+        // Brace depth update, then close out guards and functions whose scope ended.
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        // A guard born while the enclosing depth was `d` dies once depth drops below `d`
+        // (its surrounding block closed).
+        guards.retain(|g| depth >= g.depth);
+        fn_stack.retain(|(_, body_depth)| depth >= *body_depth);
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn domain_classes() -> &'static [LockClass] {
+        classes_for(&PathBuf::from("engine.rs"))
+    }
+
+    fn epoch_classes() -> &'static [LockClass] {
+        classes_for(&PathBuf::from("sleep.rs"))
+    }
+
+    #[test]
+    fn clean_outbox_protocol_passes() {
+        let src = include_str!("../fixtures/clean_outbox.rs");
+        let violations = scan_source("clean_outbox.rs", src, domain_classes());
+        assert!(violations.is_empty(), "clean fixture flagged: {violations:?}");
+    }
+
+    #[test]
+    fn nested_domain_lock_fixture_is_flagged() {
+        let src = include_str!("../fixtures/nested_domain_lock.rs");
+        let violations = scan_source("nested_domain_lock.rs", src, domain_classes());
+        assert!(
+            violations.iter().any(|v| v.rule == "nested-lock" && v.function == "hold_and_wait"),
+            "nested-lock not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn dispatch_under_domain_lock_fixture_is_flagged() {
+        let src = include_str!("../fixtures/nested_domain_lock.rs");
+        let violations = scan_source("nested_domain_lock.rs", src, domain_classes());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "call-while-locked" && v.function == "dispatch_under_lock"),
+            "call-while-locked not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn scoped_and_dropped_guards_are_not_flagged() {
+        let src = r#"
+            fn scoped(&self) {
+                {
+                    let mut domain = entry.domain.lock();
+                    domain.touch();
+                }
+                self.pump(&mut outbox, &mut effects);
+            }
+            fn dropped(&self) {
+                let domain = entry.domain.lock();
+                drop(domain);
+                let other = peer.domain.lock();
+                other.touch();
+            }
+        "#;
+        let violations = scan_source("inline.rs", src, domain_classes());
+        assert!(violations.is_empty(), "false positives: {violations:?}");
+    }
+
+    #[test]
+    fn statement_temporaries_are_instantaneous() {
+        let src = r#"
+            fn temp(&self) {
+                let live = self.entry(task).domain.lock().live_children;
+                self.pump(&mut outbox, &mut effects);
+            }
+        "#;
+        let violations = scan_source("inline.rs", src, domain_classes());
+        assert!(violations.is_empty(), "temporary treated as guard: {violations:?}");
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_corrupt_scopes() {
+        let src = r#"
+            fn strings(&self) {
+                let mut domain = entry.domain.lock();
+                assert!(ok, "unbalanced {braces} in format {strings:?}");
+                let again = entry.domain.lock();
+            }
+        "#;
+        let violations = scan_source("inline.rs", src, domain_classes());
+        assert!(
+            violations.iter().any(|v| v.rule == "nested-lock"),
+            "string braces broke scope tracking: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_is_a_leaf_lock_but_notifies_are_allowed() {
+        let clean = r#"
+            fn notify_one(&self) {
+                let mut epoch = self.epoch.lock();
+                *epoch += 1;
+                self.domains[d].condvar.notify_one();
+            }
+        "#;
+        assert!(scan_source("sleep.rs", clean, epoch_classes()).is_empty());
+
+        let dirty = r#"
+            fn nested(&self) {
+                let mut epoch = self.epoch.lock();
+                let stripe = self.table[0].lock();
+            }
+        "#;
+        let violations = scan_source("sleep.rs", dirty, epoch_classes());
+        assert!(
+            violations.iter().any(|v| v.rule == "leaf-lock"),
+            "leaf-lock not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn allowlist_key_format() {
+        let v = Violation {
+            file: "engine.rs".into(),
+            line: 10,
+            function: "pump".into(),
+            rule: "nested-lock",
+            detail: String::new(),
+        };
+        assert_eq!(v.key(), "engine.rs:pump:nested-lock");
+    }
+}

@@ -172,7 +172,35 @@ fn runtime_statistics_are_consistent() {
     let (run, _result) = axpy::run(&rt, AxpyVariant::NestWeak, &cfg);
     let after = rt.stats().tasks_executed;
     assert_eq!(after - before, run.tasks, "executed tasks must match the kernel's accounting");
-    assert!(rt.stats().engine.release_edges > 0);
+
+    // Release edges are only created when a successor registers while the predecessor's access
+    // is still unreleased; with 2 workers the axpy waves can drain before the next call
+    // registers, so force the overlap deterministically: the writer spins until the reader's
+    // spawn (and therefore its registration) has returned.
+    let release_before = rt.stats().engine.release_edges;
+    let chain = SharedSlice::<u64>::new(1);
+    let reader_spawned = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let c = chain.clone();
+    let spawned = std::sync::Arc::clone(&reader_spawned);
+    rt.run(move |ctx| {
+        let cw = c.clone();
+        let gate_writer = std::sync::Arc::clone(&spawned);
+        ctx.task().inout(c.region(0..1)).label("gated-writer").spawn(move |t| {
+            while !gate_writer.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            cw.write(t, 0..1)[0] = 5;
+        });
+        let cr = c.clone();
+        ctx.task().input(c.region(0..1)).label("chained-reader").spawn(move |t| {
+            assert_eq!(cr.read(t, 0..1)[0], 5);
+        });
+        spawned.store(true, std::sync::atomic::Ordering::Release);
+    });
+    assert!(
+        rt.stats().engine.release_edges > release_before,
+        "a successor registering against an unreleased access must create a release edge"
+    );
 
     // Cross-domain (satisfaction) links are only created when a child registers while its
     // parent's weak access is still unsatisfied, so force that situation deterministically: the

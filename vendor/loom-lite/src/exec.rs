@@ -1,0 +1,441 @@
+//! The controlled-execution engine: virtual threads, the choice tape, and the scheduler.
+//!
+//! One [`Execution`] is one run of the model closure under one schedule. Exactly one virtual
+//! thread runs at a time (the one `Sched::current` names); every model operation — mutex
+//! lock/unlock, condvar wait/notify, atomic access, spawn/join — calls into the scheduler at a
+//! *yield point*, where the next thread to run is chosen. Choices are recorded on a tape of
+//! [`Branch`]es; replaying a tape prefix reproduces the execution deterministically, which is
+//! what the exhaustive DFS in [`crate::model`] builds on.
+//!
+//! Virtual threads are real OS threads parked on one shared condition variable; only the
+//! scheduled thread makes progress, so user code needs no instrumentation beyond using the
+//! [`crate::sync`] primitives. Data is additionally protected by real `std::sync` primitives
+//! underneath, so even a buggy scheduler cannot introduce undefined behaviour.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsMutexGuard};
+
+/// Panic payload used to unwind virtual threads when the execution is aborted (failure found).
+/// Caught (and swallowed) by the virtual-thread wrapper.
+pub(crate) struct ModelAbort;
+
+/// Serial numbers for executions, so primitives created outside the current execution (or kept
+/// across executions) re-register themselves instead of aliasing a stale id.
+static EXECUTION_SERIAL: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its virtual-thread id.
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution context of the calling virtual thread. Panics when called from outside a
+/// model run — the model primitives only work under [`crate::model::Checker::check`].
+pub(crate) fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|slot| {
+        slot.borrow()
+            .clone()
+            .expect("loom-lite primitive used outside a model run (wrap the test in model())")
+    })
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, vtid: usize) {
+    CTX.with(|slot| *slot.borrow_mut() = Some((exec, vtid)));
+}
+
+/// One recorded scheduling choice: how many options were available and which one was taken.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Branch {
+    pub options: usize,
+    pub picked: usize,
+}
+
+/// Why a model run failed.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// No virtual thread was runnable while at least one had not finished: a lost wake-up /
+    /// sleep-forever state (or a classic lock cycle).
+    Deadlock { states: String },
+    /// A virtual thread panicked (assertion failure inside the model).
+    Panic { message: String },
+    /// The execution exceeded the step bound (livelock guard).
+    StepLimit,
+}
+
+impl Failure {
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Failure::Deadlock { .. })
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    WaitingCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct MutexSt {
+    held_by: Option<usize>,
+}
+
+struct CvSt {
+    waiters: Vec<usize>,
+}
+
+/// Tiny deterministic PRNG (xorshift64*) for the seeded-random scheduling mode.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+struct Sched {
+    threads: Vec<ThreadState>,
+    current: usize,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CvSt>,
+    /// Replay prefix: choices to take before falling back to the default strategy.
+    prefix: Vec<usize>,
+    /// The tape recorded by this run (replayed prefix included).
+    tape: Vec<Branch>,
+    /// Random strategy beyond the prefix (None = deterministic first-option DFS mode).
+    rng: Option<Rng>,
+    preemptions: usize,
+    preemption_bound: usize,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<Failure>,
+}
+
+type Guard<'a> = OsMutexGuard<'a, Sched>;
+
+/// One controlled execution. See the module docs.
+pub(crate) struct Execution {
+    pub(crate) serial: u64,
+    sched: OsMutex<Sched>,
+    cv: OsCondvar,
+}
+
+fn relock<'a, T>(
+    r: Result<OsMutexGuard<'a, T>, std::sync::PoisonError<OsMutexGuard<'a, T>>>,
+) -> OsMutexGuard<'a, T> {
+    // A virtual thread aborting (ModelAbort) unwinds while holding the scheduler lock; recover
+    // from the resulting poisoning — the scheduler state is still consistent (failure is set).
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    pub(crate) fn new(
+        prefix: Vec<usize>,
+        rng: Option<Rng>,
+        preemption_bound: usize,
+        max_steps: usize,
+    ) -> Arc<Self> {
+        Arc::new(Execution {
+            serial: EXECUTION_SERIAL.fetch_add(1, Ordering::Relaxed),
+            sched: OsMutex::new(Sched {
+                threads: Vec::new(),
+                current: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                prefix,
+                tape: Vec::new(),
+                rng,
+                preemptions: 0,
+                preemption_bound,
+                steps: 0,
+                max_steps,
+                failure: None,
+            }),
+            cv: OsCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        relock(self.sched.lock())
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadState::Runnable);
+        s.threads.len() - 1
+    }
+
+    pub(crate) fn alloc_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutexes.push(MutexSt { held_by: None });
+        s.mutexes.len() - 1
+    }
+
+    pub(crate) fn alloc_condvar(&self) -> usize {
+        let mut s = self.lock();
+        s.condvars.push(CvSt { waiters: Vec::new() });
+        s.condvars.len() - 1
+    }
+
+    /// Takes the next choice among `options` alternatives: replayed from the prefix, random in
+    /// random mode, or the first option (DFS default). Recorded on the tape either way.
+    fn pick(&self, s: &mut Sched, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        let step = s.tape.len();
+        let picked = if step < s.prefix.len() {
+            let p = s.prefix[step];
+            assert!(p < options, "schedule replay diverged (picked {p} of {options})");
+            p
+        } else if let Some(rng) = &mut s.rng {
+            rng.below(options)
+        } else {
+            0
+        };
+        s.tape.push(Branch { options, picked });
+        picked
+    }
+
+    fn runnable(s: &Sched) -> Vec<usize> {
+        (0..s.threads.len()).filter(|&t| s.threads[t] == ThreadState::Runnable).collect()
+    }
+
+    fn set_failure(&self, s: &mut Sched, failure: Failure) {
+        if s.failure.is_none() {
+            s.failure = Some(failure);
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) -> ! {
+        std::panic::panic_any(ModelAbort)
+    }
+
+    /// Blocks the calling OS thread until its virtual thread is scheduled (current + runnable),
+    /// or aborts it if the execution failed.
+    fn wait_for_turn<'a>(&'a self, mut s: Guard<'a>, me: usize) -> Guard<'a> {
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            if s.current == me && s.threads[me] == ThreadState::Runnable {
+                return s;
+            }
+            s = relock(self.cv.wait(s));
+        }
+    }
+
+    /// A scheduling point for a *runnable* thread: chooses who runs next (possibly someone
+    /// else — a preemption), within the preemption bound.
+    fn schedule_point<'a>(&'a self, mut s: Guard<'a>, me: usize) -> Guard<'a> {
+        if s.failure.is_some() {
+            drop(s);
+            self.abort();
+        }
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            self.set_failure(&mut s, Failure::StepLimit);
+            drop(s);
+            self.abort();
+        }
+        let options = if s.preemptions >= s.preemption_bound {
+            vec![me]
+        } else {
+            Self::runnable(&s)
+        };
+        let idx = self.pick(&mut s, options.len());
+        let chosen = options[idx];
+        if chosen != me {
+            s.preemptions += 1;
+            s.current = chosen;
+            self.cv.notify_all();
+            s = self.wait_for_turn(s, me);
+        }
+        s
+    }
+
+    /// Hands the token to some runnable thread after the caller blocked or finished. Detects
+    /// deadlock (nobody runnable, somebody unfinished).
+    fn switch_away(&self, s: &mut Sched) {
+        let enabled = Self::runnable(s);
+        if enabled.is_empty() {
+            if s.threads.iter().all(|t| *t == ThreadState::Finished) {
+                // Normal end of the execution; wake the driver.
+                self.cv.notify_all();
+                return;
+            }
+            let states = s
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("thread {i}: {t:?}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.set_failure(s, Failure::Deadlock { states });
+            return;
+        }
+        let idx = self.pick(s, enabled.len());
+        s.current = enabled[idx];
+        self.cv.notify_all();
+    }
+
+    /// Marks `me` blocked with `state`, hands the token away, and parks until rescheduled.
+    fn block<'a>(&'a self, mut s: Guard<'a>, me: usize, state: ThreadState) -> Guard<'a> {
+        s.threads[me] = state;
+        self.switch_away(&mut s);
+        self.wait_for_turn(s, me)
+    }
+
+    // ---- operations -------------------------------------------------------------------------
+
+    /// A plain yield point (used after spawn, and for atomic operations).
+    pub(crate) fn op_yield(&self, me: usize) {
+        let s = self.lock();
+        drop(self.schedule_point(s, me));
+    }
+
+    /// Acquires model mutex `mid` (with a scheduling point before the attempt).
+    pub(crate) fn op_lock(&self, me: usize, mid: usize) {
+        let mut s = self.lock();
+        s = self.schedule_point(s, me);
+        s = self.acquire(s, me, mid);
+        drop(s);
+    }
+
+    fn acquire<'a>(&'a self, mut s: Guard<'a>, me: usize, mid: usize) -> Guard<'a> {
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            if s.mutexes[mid].held_by.is_none() {
+                s.mutexes[mid].held_by = Some(me);
+                return s;
+            }
+            s = self.block(s, me, ThreadState::BlockedMutex(mid));
+        }
+    }
+
+    fn release_locked(&self, s: &mut Sched, me: usize, mid: usize) {
+        debug_assert_eq!(s.mutexes[mid].held_by, Some(me), "unlock of a mutex not held");
+        s.mutexes[mid].held_by = None;
+        for t in 0..s.threads.len() {
+            if s.threads[t] == ThreadState::BlockedMutex(mid) {
+                s.threads[t] = ThreadState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn op_unlock(&self, me: usize, mid: usize) {
+        let mut s = self.lock();
+        self.release_locked(&mut s, me, mid);
+        if std::thread::panicking() {
+            // Unwinding guard drop (abort in flight): release without yielding.
+            self.cv.notify_all();
+            return;
+        }
+        drop(self.schedule_point(s, me));
+    }
+
+    /// Condvar wait: atomically releases `mid` and parks on `cvid`; on wake, re-acquires `mid`
+    /// before returning (both with full scheduling).
+    pub(crate) fn op_cv_wait(&self, me: usize, cvid: usize, mid: usize) {
+        let mut s = self.lock();
+        // The wait call is a transition of its own: other threads may run between the
+        // caller's last operation and the park (the release+park itself stays atomic). An
+        // unlocked notify firing in this window is the textbook lost wake-up — without this
+        // schedule point that interleaving would be unexplorable.
+        s = self.schedule_point(s, me);
+        debug_assert_eq!(s.mutexes[mid].held_by, Some(me), "cv wait without holding the mutex");
+        self.release_locked(&mut s, me, mid);
+        s.condvars[cvid].waiters.push(me);
+        s = self.block(s, me, ThreadState::WaitingCv(cvid));
+        // Notified: re-acquire the mutex.
+        s = self.acquire(s, me, mid);
+        drop(s);
+    }
+
+    /// Notify one waiter. *Which* waiter is a scheduling choice (real condvars pick
+    /// arbitrarily). Notifying with no waiters is a no-op — exactly the semantics that lose
+    /// wake-ups when a protocol notifies before the sleeper has parked.
+    pub(crate) fn op_notify_one(&self, me: usize, cvid: usize) {
+        let mut s = self.lock();
+        s = self.schedule_point(s, me);
+        if !s.condvars[cvid].waiters.is_empty() {
+            let n = s.condvars[cvid].waiters.len();
+            let idx = if n == 1 { 0 } else { self.pick(&mut s, n) };
+            let woken = s.condvars[cvid].waiters.remove(idx);
+            debug_assert_eq!(s.threads[woken], ThreadState::WaitingCv(cvid));
+            s.threads[woken] = ThreadState::Runnable;
+        }
+        drop(s);
+    }
+
+    pub(crate) fn op_notify_all(&self, me: usize, cvid: usize) {
+        let mut s = self.lock();
+        s = self.schedule_point(s, me);
+        let waiters = std::mem::take(&mut s.condvars[cvid].waiters);
+        for woken in waiters {
+            debug_assert_eq!(s.threads[woken], ThreadState::WaitingCv(cvid));
+            s.threads[woken] = ThreadState::Runnable;
+        }
+        drop(s);
+    }
+
+    pub(crate) fn op_join(&self, me: usize, target: usize) {
+        let mut s = self.lock();
+        s = self.schedule_point(s, me);
+        while s.threads[target] != ThreadState::Finished {
+            s = self.block(s, me, ThreadState::BlockedJoin(target));
+        }
+        drop(s);
+    }
+
+    /// The first thing a freshly spawned virtual thread does: park until scheduled.
+    pub(crate) fn wait_first_turn(&self, me: usize) {
+        let s = self.lock();
+        drop(self.wait_for_turn(s, me));
+    }
+
+    /// The last thing a virtual thread does (its user code has returned or panicked).
+    pub(crate) fn thread_finished(&self, me: usize, panic: Option<String>) {
+        let mut s = self.lock();
+        if let Some(message) = panic {
+            self.set_failure(&mut s, Failure::Panic { message });
+            return;
+        }
+        s.threads[me] = ThreadState::Finished;
+        for t in 0..s.threads.len() {
+            if s.threads[t] == ThreadState::BlockedJoin(me) {
+                s.threads[t] = ThreadState::Runnable;
+            }
+        }
+        self.switch_away(&mut s);
+    }
+
+    /// Driver side: blocks until the run ends (all threads finished, or a failure), then
+    /// returns the tape and the failure, if any.
+    pub(crate) fn wait_done(&self) -> (Vec<Branch>, Option<Failure>) {
+        let mut s = self.lock();
+        loop {
+            let done =
+                s.failure.is_some() || s.threads.iter().all(|t| *t == ThreadState::Finished);
+            if done {
+                return (s.tape.clone(), s.failure.clone());
+            }
+            s = relock(self.cv.wait(s));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! # loom-lite — a minimal offline model checker for sync protocols
+//!
+//! A small, dependency-free stand-in for [`loom`](https://docs.rs/loom): tests write their
+//! protocol against this crate's [`sync::Mutex`] / [`sync::Condvar`] / [`sync::atomic`] /
+//! [`thread::spawn`] shims, and [`model`] (or a configured [`Checker`]) runs the closure under
+//! *every* schedule within a preemption bound, then a seeded-random sample of the rest. Found
+//! failures — panics, deadlocks (which is how lost wake-ups and sleep-forever states
+//! manifest), step-limit livelocks — come with a replayable schedule.
+//!
+//! Unlike real loom there is no memory-order exploration (every atomic is sequentially
+//! consistent at the model level) and no spurious-wakeup injection; what *is* explored is the
+//! interleaving of lock/unlock, condvar wait/notify, atomic accesses, and spawn/join, which is
+//! exactly the space where the runtime's epoch/sleeper and completion-gate protocols can lose
+//! wake-ups.
+//!
+//! ```
+//! use loom_lite::{model, sync::Mutex, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let m = Arc::new(Mutex::new(0u32));
+//!     let m2 = Arc::clone(&m);
+//!     let t = thread::spawn(move || *m2.lock() += 1);
+//!     *m.lock() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*m.lock(), 2);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod exec;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{Branch, Failure};
+pub use model::{model, Checker, Report};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::{thread, Checker};
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_is_deterministic_under_mutex() {
+        let report = Checker::new().check(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.exhausted, "2-thread mutex counter should be exhaustible");
+        assert!(report.executions > 1, "must explore more than one schedule");
+    }
+
+    /// The classic lost wake-up: the predicate lives in an atomic *outside* the mutex, so the
+    /// waiter can check it, lose the race to the notify, and then park with nobody left to
+    /// wake it. The checker must find the resulting deadlock.
+    #[test]
+    fn lost_wakeup_is_found_as_deadlock() {
+        struct State {
+            gate: Mutex<()>,
+            cv: Condvar,
+            done: AtomicBool,
+        }
+        let report = Checker::new().random_runs(0).check(|| {
+            let s = Arc::new(State {
+                gate: Mutex::new(()),
+                cv: Condvar::new(),
+                done: AtomicBool::new(false),
+            });
+            let s2 = Arc::clone(&s);
+            let waiter = thread::spawn(move || {
+                // BUG: the predicate is checked outside the mutex and not re-checked under
+                // it — a notify landing between the load and the wait is lost forever.
+                if !s2.done.load(Ordering::SeqCst) {
+                    let mut g = s2.gate.lock();
+                    s2.cv.wait(&mut g);
+                }
+            });
+            s.done.store(true, Ordering::SeqCst);
+            s.cv.notify_one();
+            waiter.join().unwrap();
+        });
+        assert!(
+            report.found_deadlock(),
+            "checker failed to find the textbook lost wake-up: {report:?}"
+        );
+    }
+
+    /// The corrected protocol — predicate set and notified under the mutex, waiter re-checks
+    /// under the same mutex — must pass exhaustively.
+    #[test]
+    fn correct_handoff_passes_exhaustively() {
+        let report = Checker::new().random_runs(50).check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+            });
+            let (m, cv) = &*pair;
+            {
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_one();
+            }
+            waiter.join().unwrap();
+        });
+        assert!(report.is_ok(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// An assertion that only fails under one specific interleaving must be found.
+    #[test]
+    fn racy_assertion_is_found() {
+        let report = Checker::new().random_runs(0).check(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+            });
+            // Fails only when the child runs between spawn and this load.
+            assert_eq!(a.load(Ordering::SeqCst), 0, "seeded race");
+            t.join().unwrap();
+        });
+        assert!(report.found_panic(), "checker missed the racy assertion: {report:?}");
+    }
+
+    /// Replays must be deterministic: two identical checks explore the same schedule count.
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            Checker::new().random_runs(0).check(|| {
+                let m = Arc::new(Mutex::new(0u32));
+                let m2 = Arc::clone(&m);
+                let t = thread::spawn(move || *m2.lock() += 1);
+                *m.lock() += 1;
+                t.join().unwrap();
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.exhausted, b.exhausted);
+    }
+
+    /// A classic AB/BA lock cycle must be reported as a deadlock.
+    #[test]
+    fn lock_cycle_is_found_as_deadlock() {
+        let report = Checker::new().random_runs(0).check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        assert!(report.found_deadlock(), "missed AB/BA deadlock: {report:?}");
+    }
+}

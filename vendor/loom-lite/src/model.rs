@@ -1,0 +1,234 @@
+//! The model-checking driver: bounded-exhaustive DFS over schedules plus an optional
+//! seeded-random tail.
+//!
+//! Exhaustive mode enumerates schedules depth-first over the choice tape: each run records the
+//! branches it took; the next run replays the longest prefix that still has an untried
+//! alternative and flips it. Preemption bounding (à la CHESS) keeps the space tractable:
+//! schedules with more than `preemption_bound` *involuntary* context switches are pruned —
+//! empirically, almost all concurrency bugs need only a couple of preemptions. The random tail
+//! then samples unbounded schedules with a deterministic seeded PRNG for extra coverage.
+
+use crate::exec::{ctx, set_ctx, Branch, Execution, Failure, ModelAbort, Rng};
+use std::sync::{Arc, Once};
+
+/// Suppress the default panic printout for [`ModelAbort`] unwinds (they are control flow, not
+/// errors) while keeping it for everything else.
+fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Result of a [`Checker::check`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of executions explored (exhaustive + random).
+    pub executions: usize,
+    /// Whether the exhaustive phase enumerated every schedule within the bounds (false when it
+    /// stopped at `max_executions` or on a failure).
+    pub exhausted: bool,
+    /// The first failure found, with the schedule that produced it.
+    pub failure: Option<(Vec<usize>, Failure)>,
+}
+
+impl Report {
+    pub fn is_ok(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    pub fn found_deadlock(&self) -> bool {
+        matches!(&self.failure, Some((_, f)) if f.is_deadlock())
+    }
+
+    pub fn found_panic(&self) -> bool {
+        matches!(&self.failure, Some((_, Failure::Panic { .. })))
+    }
+
+    /// Panics with a reproduction schedule if any execution failed.
+    pub fn assert_ok(&self) {
+        if let Some((schedule, failure)) = &self.failure {
+            panic!(
+                "model check failed after {} executions: {:?}\nschedule: {:?}",
+                self.executions, failure, schedule
+            );
+        }
+    }
+}
+
+/// Configuration for a model check. The defaults (preemption bound 3, 20 000 executions,
+/// 2 000 random runs) exhaust typical 2–3-thread protocols in well under a second.
+pub struct Checker {
+    preemption_bound: usize,
+    max_executions: usize,
+    random_runs: usize,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: 3,
+            max_executions: 20_000,
+            random_runs: 2_000,
+            seed: 0x5EED_1E55_C0FF_EE00,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum number of involuntary context switches per schedule in the exhaustive phase.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Cap on exhaustive executions (sets `exhausted: false` when hit).
+    pub fn max_executions(mut self, max: usize) -> Self {
+        self.max_executions = max;
+        self
+    }
+
+    /// Number of seeded-random schedules to run after the exhaustive phase.
+    pub fn random_runs(mut self, runs: usize) -> Self {
+        self.random_runs = runs;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-execution step bound (livelock guard).
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Runs `f` once under the schedule given by `prefix` (+ optional random tail).
+    fn run_once<F>(
+        &self,
+        f: &Arc<F>,
+        prefix: Vec<usize>,
+        rng: Option<Rng>,
+    ) -> (Vec<Branch>, Option<Failure>)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exec = Execution::new(prefix, rng, self.preemption_bound, self.max_steps);
+        let root = exec.register_thread();
+        debug_assert_eq!(root, 0);
+        let exec2 = Arc::clone(&exec);
+        let f2 = Arc::clone(f);
+        let os = std::thread::Builder::new()
+            .name("loom-lite-vt0".to_string())
+            .spawn(move || {
+                set_ctx(Arc::clone(&exec2), 0);
+                // Thread 0 starts as `current`, so this returns immediately.
+                exec2.wait_first_turn(0);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f2()));
+                match outcome {
+                    Ok(()) => exec2.thread_finished(0, None),
+                    Err(payload) => {
+                        if !payload.is::<ModelAbort>() {
+                            let message = crate::thread::panic_message(&payload);
+                            exec2.thread_finished(0, Some(message));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn model root thread");
+        let (tape, failure) = exec.wait_done();
+        // On clean completion every virtual thread has finished and its OS thread is exiting;
+        // on failure they abort at their next scheduler interaction. Either way the root
+        // OS thread terminates promptly.
+        let _ = os.join();
+        (tape, failure)
+    }
+
+    /// Model-checks `f`: exhaustive DFS within the bounds, then the random tail. Stops at the
+    /// first failure.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let f = Arc::new(f);
+        let mut executions = 0usize;
+        let mut exhausted = false;
+
+        // Exhaustive phase.
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            if executions >= self.max_executions {
+                break;
+            }
+            let (tape, failure) = self.run_once(&f, prefix.clone(), None);
+            executions += 1;
+            if let Some(failure) = failure {
+                let schedule = tape.iter().map(|b| b.picked).collect();
+                return Report { executions, exhausted: false, failure: Some((schedule, failure)) };
+            }
+            match next_prefix(&tape) {
+                Some(next) => prefix = next,
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+
+        // Random tail.
+        for run in 0..self.random_runs {
+            let rng = Rng::new(self.seed.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let (tape, failure) = self.run_once(&f, Vec::new(), Some(rng));
+            executions += 1;
+            if let Some(failure) = failure {
+                let schedule = tape.iter().map(|b| b.picked).collect();
+                return Report { executions, exhausted, failure: Some((schedule, failure)) };
+            }
+        }
+
+        Report { executions, exhausted, failure: None }
+    }
+}
+
+/// The DFS successor of a recorded tape: the longest prefix whose last branch still has an
+/// untried alternative, with that branch advanced. `None` when the space is exhausted.
+fn next_prefix(tape: &[Branch]) -> Option<Vec<usize>> {
+    for i in (0..tape.len()).rev() {
+        if tape[i].picked + 1 < tape[i].options {
+            let mut prefix: Vec<usize> = tape[..i].iter().map(|b| b.picked).collect();
+            prefix.push(tape[i].picked + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Convenience: model-check `f` with default bounds and panic on any failure.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f).assert_ok();
+}
+
+/// Register an extra handle on the current execution (used by tests that need the serial).
+#[doc(hidden)]
+pub fn current_serial() -> u64 {
+    ctx().0.serial
+}

@@ -1,0 +1,238 @@
+//! Model-aware `Mutex`, `Condvar`, and atomics, API-compatible with the subset of
+//! `parking_lot` / `std::sync::atomic` the runtime uses.
+//!
+//! Blocking and wake-ups are simulated by the scheduler in [`crate::exec`]; the data itself
+//! still lives behind a real `std::sync::Mutex` (never contended: only the virtual thread that
+//! holds the *model* lock touches it), so even a scheduler bug cannot cause undefined
+//! behaviour — the crate stays `forbid(unsafe_code)`.
+
+use crate::exec::ctx;
+use std::sync::{Mutex as OsMutex, MutexGuard as OsMutexGuard, TryLockError};
+
+/// Lazily-registered per-execution identity of a primitive. Primitives are usually created
+/// inside the model closure; re-registering on serial mismatch also makes reuse across
+/// executions safe.
+struct Registration {
+    slot: OsMutex<Option<(u64, usize)>>,
+}
+
+impl Registration {
+    const fn new() -> Self {
+        Registration { slot: OsMutex::new(None) }
+    }
+
+    /// The id of this primitive within the *current* execution, allocating via `alloc` on
+    /// first use (or first use within a new execution).
+    fn id(&self, alloc: impl FnOnce() -> usize) -> usize {
+        let serial = ctx().0.serial;
+        let mut slot = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match *slot {
+            Some((s, id)) if s == serial => id,
+            _ => {
+                let id = alloc();
+                *slot = Some((serial, id));
+                id
+            }
+        }
+    }
+}
+
+/// Takes the (never model-contended) data lock, recovering from poisoning left behind by an
+/// aborted virtual thread unwinding while it held the data.
+fn take_data<T>(data: &OsMutex<T>) -> OsMutexGuard<'_, T> {
+    match data.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            panic!("model mutex granted but data lock contended (scheduler bug)")
+        }
+    }
+}
+
+/// A model mutex. `lock()` is a scheduling point and blocks (in model time) while another
+/// virtual thread holds the lock.
+pub struct Mutex<T> {
+    reg: Registration,
+    data: OsMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { reg: Registration::new(), data: OsMutex::new(value) }
+    }
+
+    fn id(&self) -> usize {
+        self.reg.id(|| ctx().0.alloc_mutex())
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (exec, me) = ctx();
+        let id = self.id();
+        exec.op_lock(me, id);
+        MutexGuard { mutex: self, inner: Some(take_data(&self.data)), id }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Guard for a [`Mutex`]; releases the model lock (a scheduling point) on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    /// `Some` except transiently inside `Condvar::wait`.
+    inner: Option<OsMutexGuard<'a, T>>,
+    id: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed while waiting")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed while waiting")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `inner` is None exactly while parked in `Condvar::wait` — the model lock is already
+        // released then (an aborted waiter unwinding through `wait` must not double-unlock).
+        if self.inner.take().is_some() {
+            let (exec, me) = ctx();
+            exec.op_unlock(me, self.id);
+        }
+    }
+}
+
+/// A model condition variable with `parking_lot`-style `wait(&mut MutexGuard)`.
+pub struct Condvar {
+    reg: Registration,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { reg: Registration::new() }
+    }
+
+    fn id(&self) -> usize {
+        self.reg.id(|| ctx().0.alloc_condvar())
+    }
+
+    /// Atomically releases the guard's mutex and waits for a notification; the mutex is
+    /// re-acquired before returning. Spurious wake-ups are not modelled: they only *add*
+    /// wake-ups, so a lost-wake-up / deadlock property that holds without them holds with
+    /// them, and the protocols under test re-check their predicates regardless.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let (exec, me) = ctx();
+        let cvid = self.id();
+        let mid = guard.id;
+        guard.inner = None;
+        // Model side: release mid, park on cvid, re-acquire mid before returning.
+        exec.op_cv_wait(me, cvid, mid);
+        guard.inner = Some(take_data(&guard.mutex.data));
+    }
+
+    pub fn notify_one(&self) {
+        let (exec, me) = ctx();
+        let cvid = self.id();
+        exec.op_notify_one(me, cvid);
+    }
+
+    pub fn notify_all(&self) {
+        let (exec, me) = ctx();
+        let cvid = self.id();
+        exec.op_notify_all(me, cvid);
+    }
+}
+
+/// Model atomics: every access is a scheduling point (so interleavings around atomic
+/// reads/writes are explored), backed by real `std` atomics for the data.
+pub mod atomic {
+    use crate::exec::ctx;
+    pub use std::sync::atomic::Ordering;
+
+    fn yield_point() {
+        let (exec, me) = ctx();
+        exec.op_yield(me);
+    }
+
+    macro_rules! atomic_impl {
+        ($name:ident, $ty:ty) => {
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                pub const fn new(v: $ty) -> Self {
+                    $name(std::sync::atomic::$name::new(v))
+                }
+                pub fn load(&self, order: Ordering) -> $ty {
+                    yield_point();
+                    self.0.load(order)
+                }
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    yield_point();
+                    self.0.store(v, order)
+                }
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    yield_point();
+                    self.0.fetch_add(v, order)
+                }
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    yield_point();
+                    self.0.fetch_sub(v, order)
+                }
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    yield_point();
+                    self.0.swap(v, order)
+                }
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_impl!(AtomicUsize, usize);
+    atomic_impl!(AtomicU64, u64);
+
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool(std::sync::atomic::AtomicBool::new(v))
+        }
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.0.load(order)
+        }
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.0.store(v, order)
+        }
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.swap(v, order)
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Virtual-thread spawn/join, mirroring the `std::thread` API surface the models need.
+
+use crate::exec::{ctx, set_ctx, ModelAbort};
+use std::sync::{Arc, Mutex as OsMutex};
+
+/// The joined virtual thread panicked (the panic itself was already recorded against the
+/// execution), so it produced no return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("virtual thread panicked before producing a value")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned virtual thread; [`JoinHandle::join`] blocks (in model time) until it
+/// finishes and yields its return value.
+pub struct JoinHandle<T> {
+    vtid: usize,
+    result: Arc<OsMutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(mut self) -> Result<T, JoinError> {
+        let (exec, me) = ctx();
+        exec.op_join(me, self.vtid);
+        // The virtual thread is finished; its OS thread is exiting (or has exited) and no
+        // longer touches shared state, so the real join is safe and brief.
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        let slot =
+            self.result.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        slot.ok_or(JoinError)
+    }
+}
+
+/// Spawns a virtual thread running `f`. The new thread does not run until the scheduler picks
+/// it; the spawn itself is a scheduling point in the parent.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = ctx();
+    let vtid = exec.register_thread();
+    let result = Arc::new(OsMutex::new(None));
+    let result2 = Arc::clone(&result);
+    let exec2 = Arc::clone(&exec);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-lite-vt{vtid}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&exec2), vtid);
+            exec2.wait_first_turn(vtid);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match outcome {
+                Ok(value) => {
+                    *result2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(value);
+                    exec2.thread_finished(vtid, None);
+                }
+                Err(payload) => {
+                    if payload.is::<ModelAbort>() {
+                        // The execution was aborted (failure already recorded elsewhere);
+                        // just let this OS thread exit.
+                        return;
+                    }
+                    let message = panic_message(&payload);
+                    exec2.thread_finished(vtid, Some(message));
+                }
+            }
+        })
+        .expect("failed to spawn model thread");
+    // Let the scheduler consider running the child right away.
+    exec.op_yield(me);
+    JoinHandle { vtid, result, os: Some(os) }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A pure scheduling point, for models that want to widen the explored interleavings.
+pub fn yield_now() {
+    let (exec, me) = ctx();
+    exec.op_yield(me);
+}

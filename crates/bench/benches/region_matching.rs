@@ -111,5 +111,82 @@ fn fragmented_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, normalization, exact_hits, promotion, fragmented_updates);
+/// Steady-state churn on the fragmented tier through the coalescing write path: sliding
+/// half-overlapping `insert_coalescing` calls so every update fragments, heals its own extent
+/// and demotes it back to the exact tier. With the arena-backed interval tier this loop
+/// recycles interval nodes through the free list instead of allocating per update.
+fn fragmented_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragmented-churn");
+    const UPDATES: usize = 512;
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    group.bench_function("insert-coalescing", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            for i in 0..UPDATES {
+                store.insert_coalescing(&region(i * 2, i * 2 + 4), i as u32);
+            }
+            criterion::black_box((store.exact_len(), store.fragmented_len()))
+        })
+    });
+    // The non-coalescing write path over the same pattern: what the churn costs without the
+    // heal-and-demote pass (fragments accumulate on the interval tier instead).
+    group.bench_function("insert-plain", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            for i in 0..UPDATES {
+                store.insert(&region(i * 2, i * 2 + 4), i as u32);
+            }
+            criterion::black_box((store.exact_len(), store.fragmented_len()))
+        })
+    });
+    group.finish();
+}
+
+/// The full promote → coalesce → demote → exact-hit round trip on a single window (the
+/// `fragmented-demote` engine scenario reduced to the store): a straddling write knocks the
+/// window off the exact tier, the healing rewrite demotes it back, and the follow-up write
+/// must be an O(1) exact hit again.
+fn demotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demotion");
+    const CYCLES: usize = 256;
+    group.throughput(Throughput::Elements(CYCLES as u64));
+    group.bench_function("round-trip", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            let window = region(0, 64);
+            let straddler = region(32, 96);
+            store.insert_coalescing(&window, 0);
+            for i in 0..CYCLES {
+                store.insert_coalescing(&straddler, i as u32); // promote + fragment
+                store.insert_coalescing(&window, i as u32); // heal + demote
+            }
+            criterion::black_box((store.exact_len(), store.fragmented_len()))
+        })
+    });
+    // Exact-tier baseline: the same number of writes with no straddler in between — the cost
+    // floor the demoted window should return to.
+    group.bench_function("exact-baseline", |b| {
+        b.iter(|| {
+            let mut store: RegionStore<u32> = RegionStore::new();
+            let window = region(0, 64);
+            store.insert_coalescing(&window, 0);
+            for i in 0..CYCLES {
+                store.insert_coalescing(&window, i as u32);
+                store.insert_coalescing(&window, i as u32);
+            }
+            criterion::black_box((store.exact_len(), store.fragmented_len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    normalization,
+    exact_hits,
+    promotion,
+    fragmented_updates,
+    fragmented_churn,
+    demotion
+);
 criterion_main!(benches);

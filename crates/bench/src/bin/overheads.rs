@@ -9,6 +9,9 @@
 //! * `fragmented-deps`  — every task's region overlaps half of its predecessor's, so every
 //!   registration runs on the *fragmented* tier of the two-tier bottom-map store (the slow-path
 //!   guard for the exact-match optimisation);
+//! * `fragmented-demote` — pairs of tasks per sliding window: the first promotes and (via the
+//!   coalescing write) immediately demotes the window back to the exact tier, the second must
+//!   be served as an exact hit — the round-trip guard for the demotion rule;
 //! * `nested-unbatched` / `nested-batched` — several spawner tasks running on different workers,
 //!   each spawning children into its *own* dependency domain (the access pattern per-domain
 //!   locking parallelises);
@@ -17,8 +20,10 @@
 //!   `Mutex<State>` design as the baseline.
 //!
 //! Every sample also records the matching-tier counters (`exact_hits` / `promotions` /
-//! `fragmented_updates`) so the JSON shows which tier served each scenario, and — when built
-//! with `--features count-allocs` — heap allocations per task.
+//! `fragmented_updates` / `demotions`) so the JSON shows which tier served each scenario, and
+//! — when built with `--features count-allocs` — heap allocations per task. With
+//! `--enforce-alloc-budget` the run fails if a budgeted scenario exceeds its allocs/task
+//! ceiling (the CI regression guard for the allocation-free interval tier).
 //!
 //! Writes `BENCH_overheads.json` in the current directory so the performance trajectory stays
 //! machine-readable across PRs, and prints a table. `--quick` shrinks the task counts for smoke
@@ -37,13 +42,18 @@ use weakdep_core::{Runtime, RuntimeConfig, SharedSlice, TaskSpec};
 static ALLOC: weakdep_bench::alloc_counter::CountingAllocator =
     weakdep_bench::alloc_counter::CountingAllocator;
 
-/// Matching-tier counters of one run: `(exact_hits, promotions, fragmented_updates)` from the
-/// engine's two-tier bottom-map store.
-type Tiers = (usize, usize, usize);
+/// Matching-tier counters of one run: `(exact_hits, promotions, fragmented_updates,
+/// demotions)` from the engine's two-tier bottom-map store.
+type Tiers = (usize, usize, usize, usize);
 
 fn tiers(rt: &Runtime) -> Tiers {
     let engine = rt.stats().engine;
-    (engine.exact_hits, engine.promotions, engine.fragmented_updates)
+    (
+        engine.exact_hits,
+        engine.promotions,
+        engine.fragmented_updates,
+        engine.demotions,
+    )
 }
 
 /// One measured configuration.
@@ -55,8 +65,9 @@ struct Sample {
     spawn_secs: f64,
     /// Wall time of the whole run (spawn + drain).
     total_secs: f64,
-    /// Heap allocations per task over the whole run (minimum across repetitions), when the
-    /// counting allocator is installed; `None` otherwise.
+    /// Heap allocations per task over the run itself — runtime construction excluded, so the
+    /// figure is scale-independent (minimum across repetitions). `None` when the counting
+    /// allocator is not installed.
     allocs_per_task: Option<f64>,
     /// Matching-tier counters of the best run, so the JSON shows which tier served each
     /// scenario's registrations.
@@ -77,11 +88,21 @@ fn runtime(workers: usize, global_lock: bool) -> Runtime {
     Runtime::new(RuntimeConfig::new().workers(workers).serialized_engine(global_lock))
 }
 
+/// Current global allocation count. Zero (and unmoving) unless the counting allocator is
+/// installed via `--features count-allocs`. Scenarios snapshot it *after* constructing the
+/// runtime so the per-task figure measures the spawn/run path, not the fixed pool start-up
+/// cost — this keeps `--quick` runs (2 000 tasks) comparable to full runs (50 000 tasks) and
+/// lets the alloc-budget guard use scale-independent ceilings.
+fn allocs_now() -> u64 {
+    weakdep_bench::alloc_counter::allocations()
+}
+
 /// Root context spawns `tasks` empty-bodied tasks with disjoint `inout` dependencies, one
 /// `spawn` call per task. Returns (spawn-loop seconds, total seconds, tier counters).
-fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64, Tiers) {
+fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, global_lock);
     let data = SharedSlice::<u8>::new(tasks);
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let d = data.clone();
     let spawn_secs = rt.run(move |ctx| {
@@ -91,14 +112,15 @@ fn flat_unbatched(workers: usize, tasks: usize, global_lock: bool) -> (f64, f64,
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
 }
 
 /// Pure spawn-path overhead: `tasks` dependency-free empty tasks, one `spawn` call each (the
 /// per-task lock acquisition, record hand-off and worker wake-up, with no dependency
 /// registration mixed in).
-fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64, Tiers) {
+fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, false);
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let spawn_secs = rt.run(move |ctx| {
         let spawn_start = Instant::now();
@@ -107,12 +129,13 @@ fn nodeps_unbatched(workers: usize, tasks: usize) -> (f64, f64, Tiers) {
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
 }
 
 /// The same dependency-free workload through `spawn_batch`.
-fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
+fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, false);
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let spawn_secs = rt.run(move |ctx| {
         let spawn_start = Instant::now();
@@ -126,16 +149,17 @@ fn nodeps_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
 }
 
 /// Partial-overlap dependency pattern: every task's region covers half of its predecessor's, so
 /// every bottom-map registration *fragments* against existing entries — the worst case for the
 /// exact-match fast tier (every update runs on the interval tier) and the scenario that keeps
 /// the two-tier store honest about its slow path. Batched waves, like `flat_batched`.
-fn fragmented_deps(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
+fn fragmented_deps(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, false);
     let data = SharedSlice::<u8>::new(2 * tasks + 2);
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let d = data.clone();
     let spawn_secs = rt.run(move |ctx| {
@@ -156,13 +180,48 @@ fn fragmented_deps(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tier
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
+}
+
+/// Demotion churn: pairs of tasks over a sliding window. The first task of each pair writes a
+/// window straddling the previously demoted extent — the store promotes the region and the
+/// wholesale write immediately coalesces back to one fragment, so the extent demotes to the
+/// exact hash tier; the second task writes the *same* window and must be served as an exact
+/// hit. Exercises the promote → coalesce → demote → exact-hit cycle (and the fragmented-state
+/// arena recycling behind it) end to end.
+fn fragmented_demote(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers, u64) {
+    let rt = runtime(workers, false);
+    let data = SharedSlice::<u8>::new(tasks + 8);
+    let allocs0 = allocs_now();
+    let total_start = Instant::now();
+    let d = data.clone();
+    let spawn_secs = rt.run(move |ctx| {
+        let spawn_start = Instant::now();
+        let mut i = 0;
+        while i < tasks {
+            let end = (i + wave).min(tasks);
+            let specs: Vec<TaskSpec> = (i..end)
+                .map(|t| {
+                    let k = t / 2;
+                    ctx.task()
+                        .inout(d.region(2 * k..2 * k + 4))
+                        .label("bench")
+                        .stage(|_| {})
+                })
+                .collect();
+            ctx.spawn_batch(specs);
+            i = end;
+        }
+        spawn_start.elapsed().as_secs_f64()
+    });
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
 }
 
 /// The same workload registered through `spawn_batch`, in waves of `wave` tasks.
-fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) {
+fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, false);
     let data = SharedSlice::<u8>::new(tasks);
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let d = data.clone();
     let spawn_secs = rt.run(move |ctx| {
@@ -178,7 +237,7 @@ fn flat_batched(workers: usize, tasks: usize, wave: usize) -> (f64, f64, Tiers) 
         }
         spawn_start.elapsed().as_secs_f64()
     });
-    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt))
+    (spawn_secs, total_start.elapsed().as_secs_f64(), tiers(&rt), allocs_now() - allocs0)
 }
 
 /// `spawners` tasks run concurrently on the pool; each spawns `children` tasks into its own
@@ -191,10 +250,11 @@ fn nested(
     children: usize,
     batched: bool,
     global_lock: bool,
-) -> (f64, f64, Tiers) {
+) -> (f64, f64, Tiers, u64) {
     let rt = runtime(workers, global_lock);
     let data = SharedSlice::<u8>::new(spawners * children);
     let spawn_ns = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let allocs0 = allocs_now();
     let total_start = Instant::now();
     let d = data.clone();
     let ns = Arc::clone(&spawn_ns);
@@ -242,19 +302,17 @@ fn nested(
     // spawners (they run in parallel, so the average models the per-domain critical path).
     let avg_spawn = spawn_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9
         / spawners.max(1) as f64;
-    (avg_spawn, total, tiers(&rt))
+    (avg_spawn, total, tiers(&rt), allocs_now() - allocs0)
 }
 
 /// Best (by spawn time) of `repeat` runs, plus the minimum allocation delta across runs (the
 /// minimum filters warm-up noise such as lazily grown thread-local buffers). The delta is
 /// `None` when the counting allocator is not installed — the counter then never moves.
-fn measure(repeat: usize, f: impl Fn() -> (f64, f64, Tiers)) -> (f64, f64, Option<u64>, Tiers) {
-    let mut best = (f64::INFINITY, f64::INFINITY, (0, 0, 0));
+fn measure(repeat: usize, f: impl Fn() -> (f64, f64, Tiers, u64)) -> (f64, f64, Option<u64>, Tiers) {
+    let mut best = (f64::INFINITY, f64::INFINITY, (0, 0, 0, 0));
     let mut min_allocs: Option<u64> = None;
     for _ in 0..repeat {
-        let allocs_before = weakdep_bench::alloc_counter::allocations();
-        let (spawn, total, tiers) = f();
-        let delta = weakdep_bench::alloc_counter::allocations() - allocs_before;
+        let (spawn, total, tiers, delta) = f();
         if delta > 0 {
             min_allocs = Some(min_allocs.map_or(delta, |m| m.min(delta)));
         }
@@ -292,6 +350,7 @@ fn main() {
         push("nodeps-unbatched", tasks, measure(args.repeat, || nodeps_unbatched(workers, tasks)));
         push("nodeps-batched", tasks, measure(args.repeat, || nodeps_batched(workers, tasks, wave)));
         push("fragmented-deps", tasks, measure(args.repeat, || fragmented_deps(workers, tasks, wave)));
+        push("fragmented-demote", tasks, measure(args.repeat, || fragmented_demote(workers, tasks, wave)));
 
         let nested_tasks = spawners * children;
         push("nested-unbatched", nested_tasks, measure(args.repeat, || nested(workers, spawners, children, false, false)));
@@ -311,6 +370,7 @@ fn main() {
         "exact_hits",
         "promotions",
         "fragmented",
+        "demotions",
     ];
     let rows: Vec<Vec<String>> = samples
         .iter()
@@ -327,6 +387,7 @@ fn main() {
                 s.tiers.0.to_string(),
                 s.tiers.1.to_string(),
                 s.tiers.2.to_string(),
+                s.tiers.3.to_string(),
             ]
         })
         .collect();
@@ -376,6 +437,9 @@ fn main() {
     let baseline_section = existing
         .as_deref()
         .and_then(weakdep_bench::overheads_json::extract_alloc_baseline);
+    let frag_baseline_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_fragmented_baseline);
     let policies_section = existing
         .as_deref()
         .and_then(weakdep_bench::overheads_json::extract_policies);
@@ -386,7 +450,7 @@ fn main() {
     ));
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"workers\": {}, \"tasks\": {}, \"spawn_secs\": {:.6}, \"total_secs\": {:.6}, \"spawn_tasks_per_sec\": {:.0}, \"total_tasks_per_sec\": {:.0}, \"allocs_per_task\": {}, \"exact_hits\": {}, \"promotions\": {}, \"fragmented_updates\": {}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"tasks\": {}, \"spawn_secs\": {:.6}, \"total_secs\": {:.6}, \"spawn_tasks_per_sec\": {:.0}, \"total_tasks_per_sec\": {:.0}, \"allocs_per_task\": {}, \"exact_hits\": {}, \"promotions\": {}, \"fragmented_updates\": {}, \"demotions\": {}}}{}\n",
             s.scenario,
             s.workers,
             s.tasks,
@@ -398,6 +462,7 @@ fn main() {
             s.tiers.0,
             s.tiers.1,
             s.tiers.2,
+            s.tiers.3,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
@@ -405,14 +470,11 @@ fn main() {
     // Carry the historical allocation baseline forward (recorded once, when the two-tier store
     // landed, on the pre-two-tier engine), so the allocs/task reduction stays visible next to
     // the current numbers without any rerun re-stamping a stale measurement as fresh.
-    match &baseline_section {
-        Some(section) => {
-            json.push_str(",\n");
-            json.push_str(section);
-            json.push('\n');
-        }
-        None => json.push('\n'),
+    for section in [&baseline_section, &frag_baseline_section].into_iter().flatten() {
+        json.push_str(",\n");
+        json.push_str(section);
     }
+    json.push('\n');
     json.push_str("}\n");
     // Re-attach the preserved policies and soak sections through the same tested splices the
     // `fig3_policies` and `soak` binaries use, so the merge format lives in exactly one place.
@@ -433,4 +495,45 @@ fn main() {
     // Keep the run honest: a sample that spawned nothing or measured nothing indicates a broken
     // harness rather than a fast one.
     assert!(samples.iter().all(|s| s.spawn_secs > 0.0 && s.total_secs > 0.0));
+
+    // CI allocation-budget guard (`--enforce-alloc-budget`): the single-worker allocs/task of
+    // the budgeted scenarios must stay under their ceilings. Requires the counting allocator
+    // (`--features count-allocs`) — without it the counters never move and the guard would
+    // silently pass, so a missing measurement is itself a failure.
+    if args.enforce_alloc_budget {
+        // Ceilings are the steady-state (full-run) targets. `nodeps-batched` sits exactly at
+        // its 4.0 steady state on full runs, but a 2 000-task `--quick` run still carries
+        // ~0.3/task of log-scale warm-up (slab and queue doubling growth amortises over task
+        // count), so its quick ceiling gets that headroom; a real per-task regression of even
+        // half an allocation still trips it.
+        let budgets: &[(&str, f64)] = &[
+            ("spawn-batched", 8.0),
+            ("fragmented-deps", 16.0),
+            ("fragmented-demote", 16.0),
+            ("nested-batched", 12.0),
+            ("nodeps-batched", if args.quick { 4.5 } else { 4.0 }),
+        ];
+        let mut violations = Vec::new();
+        for &(scenario, ceiling) in budgets {
+            let sample = samples
+                .iter()
+                .find(|s| s.scenario == scenario && s.workers == 1)
+                .unwrap_or_else(|| panic!("budgeted scenario '{scenario}' was not measured"));
+            match sample.allocs_per_task {
+                None => violations.push(format!(
+                    "{scenario}: allocs/task not measured (build with --features count-allocs)"
+                )),
+                Some(a) if a > ceiling => {
+                    violations.push(format!("{scenario}: {a:.1} allocs/task > budget {ceiling:.1}"))
+                }
+                Some(a) => eprintln!("alloc budget ok: {scenario} {a:.1} <= {ceiling:.1}"),
+            }
+        }
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("alloc budget exceeded: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

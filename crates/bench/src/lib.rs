@@ -32,6 +32,10 @@ pub struct CommonArgs {
     pub csv: bool,
     /// Repetitions per configuration (`--repeat`).
     pub repeat: usize,
+    /// Fail the run if a scenario exceeds its allocation budget (`--enforce-alloc-budget`;
+    /// only honoured by the `overheads` binary, which requires `--features count-allocs`
+    /// for the counters to move).
+    pub enforce_alloc_budget: bool,
 }
 
 impl Default for CommonArgs {
@@ -42,6 +46,7 @@ impl Default for CommonArgs {
             quick: false,
             csv: false,
             repeat: 1,
+            enforce_alloc_budget: false,
         }
     }
 }
@@ -68,9 +73,10 @@ impl CommonArgs {
                 "--full" => args.full = true,
                 "--quick" => args.quick = true,
                 "--csv" => args.csv = true,
+                "--enforce-alloc-budget" => args.enforce_alloc_budget = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: [--cores N] [--full] [--quick] [--csv] [--repeat N]"
+                        "options: [--cores N] [--full] [--quick] [--csv] [--repeat N] [--enforce-alloc-budget]"
                     );
                     std::process::exit(0);
                 }
@@ -85,7 +91,7 @@ impl CommonArgs {
 
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("options: [--cores N] [--full] [--quick] [--csv] [--repeat N]");
+    eprintln!("options: [--cores N] [--full] [--quick] [--csv] [--repeat N] [--enforce-alloc-budget]");
     std::process::exit(2);
 }
 
@@ -263,6 +269,7 @@ pub mod alloc_counter {
 pub mod overheads_json {
     const MARKER: &str = "  \"soak\":";
     const BASELINE_MARKER: &str = "  \"alloc_baseline_pre_two_tier\":";
+    const FRAG_BASELINE_MARKER: &str = "  \"fragmented_baseline_pre_arena\":";
     const POLICIES_MARKER: &str = "  \"policies\":";
 
     /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
@@ -271,6 +278,16 @@ pub mod overheads_json {
     /// something a rerun can re-measure.
     pub fn extract_alloc_baseline(text: &str) -> Option<String> {
         let start = text.find(BASELINE_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Extracts the single-line fragmented-tier baseline (the BTreeMap-backed interval-tier
+    /// numbers recorded once, just before the arena rewrite landed), if present. Preserved
+    /// across regenerations for the same reason as the allocation baseline: the pre-arena
+    /// engine no longer exists to re-measure.
+    pub fn extract_fragmented_baseline(text: &str) -> Option<String> {
+        let start = text.find(FRAG_BASELINE_MARKER)?;
         let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
         Some(text[start..end].trim_end().trim_end_matches(',').to_string())
     }
@@ -364,6 +381,16 @@ pub mod overheads_json {
         use super::*;
 
         const SOAK: &str = "  \"soak\": {\"tasks\": 7}\n";
+
+        #[test]
+        fn fragmented_baseline_is_extracted_verbatim() {
+            let text = "{\n  \"samples\": [\n  ],\n  \"fragmented_baseline_pre_arena\": {\"fragmented-deps\": 40.2},\n  \"soak\": {}\n}\n";
+            assert_eq!(
+                extract_fragmented_baseline(text).as_deref(),
+                Some("  \"fragmented_baseline_pre_arena\": {\"fragmented-deps\": 40.2}")
+            );
+            assert_eq!(extract_fragmented_baseline("{\n}\n"), None);
+        }
 
         #[test]
         fn alloc_baseline_is_extracted_verbatim() {

@@ -77,7 +77,8 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 use smallvec::{smallvec, SmallVec};
 use weakdep_regions::{
-    CoverageCounter, RangeUpdate, Region, RegionMap, RegionSet, RegionStore, StoreTier,
+    CoverageCounter, IntervalMap, RangeUpdate, Region, RegionMap, RegionSet, RegionStore,
+    StoreTier,
 };
 
 use crate::access::{normalize_deps, Depend, NormalizedDep, WaitMode};
@@ -210,6 +211,13 @@ pub struct EngineStats {
     /// Bottom-map registrations that ran on the fragmented (interval) tier, the promoting ones
     /// included.
     pub fragmented_updates: usize,
+    /// Bottom-map regions *demoted* back to the exact tier: after a fragmented-tier update the
+    /// touched neighbourhood coalesced into a single fragment exactly matching the updated
+    /// region, so it returned to the hash tier. Always `<= fragmented_updates` — a demotion is
+    /// produced by (at most) the coalescing pass of one fragmented-tier update. It is **not**
+    /// bounded by `promotions`: one promoted region can heal and demote piecewise, one extent
+    /// per subsequent update.
+    pub demotions: usize,
 }
 
 #[derive(Default)]
@@ -225,6 +233,7 @@ struct AtomicStats {
     exact_hits: AtomicUsize,
     promotions: AtomicUsize,
     fragmented_updates: AtomicUsize,
+    demotions: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -241,6 +250,7 @@ impl AtomicStats {
             exact_hits: self.exact_hits.load(Ordering::Relaxed),
             promotions: self.promotions.load(Ordering::Relaxed),
             fragmented_updates: self.fragmented_updates.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
         }
     }
 
@@ -258,7 +268,7 @@ struct NodeRef {
 
 /// A bottom-map accessor: either one of the domain owner's own accesses (the §VI linking point
 /// into the outer domain) or a child's access node in this domain.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Accessor {
     Own(u32),
     Child(NodeRef),
@@ -266,7 +276,10 @@ enum Accessor {
 
 /// The "latest accessor" of a bottom-map fragment: the last writer plus the readers registered
 /// since. The owner's own access is seeded as the initial writer so children link to it.
-#[derive(Debug, Clone, Default)]
+/// `PartialEq` feeds the store's coalesce-on-update: adjacent fragments with the same accessor
+/// history merge back into one, which is what lets a transiently fragmented region *demote* to
+/// the exact tier.
+#[derive(Debug, Clone, Default, PartialEq)]
 struct BottomEntry {
     last_writer: Option<Accessor>,
     readers: SmallVec<[Accessor; 2]>,
@@ -325,12 +338,14 @@ struct AccessNode {
 /// and an inline successor list — no heap allocation at any point in the node's life. The first
 /// operation that touches a *proper sub-region* (a partially overlapping sibling, a weakwait
 /// hand-over of a sub-block, a partial `release` directive) promotes the node to
-/// [`NodeState::Fragmented`], which carries the general per-fragment containers. The box keeps
-/// the slab slot at the compact size; promotion is the rare path and pays the one allocation.
+/// [`NodeState::Fragmented`], which holds an **index into the domain's [`FragArena`]**: the
+/// per-fragment containers live in a per-domain pool with free-list recycling, so steady-state
+/// fragmentation churn reuses cleared containers (whose interval arenas retain their capacity)
+/// instead of boxing fresh ones per promoted node.
 #[derive(Debug)]
 enum NodeState {
     Compact(CompactState),
-    Fragmented(Box<FragmentedState>),
+    Fragmented(u32),
 }
 
 #[derive(Debug)]
@@ -345,67 +360,129 @@ struct CompactState {
     release_edges: SmallVec<[u32; 2]>,
 }
 
-/// The general (per-fragment) containers, exactly the pre-two-tier node layout.
-#[derive(Debug)]
-struct FragmentedState {
-    /// Per-fragment count of predecessors that have not delivered the data yet. A fragment is
-    /// *satisfied* when its count drops to zero (several predecessors — e.g. a group of readers —
-    /// can cover the same fragment).
-    unsatisfied: CoverageCounter,
-    /// Fragments the task or its live children may still access.
-    uncompleted: RegionSet,
-    /// Fragments not yet released to successors.
-    unreleased: RegionSet,
-    /// Same-domain successors (satisfied by my release), by pending fragment.
-    release_edges: EdgeMap,
+/// The per-fragment lifecycle record of one promoted access node.
+///
+/// An access declares exactly one region in exactly one space, and its predecessor count,
+/// completion/release flags and same-domain successor edges almost always fragment along the
+/// *same* boundaries (one partially overlapping sibling splits all of them at once). Packing
+/// the four facets into a single [`IntervalMap`] therefore costs nothing in fragment count, but
+/// makes a fresh promotion pay for **one** interval arena instead of four — the dominant
+/// allocation in fragmentation-heavy single-worker spawning, where no node retires (so no pool
+/// slot recycles) while the root body is still submitting tasks. Cross-space defensive checks
+/// happen once at the method boundary in [`AccessNode`].
+#[derive(Debug, Clone, PartialEq, Default)]
+struct FragCell {
+    /// Predecessors over this fragment that have not delivered the data yet (several — e.g. a
+    /// group of readers — can cover the same fragment). Satisfied when it drops to zero.
+    unsatisfied: u32,
+    /// The task (or a live child) may still access this fragment.
+    uncompleted: bool,
+    /// The fragment has not been handed to successors yet.
+    unreleased: bool,
+    /// Same-domain successors satisfied by this fragment's release.
+    release_edges: SmallVec<[u32; 2]>,
+}
+
+impl FragCell {
+    /// `true` when no live state is left in the cell; spent fragments are removed from the map
+    /// so emptiness scans stay short.
+    fn is_spent(&self) -> bool {
+        self.unsatisfied == 0
+            && !self.uncompleted
+            && !self.unreleased
+            && self.release_edges.is_empty()
+    }
+
+    /// Turns a mutated cell back into a range update: `Remove` once spent, `Set` otherwise.
+    fn commit(self) -> RangeUpdate<FragCell> {
+        if self.is_spent() {
+            RangeUpdate::Remove
+        } else {
+            RangeUpdate::Set(self)
+        }
+    }
+}
+
+/// Per-domain pool of promoted-node interval maps with free-list recycling (the same slab
+/// discipline as the node and sched slots, minus the generations — a frag index is only ever
+/// reachable through its owning node's [`NodeState::Fragmented`]).
+#[derive(Debug, Default)]
+struct FragArena {
+    pool: Vec<IntervalMap<FragCell>>,
+    free: Vec<u32>,
+}
+
+impl FragArena {
+    /// Takes a cleared map from the free list, or grows the pool. The pool plateaus at the
+    /// high-water count of *simultaneously promoted* nodes in the domain.
+    fn alloc(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.pool.len()).expect("frag arena overflow");
+                self.pool.push(IntervalMap::new());
+                idx
+            }
+        }
+    }
+
+    /// Returns a map to the free list, clearing it (interval-arena capacity retained, so the
+    /// next promotion through this slot fills allocation-free).
+    fn release(&mut self, idx: u32) {
+        self.pool[idx as usize].clear();
+        self.free.push(idx);
+    }
+
+    fn get(&self, idx: u32) -> &IntervalMap<FragCell> {
+        &self.pool[idx as usize]
+    }
+
+    fn get_mut(&mut self, idx: u32) -> &mut IntervalMap<FragCell> {
+        &mut self.pool[idx as usize]
+    }
 }
 
 impl AccessNode {
-    /// Expands the compact state into the general containers. Idempotent; called on the first
-    /// operation that does not cover the whole region.
-    fn promote(&mut self) {
+    /// Expands the compact state into arena-pooled general containers. Idempotent; called on
+    /// the first operation that does not cover the whole region. The containers come cleared
+    /// from the pool, so a recycled slot fills without allocating.
+    fn promote(&mut self, frag: &mut FragArena) {
         let NodeState::Compact(c) = &mut self.state else { return };
-        let mut fragmented = FragmentedState {
-            unsatisfied: CoverageCounter::new(),
-            uncompleted: RegionSet::new(),
-            unreleased: RegionSet::new(),
-            release_edges: EdgeMap::new(),
+        let fi = frag.alloc();
+        let cell = FragCell {
+            unsatisfied: c.unsatisfied,
+            uncompleted: c.uncompleted,
+            unreleased: c.unreleased,
+            release_edges: std::mem::take(&mut c.release_edges),
         };
-        for _ in 0..c.unsatisfied {
-            fragmented.unsatisfied.increment(&self.region);
+        let (start, end) = (self.region.start, self.region.end);
+        let f = frag.get_mut(fi);
+        debug_assert!(f.is_empty());
+        if !cell.is_spent() {
+            f.insert_range(start, end, cell);
         }
-        if c.uncompleted {
-            fragmented.uncompleted.add(&self.region);
-        }
-        if c.unreleased {
-            fragmented.unreleased.add(&self.region);
-        }
-        let edges = std::mem::take(&mut c.release_edges);
-        if !edges.is_empty() {
-            fragmented.release_edges.insert(&self.region, edges);
-        }
-        self.state = NodeState::Fragmented(Box::new(fragmented));
+        self.state = NodeState::Fragmented(fi);
     }
 
     /// `true` if no fragment still waits for a predecessor.
-    fn fully_satisfied(&self) -> bool {
+    fn fully_satisfied(&self, frag: &FragArena) -> bool {
         match &self.state {
             NodeState::Compact(c) => c.unsatisfied == 0,
-            NodeState::Fragmented(f) => f.unsatisfied.is_empty(),
+            NodeState::Fragmented(fi) => frag.get(*fi).iter().all(|(_, _, c)| c.unsatisfied == 0),
         }
     }
 
     /// `true` once every fragment has been released to successors.
-    fn fully_released(&self) -> bool {
+    fn fully_released(&self, frag: &FragArena) -> bool {
         match &self.state {
             NodeState::Compact(c) => !c.unreleased,
-            NodeState::Fragmented(f) => f.unreleased.is_empty(),
+            NodeState::Fragmented(fi) => frag.get(*fi).iter().all(|(_, _, c)| !c.unreleased),
         }
     }
 
     /// The still-unsatisfied parts of the declared region — the staged `pending_down` mirror
     /// for the task's own domain.
-    fn unsatisfied_parts(&self) -> SeedParts {
+    fn unsatisfied_parts(&self, frag: &FragArena) -> SeedParts {
         match &self.state {
             NodeState::Compact(c) => {
                 if c.unsatisfied > 0 {
@@ -414,48 +491,62 @@ impl AccessNode {
                     SmallVec::new()
                 }
             }
-            NodeState::Fragmented(f) => f
-                .unsatisfied
-                .covered_parts(&self.region)
-                .into_iter()
-                .map(|(part, _count)| part)
-                .collect(),
+            NodeState::Fragmented(fi) => {
+                let mut parts: SeedParts = SmallVec::new();
+                let space = self.region.space;
+                frag.get(*fi).query_range(self.region.start, self.region.end, |s, e, c| {
+                    if c.unsatisfied > 0 {
+                        parts.push(Region::new(space, s, e));
+                    }
+                });
+                parts
+            }
         }
     }
 
     /// Registers one pending predecessor over `part`.
-    fn add_unsatisfied(&mut self, part: &Region) {
+    fn add_unsatisfied(&mut self, frag: &mut FragArena, part: &Region) {
         if let NodeState::Compact(c) = &mut self.state {
             if part.contains_region(&self.region) {
                 c.unsatisfied += 1;
                 return;
             }
-            self.promote();
+            self.promote(frag);
         }
-        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
-        f.unsatisfied.increment(part);
+        let NodeState::Fragmented(fi) = self.state else { unreachable!() };
+        if part.space != self.region.space {
+            return;
+        }
+        frag.get_mut(fi).update_range(part.start, part.end, |_, _, cell| {
+            let mut c = cell.cloned().unwrap_or_default();
+            c.unsatisfied += 1;
+            RangeUpdate::Set(c)
+        });
     }
 
     /// Registers a same-domain successor edge over `part`.
-    fn add_release_edge(&mut self, part: &Region, to: u32) {
+    fn add_release_edge(&mut self, frag: &mut FragArena, part: &Region, to: u32) {
         if let NodeState::Compact(c) = &mut self.state {
             if part.contains_region(&self.region) {
                 c.release_edges.push(to);
                 return;
             }
-            self.promote();
+            self.promote(frag);
         }
-        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
-        f.release_edges.update(part, |_, existing| {
-            let mut targets: SmallVec<[u32; 2]> = existing.cloned().unwrap_or_default();
-            targets.push(to);
-            RangeUpdate::Set(targets)
+        let NodeState::Fragmented(fi) = self.state else { unreachable!() };
+        if part.space != self.region.space {
+            return;
+        }
+        frag.get_mut(fi).update_range(part.start, part.end, |_, _, cell| {
+            let mut c = cell.cloned().unwrap_or_default();
+            c.release_edges.push(to);
+            RangeUpdate::Set(c)
         });
     }
 
     /// Appends the not-yet-released parts of `over` to `out` (the pending extent of a new edge
     /// from this node).
-    fn unreleased_parts(&self, over: &Region, out: &mut Parts) {
+    fn unreleased_parts(&self, frag: &FragArena, over: &Region, out: &mut Parts) {
         match &self.state {
             NodeState::Compact(c) => {
                 if c.unreleased {
@@ -464,15 +555,23 @@ impl AccessNode {
                     }
                 }
             }
-            NodeState::Fragmented(f) => {
-                f.unreleased.for_each_intersection(over, |part| out.push(part));
+            NodeState::Fragmented(fi) => {
+                if over.space != self.region.space {
+                    return;
+                }
+                let space = self.region.space;
+                frag.get(*fi).query_range(over.start, over.end, |s, e, c| {
+                    if c.unreleased {
+                        out.push(Region::new(space, s, e));
+                    }
+                });
             }
         }
     }
 
     /// Marks `part` as satisfied by one predecessor; appends the fragments that became *fully*
     /// satisfied to `newly`.
-    fn satisfy_part(&mut self, part: &Region, newly: &mut Parts) {
+    fn satisfy_part(&mut self, frag: &mut FragArena, part: &Region, newly: &mut Parts) {
         if let NodeState::Compact(c) = &mut self.state {
             if part.contains_region(&self.region) {
                 if c.unsatisfied > 0 {
@@ -486,14 +585,31 @@ impl AccessNode {
             if !part.intersects(&self.region) {
                 return;
             }
-            self.promote();
+            self.promote(frag);
         }
-        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
-        newly.extend(f.unsatisfied.decrement(part));
+        let NodeState::Fragmented(fi) = self.state else { unreachable!() };
+        if part.space != self.region.space {
+            return;
+        }
+        let space = self.region.space;
+        let f = frag.get_mut(fi);
+        f.update_range(part.start, part.end, |s, e, cell| match cell {
+            Some(c) if c.unsatisfied > 0 => {
+                let mut c2 = c.clone();
+                c2.unsatisfied -= 1;
+                if c2.unsatisfied == 0 {
+                    newly.push(Region::new(space, s, e));
+                }
+                c2.commit()
+            }
+            // Already satisfied: only *transitions* to zero are reported.
+            _ => RangeUpdate::Keep,
+        });
+        f.coalesce_range(part.start, part.end);
     }
 
     /// Marks `part` as completed; appends the fragments that transitioned to `newly`.
-    fn complete_part(&mut self, part: &Region, newly: &mut Parts) {
+    fn complete_part(&mut self, frag: &mut FragArena, part: &Region, newly: &mut Parts) {
         if let NodeState::Compact(c) = &mut self.state {
             if part.contains_region(&self.region) {
                 if c.uncompleted {
@@ -505,15 +621,29 @@ impl AccessNode {
             if !part.intersects(&self.region) {
                 return;
             }
-            self.promote();
+            self.promote(frag);
         }
-        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
-        newly.extend(f.uncompleted.remove(part));
+        let NodeState::Fragmented(fi) = self.state else { unreachable!() };
+        if part.space != self.region.space {
+            return;
+        }
+        let space = self.region.space;
+        let f = frag.get_mut(fi);
+        f.update_range(part.start, part.end, |s, e, cell| match cell {
+            Some(c) if c.uncompleted => {
+                let mut c2 = c.clone();
+                c2.uncompleted = false;
+                newly.push(Region::new(space, s, e));
+                c2.commit()
+            }
+            _ => RangeUpdate::Keep,
+        });
+        f.coalesce_range(part.start, part.end);
     }
 
     /// Appends the sub-parts of `candidate` that are releasable *now* (unreleased, fully
     /// satisfied and completed) to `out`.
-    fn releasable_parts(&self, candidate: &Region, out: &mut SmallVec<[Region; 4]>) {
+    fn releasable_parts(&self, frag: &FragArena, candidate: &Region, out: &mut SmallVec<[Region; 4]>) {
         match &self.state {
             NodeState::Compact(c) => {
                 // Compact state is all-or-nothing: the region is releasable exactly when the
@@ -524,33 +654,25 @@ impl AccessNode {
                     }
                 }
             }
-            NodeState::Fragmented(f) => {
-                // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted
-                let mut unreleased: SmallVec<[Region; 4]> = SmallVec::new();
-                f.unreleased.for_each_intersection(candidate, |part| unreleased.push(part));
-                for part in &unreleased {
-                    let blocked_by_satisfaction = f.unsatisfied.covered_parts(part);
-                    let blocked_by_completion = f.uncompleted.intersection(part);
-                    let mut pieces: SmallVec<[Region; 4]> = smallvec![*part];
-                    let blockers = blocked_by_satisfaction
-                        .iter()
-                        .map(|(region, _count)| region)
-                        .chain(blocked_by_completion.iter());
-                    for blocker in blockers {
-                        let mut rest: SmallVec<[Region; 4]> = SmallVec::new();
-                        for piece in &pieces {
-                            piece.subtract_each(blocker, |r| rest.push(r));
-                        }
-                        pieces = rest;
-                    }
-                    out.extend(pieces);
+            NodeState::Fragmented(fi) => {
+                if candidate.space != self.region.space {
+                    return;
                 }
+                // releasable = candidate ∩ unreleased ∩ !unsatisfied ∩ !uncompleted. All three
+                // facets live in one fragment map, so this is a single clipped scan with a
+                // per-cell predicate — no subtract chains, no scratch.
+                let space = self.region.space;
+                frag.get(*fi).query_range(candidate.start, candidate.end, |s, e, c| {
+                    if c.unreleased && c.unsatisfied == 0 && !c.uncompleted {
+                        out.push(Region::new(space, s, e));
+                    }
+                });
             }
         }
     }
 
     /// Removes `part` from the unreleased set, appending what was actually removed to `out`.
-    fn release_part(&mut self, part: &Region, out: &mut Parts) {
+    fn release_part(&mut self, frag: &mut FragArena, part: &Region, out: &mut Parts) {
         if let NodeState::Compact(c) = &mut self.state {
             if part.contains_region(&self.region) {
                 if c.unreleased {
@@ -562,16 +684,31 @@ impl AccessNode {
             if !part.intersects(&self.region) {
                 return;
             }
-            self.promote();
+            self.promote(frag);
         }
-        let NodeState::Fragmented(f) = &mut self.state else { unreachable!() };
-        out.extend(f.unreleased.remove(part));
+        let NodeState::Fragmented(fi) = self.state else { unreachable!() };
+        if part.space != self.region.space {
+            return;
+        }
+        let space = self.region.space;
+        let f = frag.get_mut(fi);
+        f.update_range(part.start, part.end, |s, e, cell| match cell {
+            Some(c) if c.unreleased => {
+                let mut c2 = c.clone();
+                c2.unreleased = false;
+                out.push(Region::new(space, s, e));
+                c2.commit()
+            }
+            _ => RangeUpdate::Keep,
+        });
+        f.coalesce_range(part.start, part.end);
     }
 
     /// Consumes the release edges overlapping the just-released `part`, delivering each
     /// `(fragment, targets)` group.
     fn take_release_edges(
         &mut self,
+        frag: &mut FragArena,
         part: &Region,
         mut deliver: impl FnMut(Region, SmallVec<[u32; 2]>),
     ) {
@@ -583,10 +720,21 @@ impl AccessNode {
                     deliver(self.region, std::mem::take(&mut c.release_edges));
                 }
             }
-            NodeState::Fragmented(f) => {
-                for (fragment, targets) in f.release_edges.remove(part) {
-                    deliver(fragment, targets);
+            NodeState::Fragmented(fi) => {
+                if part.space != self.region.space {
+                    return;
                 }
+                let space = self.region.space;
+                let f = frag.get_mut(*fi);
+                f.update_range(part.start, part.end, |s, e, cell| match cell {
+                    Some(c) if !c.release_edges.is_empty() => {
+                        let mut c2 = c.clone();
+                        deliver(Region::new(space, s, e), std::mem::take(&mut c2.release_edges));
+                        c2.commit()
+                    }
+                    _ => RangeUpdate::Keep,
+                });
+                f.coalesce_range(part.start, part.end);
             }
         }
     }
@@ -663,6 +811,10 @@ struct Domain {
     /// Slab of child access nodes.
     nodes: Vec<NodeSlot>,
     free_nodes: Vec<u32>,
+    /// Pool of fragmented-state containers referenced by `NodeState::Fragmented` indices. Slots
+    /// are cleared (not dropped) on node free, so promotion of a recycled slot reuses the
+    /// interval arenas already grown by earlier tenants.
+    frag: FragArena,
     /// Slab of per-child scheduling records.
     sched: Vec<Option<ChildSched>>,
     free_sched: Vec<u32>,
@@ -700,6 +852,7 @@ impl Domain {
             bottom_map: RegionStore::new(),
             nodes: Vec::new(),
             free_nodes: Vec::new(),
+            frag: FragArena::default(),
             sched: Vec::new(),
             free_sched: Vec::new(),
             scratch_edges: Vec::new(),
@@ -752,6 +905,14 @@ impl Domain {
         self.nodes.get_mut(idx as usize).and_then(|slot| slot.node.as_mut())
     }
 
+    /// Simultaneous mutable access to a node and the fragmented-state pool. The two live in
+    /// disjoint fields, but going through `node_mut` would borrow the whole domain; this helper
+    /// performs the split borrow once for every call site that mutates fragment state.
+    fn node_and_frag_mut(&mut self, idx: u32) -> Option<(&mut AccessNode, &mut FragArena)> {
+        let node = self.nodes.get_mut(idx as usize)?.node.as_mut()?;
+        Some((node, &mut self.frag))
+    }
+
     /// Resolves a generation-checked reference; `None` for stale references to recycled slots.
     fn resolve(&self, node: NodeRef) -> Option<&AccessNode> {
         let slot = self.nodes.get(node.idx as usize)?;
@@ -798,15 +959,23 @@ impl Domain {
     /// caller must retire its table slot.
     fn try_free_node(&mut self, idx: u32) -> Option<TaskId> {
         let node = self.node(idx)?;
-        if !node.fully_released() {
+        if !node.fully_released(&self.frag) {
             return None;
         }
         let sched_idx = node.sched;
+        let frag_idx = match node.state {
+            NodeState::Fragmented(fi) => Some(fi),
+            NodeState::Compact(_) => None,
+        };
         let done = self.sched[sched_idx as usize]
             .as_ref()
             .is_some_and(|s| s.deeply_completed);
         if !done {
             return None;
+        }
+        // Return the node's fragmented containers (if any) to the pool for the next promotion.
+        if let Some(fi) = frag_idx {
+            self.frag.release(fi);
         }
         let slot = &mut self.nodes[idx as usize];
         slot.node = None;
@@ -1157,14 +1326,14 @@ impl DependencyEngine {
             // The seed is only expanded into live structures if the child ever needs a domain
             // (`Domain::ensure_seeded`).
             let node = domain.node(node_ref.idx).expect("node just allocated");
-            let pending_down = node.unsatisfied_parts();
+            let pending_down = node.unsatisfied_parts(&domain.frag);
             let has_mirror = !pending_down.is_empty();
             domain.node_mut(node_ref.idx).expect("node just allocated").has_mirror = has_mirror;
             child_seeds.push((dep.region, pending_down));
 
             // Count the access towards readiness if it is strong and has pending predecessors.
             let node = domain.node(node_ref.idx).expect("node just allocated");
-            if !node.weak && !node.fully_satisfied() {
+            if !node.weak && !node.fully_satisfied(&domain.frag) {
                 domain.sched[sched_idx as usize]
                     .as_mut()
                     .expect("sched slot just allocated")
@@ -1217,8 +1386,10 @@ impl DependencyEngine {
 
         // First pass: fragment the region against the bottom map, record which edges to create
         // and compute the new entry for every fragment. (The scratch is taken out of the domain
-        // so the closure only captures locals.)
-        let tier = domain.bottom_map.update(&region, |fragment, existing| {
+        // so the closure only captures locals.) The coalescing update merges the equal-valued
+        // fragments this access just wrote; a region healed back to a single exact fragment
+        // demotes to the hash tier, so the next access over it is an exact hit again.
+        let (tier, demoted) = domain.bottom_map.update_coalescing(&region, |fragment, existing| {
             let new_entry = match existing {
                 Some(entry) => {
                     if is_write {
@@ -1277,6 +1448,9 @@ impl DependencyEngine {
                 AtomicStats::bump(&self.stats.fragmented_updates, 1);
             }
         }
+        if demoted {
+            AtomicStats::bump(&self.stats.demotions, 1);
+        }
 
         for edge in planned.drain(..) {
             self.add_edge(domain, edge.from, node_ref.idx, &edge.over);
@@ -1298,17 +1472,19 @@ impl DependencyEngine {
             Accessor::Child(source) => match domain.resolve(source) {
                 // A recycled slot means the source was fully released: no pending fragments.
                 None => {}
-                Some(node) => node.unreleased_parts(over, &mut pending),
+                Some(node) => node.unreleased_parts(&domain.frag, over, &mut pending),
             },
         }
         if pending.is_empty() {
             return;
         }
-        for part in &pending {
-            domain
-                .node_mut(to)
-                .expect("edge target just allocated")
-                .add_unsatisfied(part);
+        {
+            let (node, frag) = domain
+                .node_and_frag_mut(to)
+                .expect("edge target just allocated");
+            for part in &pending {
+                node.add_unsatisfied(frag, part);
+            }
         }
         match from {
             Accessor::Own(own_idx) => {
@@ -1325,9 +1501,10 @@ impl DependencyEngine {
             }
             Accessor::Child(source) => {
                 AtomicStats::bump(&self.stats.release_edges, 1);
-                let node = domain.node_mut(source.idx).expect("resolved above");
+                let (node, frag) =
+                    domain.node_and_frag_mut(source.idx).expect("resolved above");
                 for part in &pending {
-                    node.add_release_edge(part, to);
+                    node.add_release_edge(frag, part, to);
                 }
             }
         }
@@ -1379,14 +1556,16 @@ impl DependencyEngine {
                     // complete now; covered fragments are handed over to the children.
                     domain.ensure_seeded();
                     for (own_idx, own) in domain.own.iter().enumerate() {
-                        let uncovered = own.child_coverage.uncovered_parts(&own.region);
+                        let mut uncovered: Parts = SmallVec::new();
+                        own.child_coverage
+                            .for_each_uncovered(&own.region, |r| uncovered.push(r));
                         if !uncovered.is_empty() {
                             AtomicStats::bump(&self.stats.incremental_releases, uncovered.len());
                             outbox.push_back(Message::CompleteUp {
                                 target: Arc::clone(&target),
                                 task: Arc::clone(&entry),
                                 own_idx: own_idx as u32,
-                                parts: uncovered.into_iter().collect(),
+                                parts: uncovered,
                             });
                         }
                     }
@@ -1421,14 +1600,16 @@ impl DependencyEngine {
                     None => continue,
                 };
                 own.early_release.add(&overlap);
-                let uncovered = own.child_coverage.uncovered_parts(&overlap);
+                let mut uncovered: Parts = SmallVec::new();
+                own.child_coverage
+                    .for_each_uncovered(&overlap, |r| uncovered.push(r));
                 if !uncovered.is_empty() {
                     AtomicStats::bump(&self.stats.incremental_releases, uncovered.len());
                     outbox.push_back(Message::CompleteUp {
                         target: Arc::clone(&target),
                         task: Arc::clone(&entry),
                         own_idx: own_idx as u32,
-                        parts: uncovered.into_iter().collect(),
+                        parts: uncovered,
                     });
                 }
             }
@@ -1501,18 +1682,19 @@ impl DependencyEngine {
                     }
                     return;
                 }
-                let own = &mut domain.own[own_idx as usize];
+                let OwnAccess { pending_down, satisfaction_edges, .. } =
+                    &mut domain.own[own_idx as usize];
                 for part in &parts {
-                    for removed in own.pending_down.remove(part) {
-                        for (fragment, targets) in own.satisfaction_edges.remove(&removed) {
+                    pending_down.remove_with(part, |removed| {
+                        satisfaction_edges.drain(&removed, |fragment, targets| {
                             for &to in targets.iter() {
                                 queue.push_back(Event::Satisfy {
                                     node: to,
                                     parts: smallvec![fragment],
                                 });
                             }
-                        }
-                    }
+                        });
+                    });
                 }
                 self.process_local(domain, queue, effects, outbox);
             }
@@ -1625,10 +1807,10 @@ impl DependencyEngine {
         effects: &mut Effects,
         outbox: &mut VecDeque<Message>,
     ) {
-        let Some(node) = domain.node_mut(idx) else { return };
+        let Some((node, frag)) = domain.node_and_frag_mut(idx) else { return };
         let mut newly: Parts = SmallVec::new();
         for part in parts {
-            node.satisfy_part(part, &mut newly);
+            node.satisfy_part(frag, part, &mut newly);
         }
         if newly.is_empty() {
             return;
@@ -1644,7 +1826,7 @@ impl DependencyEngine {
                 node.weak,
                 node.has_mirror,
                 node.own_idx,
-                node.fully_satisfied(),
+                node.fully_satisfied(&domain.frag),
             )
         };
         if !weak && fully_satisfied {
@@ -1685,10 +1867,10 @@ impl DependencyEngine {
         queue: &mut VecDeque<Event>,
         outbox: &mut VecDeque<Message>,
     ) {
-        let Some(node) = domain.node_mut(idx) else { return };
+        let Some((node, frag)) = domain.node_and_frag_mut(idx) else { return };
         let mut newly: Parts = SmallVec::new();
         for part in parts {
-            node.complete_part(part, &mut newly);
+            node.complete_part(frag, part, &mut newly);
         }
         if newly.is_empty() {
             return;
@@ -1714,7 +1896,7 @@ impl DependencyEngine {
         {
             let Some(node) = domain.node(idx) else { return };
             for candidate in candidates {
-                node.releasable_parts(candidate, &mut releasable);
+                node.releasable_parts(&domain.frag, candidate, &mut releasable);
             }
         }
         if releasable.is_empty() {
@@ -1723,9 +1905,9 @@ impl DependencyEngine {
 
         let mut actually_released: Parts = SmallVec::new();
         {
-            let node = domain.node_mut(idx).expect("checked above");
+            let (node, frag) = domain.node_and_frag_mut(idx).expect("checked above");
             for part in &releasable {
-                node.release_part(part, &mut actually_released);
+                node.release_part(frag, part, &mut actually_released);
             }
         }
         if actually_released.is_empty() {
@@ -1734,13 +1916,15 @@ impl DependencyEngine {
 
         // Notify same-domain successors: consume exactly the edge fragments that overlap the
         // released parts.
-        for part in &actually_released {
-            let node = domain.node_mut(idx).expect("checked above");
-            node.take_release_edges(part, |fragment, targets| {
-                for &to in targets.iter() {
-                    queue.push_back(Event::Satisfy { node: to, parts: smallvec![fragment] });
-                }
-            });
+        {
+            let (node, frag) = domain.node_and_frag_mut(idx).expect("checked above");
+            for part in &actually_released {
+                node.take_release_edges(frag, part, |fragment, targets| {
+                    for &to in targets.iter() {
+                        queue.push_back(Event::Satisfy { node: to, parts: smallvec![fragment] });
+                    }
+                });
+            }
         }
 
         // Hand-over bookkeeping: this access no longer covers the overlapping parts of the
@@ -1758,7 +1942,7 @@ impl DependencyEngine {
             let mut zeroed_all: Parts = SmallVec::new();
             for part in &actually_released {
                 if let Some(sub) = overlap.intersection(part) {
-                    zeroed_all.extend(own.child_coverage.decrement(&sub));
+                    own.child_coverage.decrement_with(&sub, |z| zeroed_all.push(z));
                 }
             }
             if zeroed_all.is_empty() {
@@ -1869,6 +2053,13 @@ impl DependencyEngine {
         debug_assert!(
             stats.tasks_retired <= stats.tasks_deeply_completed,
             "engine accounting: retirement implies deep completion"
+        );
+        // A region can only leave the fragmented tier through the coalescing pass of a
+        // fragmented-tier update, and each update demotes at most one extent. (A per-promotion
+        // bound does not hold: one promotion can be undone piecewise over several updates.)
+        debug_assert!(
+            stats.demotions <= stats.fragmented_updates,
+            "engine accounting: every demotion is produced by one fragmented-tier update"
         );
     }
 

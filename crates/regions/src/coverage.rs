@@ -35,15 +35,21 @@ impl CoverageCounter {
     /// they are **not** reported: the caller only wants *transitions* to zero).
     pub fn decrement(&mut self, region: &Region) -> Vec<Region> {
         let mut zeroed = Vec::new();
+        self.decrement_with(region, |r| zeroed.push(r));
+        zeroed
+    }
+
+    /// Decrements the count of every coordinate in `region`, visiting the fragments whose count
+    /// reached zero. The allocation-free form of [`CoverageCounter::decrement`].
+    pub fn decrement_with(&mut self, region: &Region, mut zeroed: impl FnMut(Region)) {
         self.map.update(region, |r, v| match v {
             Some(&count) if count > 1 => RangeUpdate::Set(count - 1),
             Some(_) => {
-                zeroed.push(r);
+                zeroed(r);
                 RangeUpdate::Remove
             }
             None => RangeUpdate::Keep,
         });
-        zeroed
     }
 
     /// `true` if at least one coordinate of `region` has a non-zero count.
@@ -51,9 +57,21 @@ impl CoverageCounter {
         self.map.intersects(region)
     }
 
+    /// Visits the fragments of `region` with a count of zero (i.e. not covered), without
+    /// allocating.
+    pub fn for_each_uncovered(&self, region: &Region, f: impl FnMut(Region)) {
+        self.map.for_each_gap(region, f);
+    }
+
     /// The fragments of `region` with a count of zero (i.e. not covered).
     pub fn uncovered_parts(&self, region: &Region) -> Vec<Region> {
         self.map.gaps(region)
+    }
+
+    /// Visits the fragments of `region` with a non-zero count, together with their counts,
+    /// without allocating.
+    pub fn for_each_covered_part(&self, region: &Region, mut f: impl FnMut(Region, usize)) {
+        self.map.query(region, |r, &count| f(r, count));
     }
 
     /// The fragments of `region` with a non-zero count, together with their counts.

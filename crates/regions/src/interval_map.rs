@@ -5,8 +5,22 @@
 //! tracking: updating a range that partially overlaps existing entries splits those entries at the
 //! update boundaries, so the caller always observes maximal fragments that are either fully inside
 //! one existing entry or fully inside a gap.
-
-use std::collections::BTreeMap;
+//!
+//! # Storage
+//!
+//! Since the allocation-free interval-tier rework the map is **arena-backed** instead of
+//! `BTreeMap`-backed: fragments live in a slab of [`Node`]s recycled through a free list (the
+//! same slot-recycling discipline the engine uses for access nodes), and ordering is kept by a
+//! separate *run* — a vector of node indices sorted by fragment start, navigated by binary
+//! search. The practical consequences:
+//!
+//! * an update allocates **nothing** once the arena and run vectors have grown to the map's
+//!   high-water fragment count — `BTreeMap` allocated a tree node per insert forever;
+//! * [`IntervalMap::clear`] retains all capacity, so a cleared map (e.g. a recycled fragmented
+//!   access-node state in the engine's per-domain pool) performs its next fragmentation cycle
+//!   without touching the allocator;
+//! * visitor-style accessors ([`IntervalMap::for_each_gap`], [`IntervalMap::drain_range`])
+//!   replace the old `Vec`-returning hot paths end-to-end.
 
 use smallvec::SmallVec;
 
@@ -21,66 +35,133 @@ pub enum RangeUpdate<V> {
     Remove,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Entry<V> {
+/// One arena slot: a live fragment (`value` is `Some`) or a free-list entry (`value` is `None`,
+/// and the slot index sits in [`IntervalMap::free`]).
+#[derive(Debug, Clone)]
+struct Node<V> {
+    start: usize,
     end: usize,
-    value: V,
+    value: Option<V>,
 }
 
 /// An ordered map from disjoint half-open ranges `[start, end)` to values.
 ///
 /// Invariants maintained by every operation:
 /// * entries never overlap;
-/// * entries are never empty (`start < end`).
+/// * entries are never empty (`start < end`);
+/// * `run` lists exactly the live arena slots, sorted by fragment start;
+/// * a slot is live if and only if its `value` is `Some`.
 ///
 /// Adjacent entries with equal values are *not* automatically coalesced (values are often
-/// non-`Eq` containers); use [`IntervalMap::coalesce`] when desired.
+/// non-`Eq` containers); use [`IntervalMap::coalesce`] / [`IntervalMap::coalesce_range`] when
+/// desired.
 #[derive(Debug, Clone)]
 pub struct IntervalMap<V> {
-    entries: BTreeMap<usize, Entry<V>>,
+    /// Fragment arena. Slots are recycled through `free`; capacity is retained across
+    /// [`IntervalMap::clear`].
+    nodes: Vec<Node<V>>,
+    /// Free arena slots (their `value` is `None`).
+    free: Vec<u32>,
+    /// Live slot indices ordered by fragment start — the map's sort order, navigated by binary
+    /// search.
+    run: Vec<u32>,
 }
 
 impl<V> Default for IntervalMap<V> {
     fn default() -> Self {
-        IntervalMap { entries: BTreeMap::new() }
+        IntervalMap { nodes: Vec::new(), free: Vec::new(), run: Vec::new() }
     }
 }
 
 impl<V> IntervalMap<V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        IntervalMap { entries: BTreeMap::new() }
+        Self::default()
     }
 
     /// Number of stored fragments.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.run.len()
     }
 
     /// `true` if the map holds no fragments.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.run.is_empty()
+    }
+
+    /// Number of arena slots ever allocated (live + free). Under steady-state fragmentation
+    /// churn this plateaus at the high-water fragment count — the recycling property the
+    /// interval-tier tests assert.
+    pub fn arena_capacity(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Total covered length (sum of fragment lengths).
     pub fn covered_len(&self) -> usize {
-        self.entries.values().map(|e| e.end).sum::<usize>()
-            - self.entries.keys().sum::<usize>()
+        self.run
+            .iter()
+            .map(|&i| {
+                let n = &self.nodes[i as usize];
+                n.end - n.start
+            })
+            .sum()
     }
 
     /// Iterates over all fragments as `(start, end, &value)` in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &V)> {
-        self.entries.iter().map(|(&s, e)| (s, e.end, &e.value))
+        self.run.iter().map(|&i| {
+            let n = &self.nodes[i as usize];
+            (n.start, n.end, n.value.as_ref().expect("run names a free slot"))
+        })
     }
 
-    /// Iterates mutably over all fragments as `(start, end, &mut value)`.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, usize, &mut V)> {
-        self.entries.iter_mut().map(|(&s, e)| (s, e.end, &mut e.value))
-    }
-
-    /// Removes all fragments.
+    /// Removes all fragments. Arena and run capacity is **retained**, so a cleared map performs
+    /// its next fragmentation cycle allocation-free.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.run.clear();
+    }
+
+    /// First run position whose fragment starts at or after `pos`.
+    fn lower_bound(&self, pos: usize) -> usize {
+        let nodes = &self.nodes;
+        self.run.partition_point(|&i| nodes[i as usize].start < pos)
+    }
+
+    /// Run position of the first fragment overlapping `[start, ..)`: the predecessor if it
+    /// straddles `start`, the lower bound otherwise.
+    fn first_overlap(&self, start: usize) -> usize {
+        let lb = self.lower_bound(start);
+        if lb > 0 && self.nodes[self.run[lb - 1] as usize].end > start {
+            lb - 1
+        } else {
+            lb
+        }
+    }
+
+    fn alloc(&mut self, start: usize, end: usize, value: V) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                let n = &mut self.nodes[i as usize];
+                debug_assert!(n.value.is_none(), "free list names a live slot");
+                n.start = start;
+                n.end = end;
+                n.value = Some(value);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.nodes.len()).expect("interval arena overflow");
+                self.nodes.push(Node { start, end, value: Some(value) });
+                i
+            }
+        }
+    }
+
+    /// Returns the slot to the free list, taking its value. The caller removes it from `run`.
+    fn free_node(&mut self, i: u32) -> V {
+        self.free.push(i);
+        self.nodes[i as usize].value.take().expect("double free of an interval node")
     }
 
     /// Visits every part of `[start, end)` that overlaps a stored fragment, clipped to the query
@@ -89,20 +170,15 @@ impl<V> IntervalMap<V> {
         if start >= end {
             return;
         }
-        // The first candidate entry is the one containing `start` (if any): it starts at or
-        // before `start`.
-        let first = self
-            .entries
-            .range(..=start)
-            .next_back()
-            .filter(|(_, e)| e.end > start)
-            .map(|(&s, _)| s);
-        let from = first.unwrap_or(start);
-        for (&s, e) in self.entries.range(from..end) {
-            let cs = s.max(start);
-            let ce = e.end.min(end);
+        for &i in &self.run[self.first_overlap(start)..] {
+            let n = &self.nodes[i as usize];
+            if n.start >= end {
+                break;
+            }
+            let cs = n.start.max(start);
+            let ce = n.end.min(end);
             if cs < ce {
-                f(cs, ce, &e.value);
+                f(cs, ce, n.value.as_ref().expect("run names a free slot"));
             }
         }
     }
@@ -121,41 +197,81 @@ impl<V> IntervalMap<V> {
         cursor >= end
     }
 
-    /// Returns the sub-ranges of `[start, end)` **not** covered by any fragment.
-    pub fn gaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
-        let mut gaps = Vec::new();
+    /// Visits the sub-ranges of `[start, end)` **not** covered by any fragment, in ascending
+    /// order. The allocation-free form of [`IntervalMap::gaps`].
+    pub fn for_each_gap(&self, start: usize, end: usize, mut f: impl FnMut(usize, usize)) {
         if start >= end {
-            return gaps;
+            return;
         }
         let mut cursor = start;
         self.query_range(start, end, |s, e, _| {
             if s > cursor {
-                gaps.push((cursor, s));
+                f(cursor, s);
             }
             cursor = cursor.max(e);
         });
         if cursor < end {
-            gaps.push((cursor, end));
+            f(cursor, end);
         }
+    }
+
+    /// Returns the sub-ranges of `[start, end)` **not** covered by any fragment.
+    pub fn gaps(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut gaps = Vec::new();
+        self.for_each_gap(start, end, |s, e| gaps.push((s, e)));
         gaps
+    }
+
+    /// The value stored for exactly the fragment `[start, end)`, if the map holds that precise
+    /// fragment (not a larger one containing it).
+    pub fn get_exact(&self, start: usize, end: usize) -> Option<&V> {
+        if start >= end {
+            return None;
+        }
+        let &i = self.run.get(self.lower_bound(start))?;
+        let n = &self.nodes[i as usize];
+        if n.start == start && n.end == end {
+            Some(n.value.as_ref().expect("run names a free slot"))
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the value stored for exactly the fragment `[start, end)`, if present.
+    /// No fragmentation machinery runs: a near-miss (partial overlap) returns `None` and leaves
+    /// the map untouched.
+    pub fn take_exact(&mut self, start: usize, end: usize) -> Option<V> {
+        if start >= end {
+            return None;
+        }
+        let pos = self.lower_bound(start);
+        let &i = self.run.get(pos)?;
+        let n = &self.nodes[i as usize];
+        if n.start != start || n.end != end {
+            return None;
+        }
+        let value = self.free_node(i);
+        self.run.remove(pos);
+        Some(value)
     }
 }
 
 impl<V: Clone> IntervalMap<V> {
     /// Splits any entry straddling `pos` into two entries meeting at `pos`.
     fn split_at(&mut self, pos: usize) {
-        let candidate = self
-            .entries
-            .range(..pos)
-            .next_back()
-            .filter(|(_, e)| e.end > pos)
-            .map(|(&s, _)| s);
-        if let Some(s) = candidate {
-            let entry = self.entries.get_mut(&s).expect("entry disappeared");
-            let right = Entry { end: entry.end, value: entry.value.clone() };
-            entry.end = pos;
-            self.entries.insert(pos, right);
+        let lb = self.lower_bound(pos);
+        if lb == 0 {
+            return;
         }
+        let left = self.run[lb - 1] as usize;
+        if self.nodes[left].end <= pos {
+            return;
+        }
+        let end = self.nodes[left].end;
+        let value = self.nodes[left].value.clone().expect("run names a free slot");
+        self.nodes[left].end = pos;
+        let right = self.alloc(pos, end, value);
+        self.run.insert(lb, right);
     }
 
     /// Visits every maximal fragment of `[start, end)` — either fully inside one existing entry
@@ -175,48 +291,55 @@ impl<V: Clone> IntervalMap<V> {
         }
         self.split_at(start);
         self.split_at(end);
+        let lo = self.lower_bound(start);
+        let hi = self.lower_bound(end);
 
-        // Collect the existing fragments inside the range (all fully contained after splitting).
-        // Inline storage: the overwhelming majority of updates touch a handful of fragments, and
-        // this runs on the dependency engine's hot path.
-        let existing: SmallVec<[(usize, usize); 8]> = self
-            .entries
-            .range(start..end)
-            .map(|(&s, e)| (s, e.end))
-            .collect();
-
+        // Plan the visit before mutating: the fragments of `[start, end)` in ascending order,
+        // each either an existing arena slot or a gap. Inline storage — the overwhelming
+        // majority of updates touch a handful of fragments, and this runs on the dependency
+        // engine's hot path. (Indexing instead of consuming iteration: the vendored `SmallVec`
+        // only streams owned elements through a heap collect.)
+        let mut plan: SmallVec<[(usize, usize, Option<u32>); 8]> = SmallVec::new();
         let mut cursor = start;
-        let mut plan: SmallVec<[(usize, usize, bool); 8]> = SmallVec::new(); // (start, end, is_existing)
-        for (s, e) in existing {
-            if s > cursor {
-                plan.push((cursor, s, false));
+        for &i in &self.run[lo..hi] {
+            let n = &self.nodes[i as usize];
+            if n.start > cursor {
+                plan.push((cursor, n.start, None));
             }
-            plan.push((s, e, true));
-            cursor = e;
+            plan.push((n.start, n.end, Some(i)));
+            cursor = n.end;
         }
         if cursor < end {
-            plan.push((cursor, end, false));
+            plan.push((cursor, end, None));
         }
 
-        for (s, e, is_existing) in plan {
-            let decision = if is_existing {
-                let v = &self.entries.get(&s).expect("planned entry missing").value;
-                f(s, e, Some(v))
-            } else {
-                f(s, e, None)
+        // Apply decisions, building the replacement slice of the run. Kept/overwritten entries
+        // retain their slot; gap-sets allocate (recycling freed slots); removes recycle.
+        let mut replacement: SmallVec<[u32; 8]> = SmallVec::new();
+        for p in 0..plan.len() {
+            let (s, e, existing) = plan[p];
+            let decision = match existing {
+                Some(i) => f(s, e, Some(self.nodes[i as usize].value.as_ref().expect("planned slot is live"))),
+                None => f(s, e, None),
             };
-            match decision {
-                RangeUpdate::Keep => {}
-                RangeUpdate::Set(v) => {
-                    self.entries.insert(s, Entry { end: e, value: v });
+            match (decision, existing) {
+                (RangeUpdate::Keep, Some(i)) => replacement.push(i),
+                (RangeUpdate::Keep, None) => {}
+                (RangeUpdate::Set(v), Some(i)) => {
+                    self.nodes[i as usize].value = Some(v);
+                    replacement.push(i);
                 }
-                RangeUpdate::Remove => {
-                    if is_existing {
-                        self.entries.remove(&s);
-                    }
+                (RangeUpdate::Set(v), None) => {
+                    let i = self.alloc(s, e, v);
+                    replacement.push(i);
                 }
+                (RangeUpdate::Remove, Some(i)) => {
+                    self.free_node(i);
+                }
+                (RangeUpdate::Remove, None) => {}
             }
         }
+        self.run.splice(lo..hi, replacement.iter().copied());
     }
 
     /// Sets `[start, end)` to `value`, overwriting any overlapping fragments.
@@ -224,55 +347,56 @@ impl<V: Clone> IntervalMap<V> {
         self.update_range(start, end, |_, _, _| RangeUpdate::Set(value.clone()));
     }
 
+    /// Removes every stored fragment of `[start, end)` (clipped to the range), passing each to
+    /// the visitor with its **owned** value. The allocation-free form of
+    /// [`IntervalMap::remove_range`]: values are moved out of the arena, cloned only when a
+    /// straddling entry must be split at a range boundary.
+    pub fn drain_range(&mut self, start: usize, end: usize, mut f: impl FnMut(usize, usize, V)) {
+        if start >= end {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        let lo = self.lower_bound(start);
+        let hi = self.lower_bound(end);
+        for pos in lo..hi {
+            let i = self.run[pos];
+            let (s, e) = {
+                let n = &self.nodes[i as usize];
+                (n.start, n.end)
+            };
+            let value = self.free_node(i);
+            f(s, e, value);
+        }
+        self.run.drain(lo..hi);
+    }
+
     /// Removes `[start, end)` and returns the removed fragments clipped to the range.
     pub fn remove_range(&mut self, start: usize, end: usize) -> Vec<(usize, usize, V)> {
         let mut removed = Vec::new();
-        self.update_range(start, end, |s, e, v| {
-            if let Some(v) = v {
-                removed.push((s, e, v.clone()));
-                RangeUpdate::Remove
-            } else {
-                RangeUpdate::Keep
-            }
-        });
+        self.drain_range(start, end, |s, e, v| removed.push((s, e, v)));
         removed
     }
 
     /// Merges adjacent equal-valued fragments, but only in the neighbourhood of `[start, end)`:
     /// the chain beginning at the entry touching `start` from the left (or the first entry at or
     /// after `start`) through any entry beginning at or before `end`. This is the targeted
-    /// variant [`crate::RegionSet`] uses after an insert — a full [`IntervalMap::coalesce`]
-    /// walks (and allocates a key list for) the whole map on every add.
+    /// variant [`crate::RegionSet`] and the two-tier store use after an insert — a full
+    /// [`IntervalMap::coalesce`] walks the whole map on every add.
     pub fn coalesce_range(&mut self, start: usize, end: usize)
     where
         V: PartialEq,
     {
         // The chain anchor: the last entry starting strictly before `start` whose extent reaches
         // `start` (so a left neighbour ending exactly at `start` can absorb rightwards), else
-        // the first entry inside the range.
-        let mut key = self
-            .entries
-            .range(..start)
-            .next_back()
-            .filter(|(_, e)| e.end >= start)
-            .map(|(&s, _)| s)
-            .or_else(|| self.entries.range(start..=end).next().map(|(&s, _)| s));
-        while let Some(k) = key {
-            if k > end {
-                break;
-            }
-            let mut cur_end = self.entries[&k].end;
-            while let Some(next) = self.entries.get(&cur_end) {
-                if next.value != self.entries[&k].value {
-                    break;
-                }
-                let next_end = next.end;
-                self.entries.remove(&cur_end);
-                self.entries.get_mut(&k).expect("current entry").end = next_end;
-                cur_end = next_end;
-            }
-            key = self.entries.range(cur_end..).next().map(|(&s, _)| s);
-        }
+        // the first entry at or after `start`.
+        let lb = self.lower_bound(start);
+        let anchor = if lb > 0 && self.nodes[self.run[lb - 1] as usize].end >= start {
+            lb - 1
+        } else {
+            lb
+        };
+        self.coalesce_from(anchor, end);
     }
 
     /// Merges adjacent fragments holding equal values (requires `V: PartialEq`).
@@ -280,21 +404,30 @@ impl<V: Clone> IntervalMap<V> {
     where
         V: PartialEq,
     {
-        let keys: Vec<usize> = self.entries.keys().copied().collect();
-        for key in keys {
-            // The entry may already have been merged away.
-            let Some(cur) = self.entries.get(&key) else { continue };
-            let mut cur_end = cur.end;
-            // Keep absorbing the immediate neighbour while its value matches, so that runs of
-            // three or more equal fragments collapse into one.
-            while let Some(next) = self.entries.get(&cur_end) {
-                if next.value != self.entries[&key].value {
-                    break;
-                }
-                let next_end = next.end;
-                self.entries.remove(&cur_end);
-                self.entries.get_mut(&key).expect("current entry").end = next_end;
-                cur_end = next_end;
+        self.coalesce_from(0, usize::MAX);
+    }
+
+    /// Absorbs equal-valued right neighbours starting at run position `pos`, for every chain
+    /// head beginning at or before `limit`.
+    fn coalesce_from(&mut self, mut pos: usize, limit: usize)
+    where
+        V: PartialEq,
+    {
+        while pos + 1 < self.run.len() {
+            let cur = self.run[pos] as usize;
+            if self.nodes[cur].start > limit {
+                break;
+            }
+            let next = self.run[pos + 1] as usize;
+            if self.nodes[cur].end == self.nodes[next].start
+                && self.nodes[cur].value == self.nodes[next].value
+            {
+                let new_end = self.nodes[next].end;
+                self.free_node(self.run[pos + 1]);
+                self.nodes[cur].end = new_end;
+                self.run.remove(pos + 1);
+            } else {
+                pos += 1;
             }
         }
     }
@@ -443,5 +576,64 @@ mod tests {
         m.insert_range(0, 10, 'x');
         m.insert_range(20, 25, 'y');
         assert_eq!(m.covered_len(), 15);
+    }
+
+    #[test]
+    fn get_and_take_exact_require_the_precise_fragment() {
+        let mut m = IntervalMap::new();
+        m.insert_range(10, 20, 'a');
+        m.insert_range(30, 40, 'b');
+        assert_eq!(m.get_exact(10, 20), Some(&'a'));
+        assert_eq!(m.get_exact(10, 15), None);
+        assert_eq!(m.get_exact(5, 20), None);
+        assert_eq!(m.get_exact(30, 40), Some(&'b'));
+        assert_eq!(m.take_exact(12, 18), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.take_exact(10, 20), Some('a'));
+        assert_eq!(collect(&m), vec![(30, 40, 'b')]);
+    }
+
+    #[test]
+    fn drain_range_passes_owned_values() {
+        let mut m = IntervalMap::new();
+        m.insert_range(0, 10, "left".to_string());
+        m.insert_range(20, 30, "right".to_string());
+        let mut drained = Vec::new();
+        m.drain_range(5, 25, |s, e, v| drained.push((s, e, v)));
+        assert_eq!(
+            drained,
+            vec![(5, 10, "left".to_string()), (20, 25, "right".to_string())]
+        );
+        assert_eq!(
+            collect(&m),
+            vec![(0, 5, "left".to_string()), (25, 30, "right".to_string())]
+        );
+    }
+
+    /// The recycling property the arena exists for: churn (insert + remove cycles) reuses freed
+    /// slots instead of growing the arena, so capacity plateaus at the high-water fragment
+    /// count.
+    #[test]
+    fn arena_capacity_plateaus_under_churn() {
+        let mut m = IntervalMap::new();
+        for round in 0..100 {
+            let base = (round % 7) * 10;
+            m.insert_range(base, base + 10, round);
+            m.insert_range(base + 2, base + 6, round + 1000); // split: 3 fragments
+            m.remove_range(base, base + 10);
+        }
+        assert!(m.is_empty());
+        assert!(
+            m.arena_capacity() <= 8,
+            "arena grew under churn: {} slots",
+            m.arena_capacity()
+        );
+        // `clear` empties the slot vector (the Vec keeps its heap capacity) and the map stays
+        // usable.
+        m.insert_range(0, 100, 1);
+        m.clear();
+        m.insert_range(0, 100, 2);
+        assert_eq!(m.arena_capacity(), 1);
+        assert_eq!(collect(&m), vec![(0, 100, 2)]);
     }
 }

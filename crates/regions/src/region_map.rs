@@ -93,19 +93,38 @@ impl<V> RegionMap<V> {
         found
     }
 
-    /// Sub-regions of `region` not covered by any fragment.
-    pub fn gaps(&self, region: &Region) -> Vec<Region> {
+    /// Visits the sub-regions of `region` not covered by any fragment, in ascending order. The
+    /// allocation-free form of [`RegionMap::gaps`].
+    pub fn for_each_gap(&self, region: &Region, mut f: impl FnMut(Region)) {
         if region.is_empty() {
-            return Vec::new();
+            return;
         }
         match self.spaces.get(&region.space) {
-            Some(m) => m
-                .gaps(region.start, region.end)
-                .into_iter()
-                .map(|(s, e)| Region::new(region.space, s, e))
-                .collect(),
-            None => vec![*region],
+            Some(m) => m.for_each_gap(region.start, region.end, |s, e| {
+                f(Region::new(region.space, s, e))
+            }),
+            None => f(*region),
         }
+    }
+
+    /// Sub-regions of `region` not covered by any fragment.
+    pub fn gaps(&self, region: &Region) -> Vec<Region> {
+        let mut out = Vec::new();
+        self.for_each_gap(region, |r| out.push(r));
+        out
+    }
+
+    /// The value stored for exactly the fragment `region`, if the map holds that precise
+    /// fragment.
+    pub fn get_exact(&self, region: &Region) -> Option<&V> {
+        self.spaces.get(&region.space)?.get_exact(region.start, region.end)
+    }
+
+    /// Removes and returns the value stored for exactly the fragment `region`, if present. A
+    /// partial overlap returns `None` and leaves the map untouched. An emptied space keeps its
+    /// (empty) interval map so the arena capacity survives for the next insert.
+    pub fn take_exact(&mut self, region: &Region) -> Option<V> {
+        self.spaces.get_mut(&region.space)?.take_exact(region.start, region.end)
     }
 }
 
@@ -124,9 +143,6 @@ impl<V: Clone> RegionMap<V> {
         m.update_range(region.start, region.end, |s, e, v| {
             f(Region::new(space, s, e), v)
         });
-        if m.is_empty() {
-            self.spaces.remove(&space);
-        }
     }
 
     /// Sets `region` to `value`, overwriting any overlapping fragments.
@@ -134,17 +150,26 @@ impl<V: Clone> RegionMap<V> {
         self.update(region, |_, _| RangeUpdate::Set(value.clone()));
     }
 
+    /// Removes every stored fragment of `region` (clipped to it), passing each to the visitor
+    /// with its **owned** value. The allocation-free form of [`RegionMap::remove`]: values move
+    /// out of the interval arena, cloned only where a straddling entry splits at a boundary.
+    /// Emptied spaces keep their interval maps (and arena capacity) for later inserts.
+    pub fn drain(&mut self, region: &Region, mut f: impl FnMut(Region, V)) {
+        if region.is_empty() {
+            return;
+        }
+        let space = region.space;
+        if let Some(m) = self.spaces.get_mut(&space) {
+            m.drain_range(region.start, region.end, |s, e, v| {
+                f(Region::new(space, s, e), v)
+            });
+        }
+    }
+
     /// Removes `region`, returning the removed fragments clipped to it.
     pub fn remove(&mut self, region: &Region) -> Vec<(Region, V)> {
         let mut removed = Vec::new();
-        self.update(region, |r, v| {
-            if let Some(v) = v {
-                removed.push((r, v.clone()));
-                RangeUpdate::Remove
-            } else {
-                RangeUpdate::Keep
-            }
-        });
+        self.drain(region, |r, v| removed.push((r, v)));
         removed
     }
 

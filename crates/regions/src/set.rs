@@ -49,9 +49,22 @@ impl RegionSet {
         self.map.query(region, |r, ()| f(r));
     }
 
+    /// Removes a region from the set, visiting the fragments that were actually removed. The
+    /// allocation-free form of [`RegionSet::remove`].
+    pub fn remove_with(&mut self, region: &Region, mut f: impl FnMut(Region)) {
+        self.map.drain(region, |r, ()| f(r));
+    }
+
     /// Removes a region from the set; returns the fragments that were actually removed.
     pub fn remove(&mut self, region: &Region) -> Vec<Region> {
-        self.map.remove(region).into_iter().map(|(r, ())| r).collect()
+        let mut removed = Vec::new();
+        self.remove_with(region, |r| removed.push(r));
+        removed
+    }
+
+    /// Visits the fragments of `region` that are **not** in the set, without allocating.
+    pub fn for_each_missing_part(&self, region: &Region, f: impl FnMut(Region)) {
+        self.map.for_each_gap(region, f);
     }
 
     /// `true` if the set contains no coordinates.

@@ -17,15 +17,25 @@
 //!
 //! Exactness is tracked **per base region**: a region enters the exact tier when it is first
 //! stored and nothing it overlaps is present, and it is *promoted* (moved to the fragmented
-//! tier) the first time an update partially overlaps it. Promotion is one-way and per-region,
-//! so one partially-overlapped allocation does not tax the exact-matching traffic of the
-//! others. Semantics are identical to a single `RegionMap` receiving the same updates — the
+//! tier) the first time an update partially overlaps it. Promotion is per-region, so one
+//! partially-overlapped allocation does not tax the exact-matching traffic of the others.
+//! Semantics are identical to a single `RegionMap` receiving the same updates — the
 //! `proptest_region_store` suite asserts observational equivalence — because a region sits in
 //! the exact tier only while no update has ever split it, which is exactly when the general
 //! machinery would have kept it as a single fragment too.
+//!
+//! Under [`RegionStore::update`] promotion is one-way. [`RegionStore::update_coalescing`] —
+//! the variant the dependency engine's bottom maps use since the allocation-free interval-tier
+//! rework — adds the reverse transition: after the update it coalesces the touched
+//! neighbourhood of the fragmented tier, and if the updated base region has healed into a
+//! single fragment exactly matching it, the region is **demoted** back to the exact tier. A
+//! region whose accesses go partial-overlap transiently (one sliding stencil pass, say) stops
+//! paying the fragmentation tax as soon as its live coverage is pairwise-exact again.
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound::{Excluded, Included};
+
+use smallvec::SmallVec;
 
 use crate::{RangeUpdate, Region, RegionMap, SpaceId};
 
@@ -49,8 +59,9 @@ pub enum StoreTier {
 /// Invariants:
 /// * exact-tier keys are pairwise disjoint, and disjoint from the fragmented tier's coverage;
 /// * `index` mirrors the exact tier's keys, exactly (one `start → end` entry per key);
-/// * a region is promoted out of the exact tier the first time an update partially overlaps it,
-///   and never demoted back.
+/// * a region is promoted out of the exact tier the first time an update partially overlaps it;
+///   [`RegionStore::update`] never demotes, [`RegionStore::update_coalescing`] demotes a base
+///   region back as soon as it holds exactly one fragment matching it.
 #[derive(Debug, Clone)]
 pub struct RegionStore<V> {
     exact: HashMap<Region, V>,
@@ -236,17 +247,65 @@ impl<V: Clone> RegionStore<V> {
 
     /// Moves every exact-tier entry overlapping `region` into the fragmented tier.
     fn promote_overlapping(&mut self, region: &Region) {
-        let keys: Vec<Region> = match self.index.get(&region.space) {
-            Some(idx) => overlapping(idx, region)
-                .map(|(&start, &end)| Region::new(region.space, start, end))
-                .collect(),
+        // Inline scratch: an update rarely straddles more than a handful of exact keys.
+        let mut keys: SmallVec<[Region; 8]> = SmallVec::new();
+        match self.index.get(&region.space) {
+            Some(idx) => {
+                for (&start, &end) in overlapping(idx, region) {
+                    keys.push(Region::new(region.space, start, end));
+                }
+            }
             None => return,
-        };
-        for key in keys {
+        }
+        for i in 0..keys.len() {
+            let key = keys[i];
             let value = self.exact.remove(&key).expect("index names a missing exact entry");
             self.index_remove(&key);
             self.fragmented.insert(&key, value);
         }
+    }
+}
+
+impl<V: Clone + PartialEq> RegionStore<V> {
+    /// [`RegionStore::update`], plus fragment healing: after a fragmented-tier update the
+    /// touched neighbourhood is coalesced, and if the updated base region now holds exactly one
+    /// fragment matching it, that fragment is **demoted** back to the exact tier.
+    ///
+    /// Returns the tier that served the update (same meaning as [`RegionStore::update`] —
+    /// `Promoted` / `Fragmented` still report where the update *ran*) and whether a demotion
+    /// followed it. Callers keeping promotion/demotion counters get `promotions >= demotions`
+    /// for free: every demoted fragment was put in the fragmented tier by an earlier (or this
+    /// very) promotion.
+    pub fn update_coalescing(
+        &mut self,
+        region: &Region,
+        f: impl FnMut(Region, Option<&V>) -> RangeUpdate<V>,
+    ) -> (StoreTier, bool) {
+        let tier = self.update(region, f);
+        match tier {
+            StoreTier::ExactHit | StoreTier::ExactNew => (tier, false),
+            StoreTier::Promoted | StoreTier::Fragmented => {
+                self.fragmented.coalesce_region(region);
+                let demoted = match self.fragmented.take_exact(region) {
+                    Some(value) => {
+                        // The region healed into a single exactly-matching fragment: by tier
+                        // disjointness nothing else overlaps it, so it is admissible to the
+                        // exact tier as-is.
+                        debug_assert!(!self.exact_overlaps(region));
+                        self.exact.insert(*region, value);
+                        self.index_add(region);
+                        true
+                    }
+                    None => false,
+                };
+                (tier, demoted)
+            }
+        }
+    }
+
+    /// [`RegionStore::insert`] through the coalescing/demoting path.
+    pub fn insert_coalescing(&mut self, region: &Region, value: V) -> (StoreTier, bool) {
+        self.update_coalescing(region, |_, _| RangeUpdate::Set(value.clone()))
     }
 }
 
@@ -415,6 +474,79 @@ mod tests {
         assert_eq!(s.update(&r(1, 5, 5), |_, _| panic!("must not visit")), StoreTier::ExactHit);
         s.query(&r(1, 5, 5), |_, _| panic!("must not visit"));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coalescing_insert_demotes_a_healed_region() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        // Partial overlap promotes [0,8) — and the wholesale write over [4,12) immediately
+        // coalesces to exactly its own extent, so the *written* region demotes while the
+        // [0,4) leftover stays fragmented.
+        assert_eq!(s.insert_coalescing(&r(1, 4, 12), 'b'), (StoreTier::Promoted, true));
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(s.fragmented_len(), 1);
+        // The demoted extent now hits the exact tier again.
+        assert_eq!(s.insert_coalescing(&r(1, 4, 12), 'c'), (StoreTier::ExactHit, false));
+        // A spanning write re-promotes it, heals the whole span and demotes that.
+        let (tier, demoted) = s.insert_coalescing(&r(1, 0, 12), 'd');
+        assert_eq!(tier, StoreTier::Promoted);
+        assert!(demoted);
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(s.fragmented_len(), 0);
+        assert_eq!(sorted_fragments(&s), vec![(r(1, 0, 12), 'd')]);
+    }
+
+    #[test]
+    fn containment_can_promote_and_demote_in_one_update() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 2, 4), 'a');
+        // The spanning write promotes [2,4), runs fragmented, coalesces the three equal-valued
+        // splits back into [0,8) and demotes it — all in one call.
+        let (tier, demoted) = s.insert_coalescing(&r(1, 0, 8), 'b');
+        assert_eq!(tier, StoreTier::Promoted);
+        assert!(demoted);
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(s.fragmented_len(), 0);
+        assert_eq!(sorted_fragments(&s), vec![(r(1, 0, 8), 'b')]);
+    }
+
+    #[test]
+    fn unequal_values_keep_the_remainder_fragmented() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 1u32);
+        // The inner write demotes its own extent; the unequal-valued [0,4) / [6,8) remainders
+        // cannot heal and stay fragmented.
+        assert_eq!(s.insert_coalescing(&r(1, 4, 6), 2), (StoreTier::Promoted, true));
+        assert_eq!(s.fragmented_len(), 2);
+        assert_eq!(s.exact_len(), 1);
+        // A visitor that keeps the distinct values in place heals nothing: no demotion.
+        let (tier, demoted) =
+            s.update_coalescing(&r(1, 0, 8), |_, _| RangeUpdate::<u32>::Keep);
+        assert_eq!(tier, StoreTier::Promoted); // the demoted [4,6) key was promoted back first
+        assert!(!demoted);
+        // Removing the region through the coalescing path leaves nothing to demote either.
+        let (tier, demoted) =
+            s.update_coalescing(&r(1, 0, 8), |_, _| RangeUpdate::<u32>::Remove);
+        assert_eq!(tier, StoreTier::Fragmented);
+        assert!(!demoted);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn demoted_region_promotes_again_on_the_next_partial_overlap() {
+        let mut s = RegionStore::new();
+        s.insert(&r(1, 0, 8), 'a');
+        s.insert_coalescing(&r(1, 4, 12), 'b');
+        assert!(s.insert_coalescing(&r(1, 0, 12), 'c').1);
+        // Cycle: the healed region fragments again — and the overlapping write itself coalesces
+        // to exactly its own extent, so *it* demotes while the remainder stays fragmented.
+        assert_eq!(s.insert_coalescing(&r(1, 6, 20), 'd'), (StoreTier::Promoted, true));
+        assert_eq!(s.exact_len(), 1);
+        assert_eq!(s.fragmented_len(), 1); // the [0,6) leftover of 'c'
+        assert!(s.insert_coalescing(&r(1, 0, 20), 'e').1);
+        assert_eq!(sorted_fragments(&s), vec![(r(1, 0, 20), 'e')]);
+        assert_eq!(s.exact_len(), 1);
     }
 
     /// Mirrors `RegionMap` behaviour over a mixed update sequence (the unit-level version of

@@ -115,6 +115,66 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Demotion oracle at the store level: under random coalescing updates, the two-tier store
+    /// must stay observationally equivalent to a pure reference (`RegionMap` update followed by
+    /// the same local coalesce), and every update that reports `demoted` must leave the region
+    /// served by the exact tier — a read-only probe of the same extent returns `ExactHit`.
+    #[test]
+    fn coalescing_updates_match_reference_and_demote_to_exact(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        use weakdep::regions::StoreTier;
+
+        let mut store: RegionStore<u32> = RegionStore::new();
+        let mut reference: RegionMap<u32> = RegionMap::new();
+
+        for op in &ops {
+            let region = op_region(op);
+            let mut store_visits: Vec<(Region, Option<u32>)> = Vec::new();
+            let mut reference_visits: Vec<(Region, Option<u32>)> = Vec::new();
+            let (tier, demoted) = store.update_coalescing(&region, |fragment, existing| {
+                store_visits.push((fragment, existing.copied()));
+                match op.kind {
+                    0 => RangeUpdate::Set(op.value),
+                    1 => RangeUpdate::Remove,
+                    _ => RangeUpdate::Keep,
+                }
+            });
+            reference.update(&region, |fragment, existing| {
+                reference_visits.push((fragment, existing.copied()));
+                match op.kind {
+                    0 => RangeUpdate::Set(op.value),
+                    1 => RangeUpdate::Remove,
+                    _ => RangeUpdate::Keep,
+                }
+            });
+            // Mirror the store's eager local coalesce, which only runs when the update reached
+            // the fragmented tier (exact-tier entries are never merged with their neighbours).
+            // Demotion itself only moves a fragment between tiers, which `iter` flattens away.
+            if matches!(tier, StoreTier::Promoted | StoreTier::Fragmented) {
+                reference.coalesce_region(&region);
+            }
+            prop_assert_eq!(&store_visits, &reference_visits,
+                "visit sequences diverged on {:?}", op);
+
+            let store_now = sorted_fragments(store.iter().map(|(r, v)| (r, *v)));
+            let reference_now = sorted_fragments(reference.iter().map(|(r, v)| (r, *v)));
+            prop_assert_eq!(&store_now, &reference_now, "fragments diverged after {:?}", op);
+
+            if demoted {
+                // A demoted extent must be back on the exact tier: a read-only update of the
+                // same region is an exact hit (and mutates nothing).
+                let probe = store.update(&region, |_, _| RangeUpdate::Keep);
+                prop_assert_eq!(probe, StoreTier::ExactHit,
+                    "demoted extent not served exactly after {:?}", op);
+            }
+        }
+    }
+}
+
 /// One randomly declared flat task: 1–3 accesses drawn from a pool that mixes aligned blocks
 /// (exact-tier traffic) with misaligned half-overlapping ranges (promotion + fragmented-tier
 /// traffic).
@@ -219,5 +279,88 @@ proptest! {
             "tier counters must account for every access (promotions: {})",
             stats.promotions
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Demotion oracle at the engine level: random promote → fragment → coalesce → demote
+    /// cycles over disjoint windows. Each cycle writes a window (exact tier), straddles it
+    /// (promotion), rewrites the full window (the coalescing write heals the extent, demoting
+    /// it back to the exact hash tier) and then rewrites it once more — which **must** be
+    /// served as an exact hit: `EngineStats::exact_hits` resumes counting after demotion.
+    /// The whole graph must still drain in a random legal order.
+    #[test]
+    fn demoted_windows_resume_exact_hits(
+        cycles in proptest::collection::vec(0u8..6, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let engine = DependencyEngine::new();
+        let root = engine.register_root();
+        let mut rng = Lcg(seed);
+        let mut ready: Vec<usize> = Vec::new();
+        let mut ids = Vec::new();
+
+        let register = |region: Region, ready: &mut Vec<usize>, ids: &mut Vec<_>| {
+            let deps = [Depend::new(AccessType::InOut, region)];
+            let (id, is_ready) = engine.register_task(root, &deps, WaitMode::None);
+            if is_ready {
+                ready.push(ids.len());
+            }
+            ids.push(id);
+        };
+
+        for &win in &cycles {
+            // Stride-2 windows: a straddler of window w stays inside [w*20, w*20+20), so
+            // cycles on different windows never interfere with each other's exactness.
+            let base = win as usize * 20;
+            let window = Region::new(SpaceId(1), base, base + 10);
+            let straddler = Region::new(SpaceId(1), base + 5, base + 15);
+
+            // Exact-tier write (ExactNew on the first cycle of a window, a hit afterwards).
+            register(window, &mut ready, &mut ids);
+
+            // Straddling write: promotes the window extent to the fragmented tier.
+            let promotions_before = engine.stats().promotions;
+            register(straddler, &mut ready, &mut ids);
+            prop_assert!(engine.stats().promotions > promotions_before,
+                "straddling write of window {} did not promote", win);
+
+            // Full-window rewrite: the coalescing write heals the extent and demotes it.
+            let demotions_before = engine.stats().demotions;
+            register(window, &mut ready, &mut ids);
+            prop_assert!(engine.stats().demotions > demotions_before,
+                "healing write of window {} did not demote", win);
+
+            // The demoted extent must be served by the exact tier again.
+            let exact_before = engine.stats().exact_hits;
+            register(window, &mut ready, &mut ids);
+            prop_assert_eq!(engine.stats().exact_hits, exact_before + 1,
+                "post-demotion write of window {} was not an exact hit", win);
+        }
+
+        // Accounting holds after arbitrary cycle interleavings: a demotion is produced by (at
+        // most) the coalescing pass of one fragmented-tier update.
+        let stats = engine.stats();
+        prop_assert!(stats.demotions <= stats.fragmented_updates,
+            "demotions ({}) exceed fragmented updates ({})",
+            stats.demotions, stats.fragmented_updates);
+        prop_assert_eq!(stats.exact_hits + stats.fragmented_updates, stats.accesses_registered,
+            "tier counters must account for every access");
+
+        // The graph drains: every task runs, in some random legal order.
+        let mut finished = 0usize;
+        while finished < ids.len() {
+            prop_assert!(!ready.is_empty(), "engine stuck: pending tasks but none ready");
+            let pick = ready.swap_remove(rng.next(ready.len()));
+            let effects = engine.body_finished(ids[pick]);
+            finished += 1;
+            for newly in effects.ready {
+                let pos = ids.iter().position(|id| *id == newly);
+                prop_assert!(pos.is_some(), "ready effect for an unknown task");
+                ready.push(pos.unwrap());
+            }
+        }
     }
 }

@@ -143,6 +143,17 @@ where
     }
 }
 
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
 impl<A: Array> fmt::Debug for SmallVec<A>
 where
     A::Item: fmt::Debug,

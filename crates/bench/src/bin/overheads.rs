@@ -443,6 +443,9 @@ fn main() {
     let policies_section = existing
         .as_deref()
         .and_then(weakdep_bench::overheads_json::extract_policies);
+    let mixed_tenant_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_mixed_tenant);
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
@@ -476,8 +479,15 @@ fn main() {
     }
     json.push('\n');
     json.push_str("}\n");
-    // Re-attach the preserved policies and soak sections through the same tested splices the
-    // `fig3_policies` and `soak` binaries use, so the merge format lives in exactly one place.
+    // Re-attach the preserved mixed_tenant, policies and soak sections through the same tested
+    // splices the `mixed_tenant`, `fig3_policies` and `soak` binaries use, so the merge format
+    // lives in exactly one place.
+    let json = match mixed_tenant_section {
+        Some(section) => {
+            weakdep_bench::overheads_json::splice_mixed_tenant(Some(&json), &section)
+        }
+        None => json,
+    };
     let json = match policies_section {
         Some(section) => weakdep_bench::overheads_json::splice_policies(Some(&json), &section),
         None => json,
@@ -502,16 +512,19 @@ fn main() {
     // silently pass, so a missing measurement is itself a failure.
     if args.enforce_alloc_budget {
         // Ceilings are the steady-state (full-run) targets. `nodeps-batched` sits exactly at
-        // its 4.0 steady state on full runs, but a 2 000-task `--quick` run still carries
-        // ~0.3/task of log-scale warm-up (slab and queue doubling growth amortises over task
-        // count), so its quick ceiling gets that headroom; a real per-task regression of even
-        // half an allocation still trips it.
+        // its 4.0 per-task steady state on full runs, plus a constant per-*job* slice (the
+        // multi-tenant service allocates the job's state — `JobState`, gate, registry entry —
+        // inside `run()`, after `allocs0` is sampled), so the full ceiling carries 0.1/task of
+        // fixed-cost headroom; a real per-task regression of even half an allocation still
+        // trips it. A 2 000-task `--quick` run additionally carries ~0.3/task of log-scale
+        // warm-up (slab and queue doubling growth amortises over task count), hence its larger
+        // headroom.
         let budgets: &[(&str, f64)] = &[
             ("spawn-batched", 8.0),
             ("fragmented-deps", 16.0),
             ("fragmented-demote", 16.0),
             ("nested-batched", 12.0),
-            ("nodeps-batched", if args.quick { 4.5 } else { 4.0 }),
+            ("nodeps-batched", if args.quick { 4.5 } else { 4.1 }),
         ];
         let mut violations = Vec::new();
         for &(scenario, ceiling) in budgets {

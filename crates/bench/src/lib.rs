@@ -271,6 +271,7 @@ pub mod overheads_json {
     const BASELINE_MARKER: &str = "  \"alloc_baseline_pre_two_tier\":";
     const FRAG_BASELINE_MARKER: &str = "  \"fragmented_baseline_pre_arena\":";
     const POLICIES_MARKER: &str = "  \"policies\":";
+    const MIXED_TENANT_MARKER: &str = "  \"mixed_tenant\":";
 
     /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
     /// snapshot recorded once when the two-tier store landed), if present. The `overheads`
@@ -336,6 +337,58 @@ pub mod overheads_json {
             Some(soak) => format!("{head}{policies},\n{soak}\n}}\n"),
             None => format!("{head}{policies}\n}}\n"),
         }
+    }
+
+    /// Extracts the single-line `"mixed_tenant"` section (written by the `mixed_tenant`
+    /// binary), if present, so the `overheads` binary can carry it across regenerations.
+    pub fn extract_mixed_tenant(text: &str) -> Option<String> {
+        let start = text.find(MIXED_TENANT_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Replaces (or inserts) the `"mixed_tenant"` section, preserving every other section and
+    /// the ordering invariant (`mixed_tenant` before `policies` before `soak`, soak last).
+    /// `mixed_tenant` must be a complete single-line `  "mixed_tenant": {...}` entry without a
+    /// trailing comma or newline.
+    pub fn splice_mixed_tenant(existing: Option<&str>, mixed_tenant: &str) -> String {
+        let (head, policies, soak) = match existing {
+            Some(text) => {
+                let policies = extract_policies(text);
+                let soak = extract_soak(text);
+                let text = text.trim_end();
+                let cut = [
+                    text.find(MIXED_TENANT_MARKER),
+                    text.find(POLICIES_MARKER),
+                    text.find(MARKER),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                let head = match cut {
+                    // Everything before the first movable section; it already ends with the
+                    // previous section's `,\n`.
+                    Some(pos) => text[..pos].to_string(),
+                    None => match text.strip_suffix('}') {
+                        Some(body) => {
+                            let mut body = body.trim_end().to_string();
+                            if !body.ends_with(['{', ',']) {
+                                body.push(',');
+                            }
+                            body.push('\n');
+                            body
+                        }
+                        None => String::from("{\n"),
+                    },
+                };
+                (head, policies, soak)
+            }
+            None => (String::from("{\n"), None, None),
+        };
+        let mut sections = vec![mixed_tenant.to_string()];
+        sections.extend(policies);
+        sections.extend(soak);
+        format!("{head}{}\n}}\n", sections.join(",\n"))
     }
 
     /// Extracts the soak section (marker through the end of the object, without the file's
@@ -424,6 +477,36 @@ pub mod overheads_json {
             assert!(resoaked.contains("\"rows\": 2") && resoaked.contains("\"tasks\": 9"));
             // Missing file behaves.
             assert_eq!(splice_policies(None, POLICIES), format!("{{\n{POLICIES}\n}}\n"));
+        }
+
+        #[test]
+        fn splice_mixed_tenant_keeps_ordering_invariant() {
+            const MIXED: &str = "  \"mixed_tenant\": {\"jobs\": 8}";
+            const POLICIES: &str = "  \"policies\": {\"rows\": 1}";
+            let base = "{\n  \"samples\": [\n    {}\n  ]\n}\n";
+            // Insert into a samples-only file.
+            let spliced = splice_mixed_tenant(Some(base), MIXED);
+            assert!(spliced.contains("\"samples\""));
+            assert!(spliced.ends_with("  \"mixed_tenant\": {\"jobs\": 8}\n}\n"));
+            // Insert with policies and soak present: mixed_tenant lands before both.
+            let with_policies = splice_policies(Some(base), POLICIES);
+            let with_soak = splice_soak(Some(&with_policies), SOAK);
+            let spliced = splice_mixed_tenant(Some(&with_soak), MIXED);
+            assert!(spliced.ends_with(
+                "  \"mixed_tenant\": {\"jobs\": 8},\n  \"policies\": {\"rows\": 1},\n  \"soak\": {\"tasks\": 7}\n}\n"
+            ));
+            // Replace an existing mixed_tenant section; everything else survives.
+            let replaced = splice_mixed_tenant(Some(&spliced), "  \"mixed_tenant\": {\"jobs\": 9}");
+            assert!(replaced.contains("\"jobs\": 9") && !replaced.contains("\"jobs\": 8"));
+            assert!(replaced.contains("\"rows\": 1") && replaced.trim_end().ends_with("  \"soak\": {\"tasks\": 7}\n}"));
+            // Round-trips through extract; later policies/soak splices keep it.
+            assert_eq!(extract_mixed_tenant(&replaced).as_deref(), Some("  \"mixed_tenant\": {\"jobs\": 9}"));
+            let repoliced = splice_policies(Some(&replaced), "  \"policies\": {\"rows\": 2}");
+            assert!(repoliced.contains("\"jobs\": 9") && repoliced.contains("\"rows\": 2"));
+            let resoaked = splice_soak(Some(&repoliced), "  \"soak\": {\"tasks\": 9}\n");
+            assert!(resoaked.contains("\"jobs\": 9") && resoaked.contains("\"tasks\": 9"));
+            // Missing file behaves.
+            assert_eq!(splice_mixed_tenant(None, MIXED), format!("{{\n{MIXED}\n}}\n"));
         }
 
         #[test]

@@ -30,6 +30,55 @@ use loom_lite::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 #[cfg(feature = "loom-model")]
 use loom_lite::sync::{Condvar, Mutex};
 
+use std::sync::Arc;
+
+/// Recruitment state shared by every [`CompletionGate`] of one runtime service: the dispatch
+/// epoch and the pool-wide helper count.
+///
+/// With one gate per *job*, the gates cannot each own these: a worker parked as a helper in job
+/// A's `taskwait` must be recruitable by ready work dispatched from job B (the queues are
+/// shared), so both the epoch a sleeper re-checks and the helper count a dispatcher consults
+/// have to span all gates. A single-gate runtime gets a private `Recruitment` via
+/// [`CompletionGate::new`] and behaves exactly as before.
+pub struct Recruitment {
+    /// Workers currently blocked in some gate's `wait_once` as helpers — the only sleepers
+    /// worth waking (and the only gates worth visiting) on ready-work dispatch.
+    helpers: AtomicUsize,
+    /// Bumped once per dispatch of ready work, strictly after the queue pushes. See
+    /// [`CompletionGate::wait_once`] for the soundness argument.
+    epoch: AtomicUsize,
+}
+
+impl Default for Recruitment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recruitment {
+    /// Creates idle recruitment state (no helpers, epoch 0).
+    pub fn new() -> Self {
+        Recruitment { helpers: AtomicUsize::new(0), epoch: AtomicUsize::new(0) }
+    }
+
+    /// Number of workers currently parked as helpers across every gate sharing this state.
+    /// A dispatcher that reads 0 here can skip the cross-gate recruitment broadcast entirely.
+    pub fn helpers(&self) -> usize {
+        self.helpers.load(SeqCst)
+    }
+
+    /// The recruitment epoch (see [`CompletionGate::recruit_epoch`]).
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Publishes a dispatch of ready work. Must be called strictly *after* the queue pushes it
+    /// describes.
+    pub fn publish_dispatch(&self) {
+        self.epoch.fetch_add(1, SeqCst);
+    }
+}
+
 /// Completion/recruitment wake-up gate. See the module docs for the protocol.
 pub struct CompletionGate {
     /// Guards nothing but the waits (predicates live in the engine); exists because a condvar
@@ -40,11 +89,12 @@ pub struct CompletionGate {
     /// no-waiter retire path costs one load instead of a mutex acquisition.
     waiters: AtomicUsize,
     /// Subset of `waiters` that are workers blocked in `taskwait` — the only waiters that can
-    /// steal ready tasks, hence the only ones worth waking on ready-work dispatch.
+    /// steal ready tasks, hence the only ones worth waking on ready-work dispatch. This is the
+    /// gate-local count (gates notify only their own sleepers); the pool-wide count lives in
+    /// [`Recruitment`].
     helpers: AtomicUsize,
-    /// Bumped once per dispatch of ready work, strictly after the queue pushes. See
-    /// [`CompletionGate::wait_once`] for the soundness argument.
-    recruit_epoch: AtomicUsize,
+    /// Shared (or private, under [`CompletionGate::new`]) recruitment state.
+    recruitment: Arc<Recruitment>,
 }
 
 impl Default for CompletionGate {
@@ -54,14 +104,21 @@ impl Default for CompletionGate {
 }
 
 impl CompletionGate {
-    /// Creates an idle gate (no waiters, epoch 0).
+    /// Creates an idle gate (no waiters, epoch 0) with private recruitment state — the
+    /// single-job configuration, and what the loom models check in isolation.
     pub fn new() -> Self {
+        Self::with_recruitment(Arc::new(Recruitment::new()))
+    }
+
+    /// Creates a gate plugged into shared recruitment state (one [`Recruitment`] per service,
+    /// one gate per job).
+    pub fn with_recruitment(recruitment: Arc<Recruitment>) -> Self {
         CompletionGate {
             mutex: Mutex::new(()),
             condvar: Condvar::new(),
             waiters: AtomicUsize::new(0),
             helpers: AtomicUsize::new(0),
-            recruit_epoch: AtomicUsize::new(0),
+            recruitment,
         }
     }
 
@@ -85,7 +142,13 @@ impl CompletionGate {
     /// reading the bumped value here would have ordered the pushes before the scan, i.e. the
     /// scan saw everything.
     pub fn recruit_epoch(&self) -> usize {
-        self.recruit_epoch.load(SeqCst)
+        self.recruitment.epoch()
+    }
+
+    /// The recruitment state this gate participates in. Dispatchers use it to decide whether a
+    /// cross-gate recruitment broadcast is worth anything (any helpers parked at all?).
+    pub fn recruitment(&self) -> &Arc<Recruitment> {
+        &self.recruitment
     }
 
     /// One sleep round of the `taskwait` loop: registers the caller (as a helper too when
@@ -96,25 +159,27 @@ impl CompletionGate {
         self.waiters.fetch_add(1, SeqCst);
         if is_worker {
             self.helpers.fetch_add(1, SeqCst);
+            self.recruitment.helpers.fetch_add(1, SeqCst);
         }
         {
             let mut guard = self.mutex.lock();
             // Non-workers cannot steal, so the epoch is irrelevant to them — their wake
             // condition is fully covered by the predicate-flip notify.
-            if should_sleep() && (!is_worker || self.recruit_epoch.load(SeqCst) == epoch) {
+            if should_sleep() && (!is_worker || self.recruitment.epoch.load(SeqCst) == epoch) {
                 self.condvar.wait(&mut guard);
             }
         }
         self.waiters.fetch_sub(1, SeqCst);
         if is_worker {
             self.helpers.fetch_sub(1, SeqCst);
+            self.recruitment.helpers.fetch_sub(1, SeqCst);
         }
     }
 
     /// Publishes a dispatch of ready work to `taskwait`ers committing to an untimed sleep.
     /// Must be called strictly *after* the queue pushes it describes.
     pub fn publish_dispatch(&self) {
-        self.recruit_epoch.fetch_add(1, SeqCst);
+        self.recruitment.publish_dispatch();
     }
 
     /// Wakes sleeping waiters — but only when a waiter's condition can actually have changed:

@@ -218,6 +218,10 @@ pub struct EngineStats {
     /// bounded by `promotions`: one promoted region can heal and demote piecewise, one extent
     /// per subsequent update.
     pub demotions: usize,
+    /// Root tasks registered (one per job/run; subset of `tasks_registered`).
+    pub roots_registered: usize,
+    /// Root tasks deeply completed (jobs finished; subset of `tasks_deeply_completed`).
+    pub roots_completed: usize,
 }
 
 #[derive(Default)]
@@ -234,6 +238,8 @@ struct AtomicStats {
     promotions: AtomicUsize,
     fragmented_updates: AtomicUsize,
     demotions: AtomicUsize,
+    roots_registered: AtomicUsize,
+    roots_completed: AtomicUsize,
 }
 
 impl AtomicStats {
@@ -251,6 +257,8 @@ impl AtomicStats {
             promotions: self.promotions.load(Ordering::Relaxed),
             fragmented_updates: self.fragmented_updates.load(Ordering::Relaxed),
             demotions: self.demotions.load(Ordering::Relaxed),
+            roots_registered: self.roots_registered.load(Ordering::Relaxed),
+            roots_completed: self.roots_completed.load(Ordering::Relaxed),
         }
     }
 
@@ -1214,6 +1222,7 @@ impl DependencyEngine {
         });
         self.publish(entry);
         AtomicStats::bump(&self.stats.tasks_registered, 1);
+        AtomicStats::bump(&self.stats.roots_registered, 1);
         id
     }
 
@@ -2061,6 +2070,10 @@ impl DependencyEngine {
             stats.demotions <= stats.fragmented_updates,
             "engine accounting: every demotion is produced by one fragmented-tier update"
         );
+        debug_assert!(
+            stats.roots_completed <= stats.roots_registered,
+            "engine accounting: a root completes at most once"
+        );
     }
 
     /// Number of tasks ever registered.
@@ -2082,6 +2095,14 @@ impl DependencyEngine {
         let registered = self.stats.tasks_registered.load(Ordering::Relaxed);
         let retired = self.stats.tasks_retired.load(Ordering::Relaxed);
         registered.saturating_sub(retired)
+    }
+
+    /// Number of live root tasks — jobs whose graphs have not yet fully drained. Same
+    /// racy-but-consistent counter arithmetic as [`DependencyEngine::live_tasks`].
+    pub fn live_roots(&self) -> usize {
+        let registered = self.stats.roots_registered.load(Ordering::Relaxed);
+        let completed = self.stats.roots_completed.load(Ordering::Relaxed);
+        registered.saturating_sub(completed)
     }
 }
 
@@ -2120,6 +2141,7 @@ fn deep_complete_locked(
     match &domain.parent_entry {
         None => {
             effects.root_completed = true;
+            AtomicStats::bump(&engine.stats.roots_completed, 1);
             engine.retire(domain.owner);
         }
         Some(weak) => {

@@ -1,0 +1,193 @@
+//! The job layer of the multi-tenant runtime: per-job state, completion gate, stats slice,
+//! and the [`JobHandle`] returned by [`Runtime::submit`].
+//!
+//! A *job* is one root task graph submitted to the shared engine + pool. Each job owns:
+//!
+//! * its root domain in the dependency engine (an independent tree — no edge ever crosses
+//!   jobs, which is what makes per-job completion and cancellation sound),
+//! * a [`CompletionGate`] for its root-completion and `taskwait` sleeps, plugged into the
+//!   service-wide [`Recruitment`] state so parked helpers from one job can be recruited by
+//!   ready work dispatched from another,
+//! * a stats slice (registered / deeply-completed / executed counters),
+//! * the cancellation flag + running-body count that implement `cancel()`.
+//!
+//! ## Cancellation protocol
+//!
+//! Workers bracket every task body with `running += 1; if !cancelled { body() }; running -= 1`
+//! (all `SeqCst`). [`JobState::cancel`] stores `cancelled = true` (`SeqCst`) and then waits for
+//! `running == 0`. By the `SeqCst` total order, a worker whose `cancelled` load saw `false`
+//! performed its `running` increment before the canceller's store — so the canceller's
+//! subsequent `running` read observes it and waits the body out. Hence **no task body of a
+//! cancelled job can start after `cancel()` returns**. Skipped tasks still run the engine's
+//! completion path, so the graph drains fully and every region is released; the root therefore
+//! still completes and `wait()` returns (with `None` if the root body itself was skipped).
+//!
+//! [`Runtime::submit`]: crate::Runtime::submit
+//! [`Recruitment`]: crate::completion::Recruitment
+
+use crate::completion::CompletionGate;
+use crate::engine::TaskId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Shared per-job state. One per submitted job, reference-counted from the job's every
+/// [`TaskRecord`](crate::runtime) (an `Arc` clone per task — no allocation on the spawn path).
+pub(crate) struct JobState {
+    /// Service-unique job id (also the sentinel shadow-table qualifier and the fair-share
+    /// tenant key).
+    pub(crate) id: u64,
+    /// The job's root task in the engine.
+    pub(crate) root: TaskId,
+    /// Per-job completion gate: root-completion waits, `taskwait` sleeps, cancel waits.
+    pub(crate) gate: CompletionGate,
+    /// Set by `cancel()`; workers check it (`SeqCst`) right after bumping `running` and skip
+    /// the task body when set.
+    pub(crate) cancelled: AtomicBool,
+    /// Number of task bodies of this job currently executing. See the module docs for the
+    /// ordering argument that makes `cancel()`'s wait on this sound.
+    pub(crate) running: AtomicUsize,
+    /// Tasks registered under this job's root (including the root itself).
+    pub(crate) registered: AtomicUsize,
+    /// Tasks of this job deeply completed (self + all descendants done).
+    pub(crate) deeply_completed: AtomicUsize,
+    /// Task bodies of this job actually run (cancelled-and-skipped bodies are not counted).
+    pub(crate) executed: AtomicUsize,
+    /// Flipped exactly once, when the root deeply completes; the predicate behind
+    /// `JobHandle::wait`.
+    pub(crate) finished: AtomicBool,
+    /// First panic message from any of this job's task bodies; re-raised by `wait()`/`run()`.
+    pub(crate) panic_message: Mutex<Option<String>>,
+}
+
+impl JobState {
+    pub(crate) fn new(id: u64, root: TaskId, gate: CompletionGate) -> Self {
+        JobState {
+            id,
+            root,
+            gate,
+            cancelled: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            registered: AtomicUsize::new(0),
+            deeply_completed: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
+            panic_message: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(SeqCst)
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished.load(SeqCst)
+    }
+
+    /// Requests cancellation and blocks until every in-flight task body of this job has
+    /// returned. After this returns, no task body of the job will ever start (see the module
+    /// docs); queued tasks drain through the engine with their bodies skipped.
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, SeqCst);
+        self.gate.wait_until(|| self.running.load(SeqCst) == 0);
+    }
+
+    /// Stores the first panic message (first panic wins, matching single-job behaviour).
+    pub(crate) fn record_panic(&self, message: String) {
+        let mut slot = self.panic_message.lock();
+        if slot.is_none() {
+            *slot = Some(message);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> JobStats {
+        JobStats {
+            job_id: self.id,
+            tasks_registered: self.registered.load(SeqCst),
+            tasks_deeply_completed: self.deeply_completed.load(SeqCst),
+            tasks_executed: self.executed.load(SeqCst),
+            cancelled: self.is_cancelled(),
+            finished: self.is_finished(),
+        }
+    }
+}
+
+/// Snapshot of one job's stats slice (the per-job view; [`RuntimeStats`] is the aggregate).
+///
+/// [`RuntimeStats`]: crate::RuntimeStats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Service-unique id of the job.
+    pub job_id: u64,
+    /// Tasks registered under this job's root, including the root itself.
+    pub tasks_registered: usize,
+    /// Tasks of this job deeply completed. Equals `tasks_registered` once the job finishes.
+    pub tasks_deeply_completed: usize,
+    /// Task bodies actually run (a cancelled job's skipped bodies are not counted).
+    pub tasks_executed: usize,
+    /// Whether `cancel()` has been requested.
+    pub cancelled: bool,
+    /// Whether the root has deeply completed (i.e. `wait()` would return immediately).
+    pub finished: bool,
+}
+
+/// Handle to a submitted job. Obtained from [`Runtime::submit`]; the job keeps running if the
+/// handle is dropped (detached), but dropping the *runtime* cancels and drains every live job.
+///
+/// [`Runtime::submit`]: crate::Runtime::submit
+pub struct JobHandle<R> {
+    pub(crate) job: Arc<JobState>,
+    pub(crate) result: Arc<Mutex<Option<R>>>,
+}
+
+impl<R> JobHandle<R> {
+    /// The service-unique id of this job.
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Blocks until the job's root deeply completes and returns the root body's value, or
+    /// `None` if the job was cancelled before the root body ran to completion.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from any of the job's task bodies, like `Runtime::run`.
+    pub fn wait(self) -> Option<R> {
+        self.job.gate.wait_until(|| self.job.is_finished());
+        if let Some(message) = self.job.panic_message.lock().take() {
+            panic!("a task panicked: {message}");
+        }
+        self.result.lock().take()
+    }
+
+    /// Non-blocking poll: `None` while the job is still running; `Some(result)` once it has
+    /// finished, where `result` follows [`JobHandle::wait`]'s contract (and is `None` on a
+    /// repeated poll, since the value is taken out the first time).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from any of the job's task bodies.
+    pub fn try_wait(&self) -> Option<Option<R>> {
+        if !self.job.is_finished() {
+            return None;
+        }
+        if let Some(message) = self.job.panic_message.lock().take() {
+            panic!("a task panicked: {message}");
+        }
+        Some(self.result.lock().take())
+    }
+
+    /// Requests cancellation and blocks until every in-flight task body of this job has
+    /// returned. Once this returns, **no task body of this job will ever start**: tasks not
+    /// yet begun drain through the engine with their bodies skipped (so held regions are
+    /// released and the root still completes — `wait()` after `cancel()` does not hang, it
+    /// returns `None` unless the root body had already finished).
+    pub fn cancel(&self) {
+        self.job.cancel();
+    }
+
+    /// Snapshot of this job's stats slice.
+    pub fn stats(&self) -> JobStats {
+        self.job.stats()
+    }
+}

@@ -69,12 +69,14 @@ mod access;
 pub mod completion;
 mod data;
 mod engine;
+mod job;
 mod observer;
 mod runtime;
 
 pub use access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 pub use data::SharedSlice;
 pub use engine::{DependencyEngine, Effects, EngineStats, StaleTaskId, TaskId};
+pub use job::{JobHandle, JobStats};
 pub use observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
 pub use runtime::{
     CapacityStats, Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx, TaskSpec,
@@ -86,3 +88,6 @@ pub use weakdep_regions::{Region, SpaceId};
 /// Re-export of the scheduling-policy selector consumed by
 /// [`RuntimeConfig::scheduling_policy`].
 pub use weakdep_threadpool::SchedulingPolicy;
+
+/// Re-export of the admission-gate counters surfaced in [`RuntimeStats`].
+pub use weakdep_threadpool::AdmissionStats;

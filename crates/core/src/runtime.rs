@@ -29,16 +29,33 @@
 //! the dense `TaskId`, and all scheduling (successor slot, deques, injector) happens after every
 //! engine lock has been dropped. [`TaskCtx::spawn_batch`] registers a whole wave of sibling
 //! tasks under a single domain-lock acquisition.
+//!
+//! # Multi-tenant service
+//!
+//! One [`Runtime`] is a shared engine + pool **service**: [`Runtime::submit`] starts an
+//! independent *job* (its own root domain in the engine, its own completion gate and stats
+//! slice) and returns a [`JobHandle`] for waiting, polling or cancelling it, while other jobs
+//! keep running on the same workers. [`Runtime::run`] is the single-tenant convenience wrapper:
+//! submit + execute the root body inline + wait. Submissions pass an admission gate
+//! ([`RuntimeConfig::live_task_budget`]) so a tenant cannot push the service's live-task
+//! plateau — and with it the permanently allocated slot capacity — past a configured budget;
+//! see `docs/runtime.md` for the full tenancy model and `crate::job` for the cancellation
+//! protocol.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use weakdep_regions::{Region, RegionSet};
-use weakdep_threadpool::{SchedulingPolicy, ThreadPool, WorkerContext};
+use weakdep_threadpool::{
+    AdmissionGate, AdmissionStats, SchedulingPolicy, ThreadPool, WorkerContext,
+};
 
-use crate::completion::CompletionGate;
+use crate::completion::{CompletionGate, Recruitment};
+use crate::job::{JobHandle, JobState, JobStats};
 
 use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 use crate::engine::{DependencyEngine, Effects, StaleTaskId, TaskId};
@@ -50,6 +67,7 @@ pub struct RuntimeConfig {
     observers: Vec<Arc<dyn RuntimeObserver>>,
     scheduling: SchedulingPolicy,
     serialized_engine: bool,
+    live_task_budget: Option<usize>,
     /// Test-only fault injection; see [`RuntimeConfig::seed_wave_ordering_bug`].
     #[cfg(feature = "sentinel")]
     seed_wave_ordering_bug: bool,
@@ -63,6 +81,7 @@ impl Default for RuntimeConfig {
             observers: Vec::new(),
             scheduling: SchedulingPolicy::default(),
             serialized_engine: false,
+            live_task_budget: None,
             #[cfg(feature = "sentinel")]
             seed_wave_ordering_bug: false,
         }
@@ -98,17 +117,20 @@ impl RuntimeConfig {
         self
     }
 
-    /// Enables or disables the locality-aware successor scheduling.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use scheduling_policy(SchedulingPolicy::LocalitySlot / SchedulingPolicy::Fifo)"
-    )]
-    pub fn locality_scheduling(self, enabled: bool) -> Self {
-        self.scheduling_policy(if enabled {
-            SchedulingPolicy::LocalitySlot
-        } else {
-            SchedulingPolicy::Fifo
-        })
+    /// Caps the number of live tasks the service admits new jobs against: a
+    /// [`Runtime::submit`] (or [`Runtime::run`]) blocks while the engine's live-task count is
+    /// at or above the budget, resuming as in-flight work drains. This keys the admission
+    /// decision off the same live-task high-water plateau the [`CapacityStats`] reclamation
+    /// machinery maintains — admitting past the budget would permanently grow the slot
+    /// capacity plateau. Default: unlimited (no backpressure).
+    ///
+    /// Admission is decided **per job at submission**, never per task: spawning inside an
+    /// already-admitted job is never blocked (blocking a worker would deadlock the drain that
+    /// admission waits for). For the same reason, only submit from non-worker threads when a
+    /// budget is set.
+    pub fn live_task_budget(mut self, budget: usize) -> Self {
+        self.live_task_budget = Some(budget.max(1));
+        self
     }
 
     /// Routes every dependency-engine operation (registration, body retirement, `release`)
@@ -147,6 +169,8 @@ pub struct CapacityStats {
     pub live_tasks: usize,
     /// Slots allocated in the pending-record slab.
     pub pending_slots: usize,
+    /// Jobs currently live in the service registry (submitted and not yet finished).
+    pub live_jobs: usize,
 }
 
 /// Snapshot of runtime-wide statistics.
@@ -185,6 +209,14 @@ pub struct RuntimeStats {
     pub body_ns: u64,
     /// Cumulative wall time spent retiring tasks (dependency release + scheduling), in ns.
     pub retire_ns: u64,
+    /// Jobs submitted to the service (via [`Runtime::run`] or [`Runtime::submit`]).
+    pub jobs_submitted: usize,
+    /// Jobs whose root deeply completed (includes cancelled jobs, which still drain).
+    pub jobs_completed: usize,
+    /// Jobs that were cancelled before finishing.
+    pub jobs_cancelled: usize,
+    /// Admission-gate traffic (see [`RuntimeConfig::live_task_budget`]).
+    pub admission: AdmissionStats,
 }
 
 type BodyFn = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
@@ -195,6 +227,9 @@ pub(crate) struct TaskRecord {
     label: &'static str,
     body: Mutex<Option<BodyFn>>,
     footprint: Vec<FootprintEntry>,
+    /// The job this task belongs to (an `Arc` clone per task — refcount only, no allocation,
+    /// so the spawn path's allocs-per-task budget is unchanged).
+    job: Arc<JobState>,
 }
 
 /// Striped slab of records for registered-but-not-yet-ready tasks, keyed by the dense
@@ -316,12 +351,22 @@ struct Inner {
     /// taken around every engine operation, emulating the pre-sharding design.
     engine_serializer: Option<Mutex<()>>,
     pending: PendingSlab,
-    /// The waiter-gated completion/recruitment wake-up protocol (root-completion wait,
-    /// `taskwait` sleeps, recruitment epoch). Lives in [`crate::completion`] so the
-    /// `loom-model` harness can model-check it in isolation.
-    completion: CompletionGate,
+    /// Service-wide recruitment state (parked-helper count + dispatch epoch) shared by every
+    /// job's [`CompletionGate`], so a worker parked in one job's `taskwait` is recruitable by
+    /// ready work dispatched from any other job. The gate/recruitment wake-up protocol lives
+    /// in [`crate::completion`] so the `loom-model` harness can model-check it in isolation.
+    recruitment: Arc<Recruitment>,
+    /// Live-job registry. **Leaf-like lock**: only insert/remove/Arc-clone under it — never a
+    /// gate notify, an engine call or a queue operation (see `docs/locking.md`).
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    next_job_id: AtomicU64,
+    /// Blocks new submissions while the engine's live-task count sits above the configured
+    /// budget (see [`RuntimeConfig::live_task_budget`]).
+    admission: AdmissionGate,
+    jobs_submitted: AtomicUsize,
+    jobs_completed: AtomicUsize,
+    jobs_cancelled: AtomicUsize,
     observers: Vec<Arc<dyn RuntimeObserver>>,
-    panic_message: Mutex<Option<String>>,
     timers: PhaseTimers,
     /// Shadow table of declared task footprints: every dispatch/retire is cross-checked against
     /// all concurrently running tasks, and every `SharedSlice` access against the live declared
@@ -366,9 +411,14 @@ impl Runtime {
                 engine: DependencyEngine::new(),
                 engine_serializer: config.serialized_engine.then(|| Mutex::new(())),
                 pending: PendingSlab::new(),
-                completion: CompletionGate::new(),
+                recruitment: Arc::new(Recruitment::new()),
+                jobs: Mutex::new(HashMap::new()),
+                next_job_id: AtomicU64::new(0),
+                admission: AdmissionGate::new(config.live_task_budget.unwrap_or(usize::MAX)),
+                jobs_submitted: AtomicUsize::new(0),
+                jobs_completed: AtomicUsize::new(0),
+                jobs_cancelled: AtomicUsize::new(0),
                 observers,
-                panic_message: Mutex::new(None),
                 timers: PhaseTimers::default(),
                 #[cfg(feature = "sentinel")]
                 sentinel: weakdep_sentinel::Sentinel::new(),
@@ -397,56 +447,108 @@ impl Runtime {
         self.inner.pool.policy()
     }
 
-    /// Executes `body` as the root task and waits for it *and every descendant task* to finish
-    /// (the implicit barrier of the paper's evaluation codes).
+    /// Executes `body` as the root task of a fresh job and waits for it *and every descendant
+    /// task* to finish (the implicit barrier of the paper's evaluation codes). Other jobs may
+    /// run concurrently on the same service; `run` is exactly [`Runtime::submit`] with the root
+    /// body executed inline on the calling thread.
     ///
     /// If any task body panics, the panic is captured, the remaining tasks are still executed
     /// (so the runtime stays consistent) and the panic is re-raised here.
     pub fn run<R>(&self, body: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
-        let root_id = self.inner.engine.register_root();
+        let job = create_job(&self.inner);
         let root_record = Arc::new(TaskRecord {
-            id: root_id,
+            id: job.root,
             label: "root",
             body: Mutex::new(None),
             footprint: Vec::new(),
+            job: Arc::clone(&job),
         });
         let ctx = TaskCtx { inner: &self.inner, record: root_record, worker: None };
         #[cfg(feature = "sentinel")]
         {
             // The root declares nothing and conflicts with nothing, but it must be in the
             // shadow table so its children can record it as their ancestor.
-            self.inner.sentinel.task_created(sentinel_key(root_id), None, "root", []);
-            self.inner.sentinel.task_started(sentinel_key(root_id));
+            self.inner.sentinel.task_created(job.id, sentinel_key(job.root), None, "root", []);
+            self.inner.sentinel.task_started(sentinel_key(job.root));
         }
         let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
 
         let effects = {
             let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
-            self.inner.engine.body_finished(root_id)
+            self.inner.engine.body_finished(job.root)
         };
-        schedule_effects(&self.inner, effects, None);
+        schedule_effects(&self.inner, effects, None, &job);
 
-        // Wait until the root (and therefore every descendant) deeply completes. The wait is
-        // untimed: deep completion reliably signals the gate (see `CompletionGate`'s
-        // register/check protocol, which closes the lost-wake-up race — model-checked in
-        // `tests/loom_completion.rs`). A root that already deep-completed may also already be
-        // *retired* — `is_deeply_completed` answers `true` for its stale id.
-        self.inner.completion.wait_until(|| self.inner.engine.is_deeply_completed(root_id));
+        // Wait until the root (and therefore every descendant) deeply completes; the job's
+        // `finished` flag is flipped by `schedule_effects` when the engine reports the root's
+        // deep completion. The wait is untimed: deep completion reliably signals the per-job
+        // gate (see `CompletionGate`'s register/check protocol, which closes the lost-wake-up
+        // race — model-checked in `tests/loom_completion.rs`).
+        job.gate.wait_until(|| job.is_finished());
         // Every descendant has retired (and left the shadow table); drop the root entry too so
-        // the next `run` call starts from an empty table.
+        // the table holds only other jobs' live tasks.
         #[cfg(feature = "sentinel")]
-        self.inner.sentinel.task_finished(sentinel_key(root_id));
-        // Deep completion of the root is a quiescent point for this run's accounting.
+        self.inner.sentinel.task_finished(sentinel_key(job.root));
+        // Deep completion of the root is a quiescent point for the engine's accounting only
+        // when no other job is in flight.
         #[cfg(debug_assertions)]
-        self.inner.engine.debug_check_invariants();
+        if self.inner.jobs.lock().is_empty() {
+            self.inner.engine.debug_check_invariants();
+        }
 
-        if let Some(message) = self.inner.panic_message.lock().take() {
+        if let Some(message) = job.panic_message.lock().take() {
             panic!("a task panicked: {message}");
         }
         match result {
             Ok(value) => value,
             Err(payload) => resume_unwind(payload),
         }
+    }
+
+    /// Submits `body` as the root task of a new job and returns immediately with a
+    /// [`JobHandle`] for waiting ([`JobHandle::wait`]), polling ([`JobHandle::try_wait`]) or
+    /// cancelling ([`JobHandle::cancel`]) it. The job is an independent root domain in the
+    /// shared engine: its tasks never depend on (or conflict with) another job's, but they
+    /// share the worker pool, and under [`SchedulingPolicy::FairShare`] ready waves are
+    /// round-robined across live jobs.
+    ///
+    /// Blocks while the service's live-task count is at or above the configured
+    /// [`RuntimeConfig::live_task_budget`] (admission control); never blocks without one.
+    /// Dropping the handle detaches the job (it keeps running); dropping the *runtime* cancels
+    /// and drains every live job.
+    pub fn submit<R, F>(&self, body: F) -> JobHandle<R>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let job = create_job(&self.inner);
+        let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let root_record = Arc::new(TaskRecord {
+            id: job.root,
+            label: "root",
+            body: Mutex::new(Some(Box::new(move |ctx: &TaskCtx<'_>| {
+                *slot.lock() = Some(body(ctx));
+            }) as BodyFn)),
+            footprint: Vec::new(),
+            job: Arc::clone(&job),
+        });
+        #[cfg(feature = "sentinel")]
+        self.inner.sentinel.task_created(job.id, sentinel_key(job.root), None, "root", []);
+        // The root is ready by construction (no dependencies); hand it to the pool tagged with
+        // its tenant so FairShare can interleave it fairly with other jobs' work.
+        self.inner.pool.submit_tenant(job.id, root_record);
+        JobHandle { job, result }
+    }
+
+    /// Per-job stats slices of the currently live jobs, ordered by job id (a finished job
+    /// leaves the registry; the aggregate view is [`Runtime::stats`]). A [`JobHandle`] offers
+    /// the same slice for a specific job, live or finished.
+    pub fn job_stats(&self) -> Vec<JobStats> {
+        let mut out: Vec<JobStats> =
+            self.inner.jobs.lock().values().map(|job| job.stats()).collect();
+        out.sort_by_key(|s| s.job_id);
+        out
     }
 
     /// Runtime-wide statistics (dependency engine + scheduler counters).
@@ -469,6 +571,10 @@ impl Runtime {
             spawn_ns: self.inner.timers.spawn_ns.load(Ordering::Relaxed),
             body_ns: self.inner.timers.body_ns.load(Ordering::Relaxed),
             retire_ns: self.inner.timers.retire_ns.load(Ordering::Relaxed),
+            jobs_submitted: self.inner.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.inner.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.inner.jobs_cancelled.load(Ordering::Relaxed),
+            admission: self.inner.admission.stats(),
         }
     }
 
@@ -478,6 +584,7 @@ impl Runtime {
             task_table_slots: self.inner.engine.table_capacity(),
             live_tasks: self.inner.engine.live_tasks(),
             pending_slots: self.inner.pending.capacity(),
+            live_jobs: self.inner.jobs.lock().len(),
         }
     }
 
@@ -492,10 +599,41 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Cancel and drain every live (detached) job *before* the pool's own `Drop` joins the
+        // workers. Without this, a job cancelled or abandoned while a worker is parked in its
+        // gate (a `taskwait` sleeper) would leak that parked worker: the pool's shutdown
+        // broadcast only wakes its *sleep-state* sleepers, not gate sleepers, and the join
+        // would hang forever. The cancel-vs-sleep race is model-checked in
+        // `crates/core/tests/loom_cancel.rs`.
+        let live: Vec<Arc<JobState>> = self.inner.jobs.lock().values().cloned().collect();
+        for job in &live {
+            job.cancelled.store(true, SeqCst);
+            // Wake anything parked in the job's gate (root waiters and taskwait helpers); the
+            // woken workers drain the remaining tasks with their bodies skipped.
+            job.gate.notify(true, true);
+        }
+        for job in &live {
+            job.gate.wait_until(|| job.is_finished());
+        }
         for obs in &self.inner.observers {
             obs.runtime_shutdown();
         }
     }
+}
+
+/// Admits a new job against the live-task budget (blocking — must only be called from
+/// non-worker threads, see [`RuntimeConfig::live_task_budget`]), registers its root domain in
+/// the engine and publishes it in the service registry.
+fn create_job(inner: &Arc<Inner>) -> Arc<JobState> {
+    inner.admission.admit(|| inner.engine.live_tasks());
+    let root = inner.engine.register_root();
+    let id = inner.next_job_id.fetch_add(1, SeqCst);
+    let gate = CompletionGate::with_recruitment(Arc::clone(&inner.recruitment));
+    let job = Arc::new(JobState::new(id, root, gate));
+    job.registered.fetch_add(1, SeqCst); // the root itself
+    inner.jobs.lock().insert(id, Arc::clone(&job));
+    inner.jobs_submitted.fetch_add(1, SeqCst);
+    job
 }
 
 /// Execution context of a task body (also the root body inside [`Runtime::run`]).
@@ -573,8 +711,10 @@ impl<'a> TaskCtx<'a> {
         match self.worker {
             // Spawned-ready waves are not successor waves: the spawner is still running, so
             // the policy's wave placement (deque, or injector under Fifo) applies to all.
-            Some(worker) => worker.dispatch_ready(ready_records, false),
-            None => self.inner.pool.submit_batch(ready_records),
+            Some(worker) => {
+                worker.dispatch_ready_tenant(self.record.job.id, ready_records, false)
+            }
+            None => self.inner.pool.submit_batch_tenant(self.record.job.id, ready_records),
         }
         PhaseTimers::add(&self.inner.timers.spawn_ns, spawn_start);
         ids
@@ -584,6 +724,7 @@ impl<'a> TaskCtx<'a> {
     /// task has deeply completed. While waiting, the calling worker keeps executing other ready
     /// tasks (work-conserving wait), so `taskwait` never deadlocks the pool.
     pub fn taskwait(&self) {
+        let gate = &self.record.job.gate;
         loop {
             if self.inner.engine.live_children(self.record.id) == 0 {
                 return;
@@ -592,19 +733,21 @@ impl<'a> TaskCtx<'a> {
             // part of the completion predicate, so a worker must not commit to an untimed
             // sleep against a scan that a concurrent dispatch raced past. The epoch is read
             // *before* scanning; `wait_once` re-checks it under the gate's mutex (see
-            // `CompletionGate::recruit_epoch` for the soundness argument).
-            let epoch = self.inner.completion.recruit_epoch();
+            // `CompletionGate::recruit_epoch` for the soundness argument). The epoch is
+            // service-wide (`Recruitment`): a dispatch from *any* job recruits this helper,
+            // since the queues are shared.
+            let epoch = gate.recruit_epoch();
             if let Some(worker) = self.worker {
                 if worker.help_one() {
                     continue;
                 }
             }
-            // Untimed wait: the drain of any task's last live child notifies the gate
-            // whenever a waiter is registered. Workers additionally register as *helpers* so
-            // newly dispatched stealable work wakes them; both registrations are elevated
-            // only across the sleep itself.
+            // Untimed wait: the drain of any of this job's tasks' last live child notifies
+            // the job's gate whenever a waiter is registered. Workers additionally register
+            // as *helpers* so newly dispatched stealable work wakes them; both registrations
+            // are elevated only across the sleep itself.
             let is_worker = self.worker.is_some();
-            self.inner.completion.wait_once(is_worker, epoch, || {
+            gate.wait_once(is_worker, epoch, || {
                 self.inner.engine.live_children(self.record.id) != 0
             });
         }
@@ -626,7 +769,7 @@ impl<'a> TaskCtx<'a> {
         // and our own later accesses to it must trip `check_access`.
         #[cfg(feature = "sentinel")]
         self.inner.sentinel.released(sentinel_key(self.record.id), &region);
-        schedule_effects(self.inner, effects, self.worker.map(|w| (w, false)));
+        schedule_effects(self.inner, effects, self.worker.map(|w| (w, false)), &self.record.job);
     }
 
     /// Releases several regions at once (convenience wrapper over [`TaskCtx::release`]).
@@ -874,9 +1017,10 @@ impl<'a> TaskBuilder<'a> {
         };
         let record = finish_spawn(ctx, spec, normalized, id, ready);
         if let Some(record) = record {
+            let tenant = ctx.record.job.id;
             match ctx.worker {
-                Some(worker) => worker.dispatch_spawned(record),
-                None => ctx.inner.pool.submit(record),
+                Some(worker) => worker.dispatch_spawned_tenant(tenant, record),
+                None => ctx.inner.pool.submit_tenant(tenant, record),
             }
         }
         PhaseTimers::add(&ctx.inner.timers.spawn_ns, spawn_start);
@@ -907,13 +1051,18 @@ fn finish_spawn(
         label,
         body: Mutex::new(body),
         footprint,
+        job: Arc::clone(&ctx.record.job),
     });
+    record.job.registered.fetch_add(1, SeqCst);
 
     // Register the declared footprint in the sentinel's shadow table before the task can
     // possibly dispatch. The footprint includes the hints: a `footprint_hint` is a claim the
-    // task will touch the region, so the sentinel must hold it against concurrent tasks.
+    // task will touch the region, so the sentinel must hold it against concurrent tasks. The
+    // entry is job-qualified: same-footprint tasks of *different* jobs are concurrent by
+    // design and must not be flagged.
     #[cfg(feature = "sentinel")]
     ctx.inner.sentinel.task_created(
+        record.job.id,
         sentinel_key(id),
         Some(sentinel_key(ctx.record.id)),
         label,
@@ -947,25 +1096,38 @@ fn finish_spawn(
 /// Executes one task body on a worker and feeds the outcome back into the dependency engine.
 fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContext<'_, Arc<TaskRecord>>) {
     let start = Instant::now();
+    let job = Arc::clone(&record.job);
+    // Cancellation bracket (`SeqCst`, see `crate::job`'s ordering argument): the increment
+    // happens *before* the cancelled-load, so a canceller that stores the flag and then reads
+    // `running == 0` knows no body it did not wait out will ever start.
+    job.running.fetch_add(1, SeqCst);
     let body = record.body.lock().take();
-    if let Some(body) = body {
-        let ctx = TaskCtx { inner, record: Arc::clone(&record), worker: Some(wctx) };
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            // Inside the catch so a sentinel conflict panic is captured into `panic_message`
-            // and re-raised by `run` instead of tearing down the worker thread.
-            #[cfg(feature = "sentinel")]
-            inner.sentinel.task_started(sentinel_key(record.id));
-            body(&ctx)
-        }));
-        if let Err(payload) = outcome {
-            // Note the explicit reborrow: `&payload` would coerce the `Box` itself into
-            // `&dyn Any` and make every downcast fail.
-            let message = panic_message(&*payload);
-            let mut slot = inner.panic_message.lock();
-            if slot.is_none() {
-                *slot = Some(message);
+    if !job.is_cancelled() {
+        if let Some(body) = body {
+            let ctx = TaskCtx { inner, record: Arc::clone(&record), worker: Some(wctx) };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Inside the catch so a sentinel conflict panic is captured into the job's
+                // panic slot and re-raised by `run`/`wait` instead of tearing down the worker
+                // thread.
+                #[cfg(feature = "sentinel")]
+                inner.sentinel.task_started(sentinel_key(record.id));
+                body(&ctx)
+            }));
+            if let Err(payload) = outcome {
+                // Note the explicit reborrow: `&payload` would coerce the `Box` itself into
+                // `&dyn Any` and make every downcast fail.
+                job.record_panic(panic_message(&*payload));
             }
+            job.executed.fetch_add(1, SeqCst);
         }
+    }
+    // else: the body was taken and dropped unexecuted; the task still retires through the
+    // engine below, so the cancelled job's graph drains and its regions are released.
+    let prev_running = job.running.fetch_sub(1, SeqCst);
+    if prev_running == 1 && job.is_cancelled() {
+        // Possibly the last in-flight body of a cancelled job: wake a canceller blocked in
+        // `JobState::cancel` waiting for `running == 0`.
+        job.gate.notify(true, false);
     }
     let end = Instant::now();
     PhaseTimers::add(&inner.timers.body_ns, start);
@@ -992,7 +1154,7 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
         let _serial = inner.engine_serializer.as_ref().map(Mutex::lock);
         inner.engine.body_finished(record.id)
     };
-    schedule_effects(inner, effects, Some((wctx, true)));
+    schedule_effects(inner, effects, Some((wctx, true)), &job);
     PhaseTimers::add(&inner.timers.retire_ns, retire_start);
 }
 
@@ -1024,6 +1186,7 @@ fn schedule_effects(
     inner: &Arc<Inner>,
     effects: Effects,
     worker: Option<(&WorkerContext<'_, Arc<TaskRecord>>, bool)>,
+    job: &Arc<JobState>,
 ) {
     if !effects.ready.is_empty() {
         // Claim eagerly: the claims take pending-stripe locks, and the batch submission below
@@ -1032,23 +1195,45 @@ fn schedule_effects(
         let records: Vec<Arc<TaskRecord>> =
             effects.ready.iter().filter_map(|id| inner.pending.claim(*id)).collect();
         match worker {
-            Some((wctx, use_successor_slot)) => wctx.dispatch_ready(records, use_successor_slot),
+            Some((wctx, use_successor_slot)) => {
+                wctx.dispatch_ready_tenant(job.id, records, use_successor_slot)
+            }
             None => {
                 // One injector operation and one wake signal for the whole wave.
-                inner.pool.submit_batch(records);
+                inner.pool.submit_batch_tenant(job.id, records);
             }
         }
         // Publish the dispatch to taskwait-ers committing to an untimed sleep: bumped
         // strictly after the pushes above so that reading the new epoch makes the pushed
-        // work visible to the reader's queue scan.
-        inner.completion.publish_dispatch();
+        // work visible to the reader's queue scan. The epoch is shared across all jobs'
+        // gates (`Recruitment`), so helpers parked in *any* job observe it.
+        job.gate.publish_dispatch();
+    }
+
+    if !effects.deeply_completed.is_empty() {
+        job.deeply_completed.fetch_add(effects.deeply_completed.len(), SeqCst);
+        // Live-task load just dropped: let a blocked submission re-probe the budget. Cheap
+        // (one atomic load) when nothing is blocked.
+        inner.admission.notify_release();
+    }
+
+    if effects.root_completed {
+        // Retire the job from the service registry *before* flipping `finished` and
+        // notifying, so a `wait()`-returner observes the registry without this job. Every
+        // effects wave comes from exactly one job's tree, so the completed root is `job`'s.
+        inner.jobs.lock().remove(&job.id);
+        inner.jobs_completed.fetch_add(1, SeqCst);
+        if job.is_cancelled() {
+            inner.jobs_cancelled.fetch_add(1, SeqCst);
+        }
+        job.finished.store(true, SeqCst);
     }
 
     // Wake sleeping waiters — but only when a waiter's condition can actually have changed,
     // so the common per-task retire path never touches the gate's mutex:
     //
-    // * a waiter *predicate* flipped (`run`: a root deeply completed; `taskwait`: some task's
-    //   last live child drained), or
+    // * a waiter *predicate* flipped (`run`/`wait`: this job's root deeply completed;
+    //   `taskwait`: some task's last live child drained), or
     // * new ready work was dispatched (above, so it is findable) — recruitment for worker
     //   `taskwait`ers, which wake and go back to helping.
     //
@@ -1056,7 +1241,22 @@ fn schedule_effects(
     // `CompletionGate::notify`; the lost-wake-up argument is in `crate::completion`'s docs
     // and is model-checked in `tests/loom_completion.rs`.
     let predicate_flipped = effects.root_completed || !effects.taskwaits_unblocked.is_empty();
-    inner.completion.notify(predicate_flipped, !effects.ready.is_empty());
+    job.gate.notify(predicate_flipped, !effects.ready.is_empty());
+
+    // Cross-job recruitment: the dispatched work is stealable by workers parked in *other*
+    // jobs' taskwaits (the queues are shared), but those sleep on their own jobs' gates.
+    // Broadcast to them only when the service-wide helper count says someone is actually
+    // parked — the common case is one atomic load. Registry lock discipline: clone the Arcs
+    // under the lock, notify strictly after dropping it.
+    if !effects.ready.is_empty() && inner.recruitment.helpers() > 0 {
+        let registry = inner.jobs.lock();
+        let others: Vec<Arc<JobState>> =
+            registry.values().filter(|other| other.id != job.id).cloned().collect();
+        drop(registry);
+        for other in others {
+            other.gate.notify(false, true);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1329,11 +1529,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn locality_scheduling_shim_maps_to_policies() {
-        // The deprecated toggle keeps its observable behavior: `false` routes every ready task
-        // through the injector (successor slot unused), `true` is the locality default.
-        let rt = Runtime::new(RuntimeConfig::new().workers(2).locality_scheduling(false));
+    fn fifo_policy_keeps_the_successor_slot_unused() {
+        // The no-locality baseline routes every ready task through the injector.
+        let rt = Runtime::new(
+            RuntimeConfig::new().workers(2).scheduling_policy(SchedulingPolicy::Fifo),
+        );
         assert_eq!(rt.scheduling_policy(), SchedulingPolicy::Fifo);
         let data = SharedSlice::<u64>::new(1);
         let d = data.clone();
@@ -1347,8 +1547,132 @@ mod tests {
         });
         assert_eq!(data.snapshot()[0], 16);
         assert_eq!(rt.stats().successor_slot_hits, 0);
-        let rt = Runtime::new(RuntimeConfig::new().locality_scheduling(true));
-        assert_eq!(rt.scheduling_policy(), SchedulingPolicy::LocalitySlot);
+    }
+
+    #[test]
+    fn submit_returns_the_root_body_value() {
+        let rt = Runtime::with_workers(2);
+        let handle = rt.submit(|_ctx| 40 + 2);
+        assert_eq!(handle.wait(), Some(42));
+    }
+
+    #[test]
+    fn try_wait_polls_to_completion() {
+        let rt = Runtime::with_workers(2);
+        let handle = rt.submit(|ctx| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                ctx.task().spawn(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            counter.load(Ordering::SeqCst)
+        });
+        let value = loop {
+            if let Some(value) = handle.try_wait() {
+                break value;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(value, Some(8));
+    }
+
+    #[test]
+    fn concurrent_jobs_run_independently_on_one_service() {
+        let rt = Runtime::with_workers(4);
+        let handles: Vec<_> = (0..6u64)
+            .map(|k| {
+                rt.submit(move |ctx| {
+                    let data = SharedSlice::<u64>::new(1);
+                    let d = data.clone();
+                    for _ in 0..20 {
+                        let d2 = d.clone();
+                        ctx.task().inout(d.region(0..1)).label("chain").spawn(move |t| {
+                            d2.write(t, 0..1)[0] += k;
+                        });
+                    }
+                    ctx.taskwait();
+                    data.snapshot()[0]
+                })
+            })
+            .collect();
+        for (k, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.wait(), Some(20 * k as u64));
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.jobs_submitted, 6);
+        assert_eq!(stats.jobs_completed, 6);
+        assert_eq!(stats.jobs_cancelled, 0);
+        assert_eq!(rt.capacity().live_jobs, 0);
+        assert!(rt.job_stats().is_empty(), "no job may outlive its completion in the registry");
+    }
+
+    #[test]
+    fn finished_jobs_report_registered_equals_deeply_completed() {
+        let rt = Runtime::with_workers(2);
+        let handle = rt.submit(|ctx| {
+            for _ in 0..15 {
+                ctx.task().spawn(|_| {});
+            }
+        });
+        while handle.try_wait().is_none() {
+            std::thread::yield_now();
+        }
+        let stats = handle.stats();
+        assert!(stats.finished);
+        assert_eq!(stats.tasks_registered, 16); // root + 15
+        assert_eq!(stats.tasks_deeply_completed, 16);
+        assert_eq!(stats.tasks_executed, 16);
+        assert_eq!(rt.stats().jobs_completed, 1);
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_runs_and_drains() {
+        // One worker, pinned by job A's root body; job B is queued behind it. Cancelling B
+        // while it is still queued must (a) return immediately (no body in flight), (b)
+        // guarantee no body of B ever starts, (c) still drain B so wait() returns None.
+        let rt = Runtime::with_workers(1);
+        let hold = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hold);
+        let a = rt.submit(move |_ctx| {
+            while h.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        let b_ran = Arc::new(AtomicUsize::new(0));
+        let br = Arc::clone(&b_ran);
+        let b = rt.submit(move |_ctx| {
+            br.fetch_add(1, Ordering::SeqCst);
+        });
+        b.cancel();
+        // After cancel() returns, no task body of B may ever start — even though B's root is
+        // still queued and will only be popped once A releases the worker.
+        hold.store(1, Ordering::SeqCst);
+        assert_eq!(a.wait(), Some(()));
+        assert_eq!(b.wait(), None, "the cancelled root body must not produce a value");
+        assert_eq!(b_ran.load(Ordering::SeqCst), 0, "no body of a cancelled job may run");
+        let stats = rt.stats();
+        assert_eq!(stats.jobs_cancelled, 1);
+        assert_eq!(stats.jobs_completed, 2, "a cancelled job still drains to completion");
+    }
+
+    #[test]
+    fn live_task_budget_blocks_submission_until_drain() {
+        let rt = Runtime::new(RuntimeConfig::new().workers(2).live_task_budget(4));
+        for _ in 0..5 {
+            // Sequential runs each stay within the budget; admission must not wedge.
+            rt.run(|ctx| {
+                for _ in 0..3 {
+                    ctx.task().spawn(|_| {});
+                }
+                ctx.taskwait();
+            });
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.admission.admitted, 5);
+        assert!(stats.admission.high_water <= 4);
     }
 
     #[test]

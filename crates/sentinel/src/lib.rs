@@ -45,6 +45,10 @@ pub struct DeclaredAccess {
 
 /// Shadow-table entry for one live (created, not yet finished) task.
 struct ShadowTask {
+    /// The job (root domain) the task belongs to. Tasks of *different* jobs are independent
+    /// trees with no dependency edges between them: concurrent overlap across jobs is legal by
+    /// construction and never flagged.
+    job: u64,
     label: &'static str,
     /// Strong declared regions the task may *read* (every strong region: writes imply reads
     /// for conflict purposes, and `inout` reads literally).
@@ -78,10 +82,12 @@ impl Sentinel {
         Sentinel { tasks: Mutex::new(HashMap::new()) }
     }
 
-    /// Records a task at registration time (before it can run). `parent` is the spawning
-    /// task's key, `None` for the root.
+    /// Records a task at registration time (before it can run). `job` is the owning job's
+    /// service-unique id (tasks are only ever compared within one job); `parent` is the
+    /// spawning task's key, `None` for the root.
     pub fn task_created(
         &self,
+        job: u64,
         key: u64,
         parent: Option<u64>,
         label: &'static str,
@@ -110,8 +116,8 @@ impl Sentinel {
             }
             None => Vec::new(),
         };
-        let previous =
-            tasks.insert(key, ShadowTask { label, reads, writes, ancestors, running: false });
+        let previous = tasks
+            .insert(key, ShadowTask { job, label, reads, writes, ancestors, running: false });
         assert!(previous.is_none(), "sentinel: task key {key:#x} registered twice");
     }
 
@@ -121,10 +127,19 @@ impl Sentinel {
     pub fn task_started(&self, key: u64) {
         let mut tasks = self.tasks.lock();
         let entry = tasks.get(&key).expect("sentinel: unknown task started");
-        let (label, reads, writes, ancestors) =
-            (entry.label, entry.reads.clone(), entry.writes.clone(), entry.ancestors.clone());
+        let (job, label, reads, writes, ancestors) = (
+            entry.job,
+            entry.label,
+            entry.reads.clone(),
+            entry.writes.clone(),
+            entry.ancestors.clone(),
+        );
         for (&other_key, other) in tasks.iter() {
             if other_key == key || !other.running {
+                continue;
+            }
+            // Another job's tree: independent by construction, never compared.
+            if other.job != job {
                 continue;
             }
             // One ancestor chain ⇒ legitimate concurrency (parent body vs child).
@@ -219,8 +234,18 @@ mod tests {
     #[test]
     fn disjoint_writers_run_concurrently() {
         let s = Sentinel::new();
-        s.task_created(1, None, "a", [strong(0, 10, true)]);
-        s.task_created(2, None, "b", [strong(10, 20, true)]);
+        s.task_created(0, 1, None, "a", [strong(0, 10, true)]);
+        s.task_created(0, 2, None, "b", [strong(10, 20, true)]);
+        s.task_started(1);
+        s.task_started(2);
+    }
+
+    #[test]
+    fn cross_job_overlapping_writers_never_conflict() {
+        // Same footprint, different jobs: independent root domains, legal concurrency.
+        let s = Sentinel::new();
+        s.task_created(0, 1, None, "job0-w", [strong(0, 10, true)]);
+        s.task_created(7, 2, None, "job7-w", [strong(0, 10, true)]);
         s.task_started(1);
         s.task_started(2);
     }
@@ -228,8 +253,8 @@ mod tests {
     #[test]
     fn concurrent_readers_are_fine() {
         let s = Sentinel::new();
-        s.task_created(1, None, "a", [strong(0, 10, false)]);
-        s.task_created(2, None, "b", [strong(0, 10, false)]);
+        s.task_created(0, 1, None, "a", [strong(0, 10, false)]);
+        s.task_created(0, 2, None, "b", [strong(0, 10, false)]);
         s.task_started(1);
         s.task_started(2);
     }
@@ -238,8 +263,8 @@ mod tests {
     #[should_panic(expected = "region conflict")]
     fn overlapping_writer_and_reader_panic() {
         let s = Sentinel::new();
-        s.task_created(1, None, "w", [strong(0, 10, true)]);
-        s.task_created(2, None, "r", [strong(5, 15, false)]);
+        s.task_created(0, 1, None, "w", [strong(0, 10, true)]);
+        s.task_created(0, 2, None, "r", [strong(5, 15, false)]);
         s.task_started(1);
         s.task_started(2);
     }
@@ -248,8 +273,8 @@ mod tests {
     #[should_panic(expected = "region conflict")]
     fn overlapping_writers_panic() {
         let s = Sentinel::new();
-        s.task_created(1, None, "a", [strong(0, 10, true)]);
-        s.task_created(2, None, "b", [strong(9, 12, true)]);
+        s.task_created(0, 1, None, "a", [strong(0, 10, true)]);
+        s.task_created(0, 2, None, "b", [strong(9, 12, true)]);
         s.task_started(1);
         s.task_started(2);
     }
@@ -257,10 +282,10 @@ mod tests {
     #[test]
     fn finished_tasks_do_not_conflict() {
         let s = Sentinel::new();
-        s.task_created(1, None, "a", [strong(0, 10, true)]);
+        s.task_created(0, 1, None, "a", [strong(0, 10, true)]);
         s.task_started(1);
         s.task_finished(1);
-        s.task_created(2, None, "b", [strong(0, 10, true)]);
+        s.task_created(0, 2, None, "b", [strong(0, 10, true)]);
         s.task_started(2);
         assert_eq!(s.live_tasks(), 1);
     }
@@ -268,12 +293,12 @@ mod tests {
     #[test]
     fn parent_and_child_may_overlap() {
         let s = Sentinel::new();
-        s.task_created(1, None, "parent", [strong(0, 100, true)]);
+        s.task_created(0, 1, None, "parent", [strong(0, 100, true)]);
         s.task_started(1);
-        s.task_created(2, Some(1), "child", [strong(0, 50, true)]);
+        s.task_created(0, 2, Some(1), "child", [strong(0, 50, true)]);
         s.task_started(2);
         // Grandchild vs grandparent, too.
-        s.task_created(3, Some(2), "grandchild", [strong(0, 25, true)]);
+        s.task_created(0, 3, Some(2), "grandchild", [strong(0, 25, true)]);
         s.task_started(3);
     }
 
@@ -281,10 +306,10 @@ mod tests {
     #[should_panic(expected = "region conflict")]
     fn siblings_conflict_even_under_common_parent() {
         let s = Sentinel::new();
-        s.task_created(1, None, "parent", [weak(0, 100, true)]);
+        s.task_created(0, 1, None, "parent", [weak(0, 100, true)]);
         s.task_started(1);
-        s.task_created(2, Some(1), "sib-a", [strong(0, 50, true)]);
-        s.task_created(3, Some(1), "sib-b", [strong(40, 80, true)]);
+        s.task_created(0, 2, Some(1), "sib-a", [strong(0, 50, true)]);
+        s.task_created(0, 3, Some(1), "sib-b", [strong(40, 80, true)]);
         s.task_started(2);
         s.task_started(3);
     }
@@ -292,8 +317,8 @@ mod tests {
     #[test]
     fn weak_entries_never_conflict() {
         let s = Sentinel::new();
-        s.task_created(1, None, "outer-a", [weak(0, 100, true)]);
-        s.task_created(2, None, "outer-b", [weak(0, 100, true)]);
+        s.task_created(0, 1, None, "outer-a", [weak(0, 100, true)]);
+        s.task_created(0, 2, None, "outer-b", [weak(0, 100, true)]);
         s.task_started(1);
         s.task_started(2);
     }
@@ -301,7 +326,7 @@ mod tests {
     #[test]
     fn access_inside_footprint_is_covered() {
         let s = Sentinel::new();
-        s.task_created(1, None, "t", [strong(0, 10, false), strong(20, 30, true)]);
+        s.task_created(0, 1, None, "t", [strong(0, 10, false), strong(20, 30, true)]);
         s.task_started(1);
         assert!(s.check_access(1, &region(2, 8), false).is_none());
         assert!(s.check_access(1, &region(20, 30), true).is_none());
@@ -312,7 +337,7 @@ mod tests {
     #[test]
     fn access_outside_footprint_is_flagged() {
         let s = Sentinel::new();
-        s.task_created(1, None, "t", [strong(0, 10, false)]);
+        s.task_created(0, 1, None, "t", [strong(0, 10, false)]);
         s.task_started(1);
         // Out of range.
         assert!(s.check_access(1, &region(5, 15), false).is_some());
@@ -324,7 +349,7 @@ mod tests {
     #[test]
     fn release_shrinks_the_live_footprint() {
         let s = Sentinel::new();
-        s.task_created(1, None, "t", [strong(0, 30, true)]);
+        s.task_created(0, 1, None, "t", [strong(0, 30, true)]);
         s.task_started(1);
         assert!(s.check_access(1, &region(0, 30), true).is_none());
         s.released(1, &region(10, 20));

@@ -23,12 +23,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod sleep;
 
+pub use admission::{AdmissionGate, AdmissionStats};
+
 use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use rand::rngs::SmallRng;
@@ -70,6 +76,14 @@ pub enum SchedulingPolicy {
         /// `i / domain_size`.
         domain_size: usize,
     },
+    /// Multi-tenant fairness: ready work submitted through the tenant-tagged entry points
+    /// ([`ThreadPool::submit_tenant`], [`WorkerContext::dispatch_ready_tenant`], ...) goes to a
+    /// per-tenant FIFO queue, and idle workers drain the queues round-robin — one job per
+    /// tenant per turn — so one heavy tenant cannot starve the others. No successor slot, no
+    /// per-worker wave placement: like [`SchedulingPolicy::Fifo`], but breadth-first *across
+    /// tenants* instead of across submission order. Untagged submissions fall back to the
+    /// global injector, which workers only consult when every tenant queue is empty.
+    FairShare,
 }
 
 impl SchedulingPolicy {
@@ -83,12 +97,13 @@ impl SchedulingPolicy {
     }
 
     /// All concrete policies (hierarchical with its default domain size), in ablation order.
-    pub fn all() -> [SchedulingPolicy; 4] {
+    pub fn all() -> [SchedulingPolicy; 5] {
         [
             SchedulingPolicy::LocalitySlot,
             SchedulingPolicy::HierarchicalSteal { domain_size: Self::DEFAULT_DOMAIN_SIZE },
             SchedulingPolicy::DepthFirst,
             SchedulingPolicy::Fifo,
+            SchedulingPolicy::FairShare,
         ]
     }
 
@@ -99,6 +114,7 @@ impl SchedulingPolicy {
             SchedulingPolicy::Fifo => "fifo",
             SchedulingPolicy::DepthFirst => "depth-first",
             SchedulingPolicy::HierarchicalSteal { .. } => "hierarchical-steal",
+            SchedulingPolicy::FairShare => "fair-share",
         }
     }
 
@@ -117,9 +133,9 @@ impl SchedulingPolicy {
     }
 
     /// Whether ready waves go to the producing worker's deque (`true`) or to the global
-    /// injector (`false`, the breadth-first baseline).
+    /// injector (`false`, the breadth-first baselines).
     fn wave_goes_local(&self) -> bool {
-        !matches!(self, SchedulingPolicy::Fifo)
+        !matches!(self, SchedulingPolicy::Fifo | SchedulingPolicy::FairShare)
     }
 
     /// Effective workers-per-domain for a pool of `workers` (1 domain for every
@@ -188,6 +204,22 @@ impl PoolStats {
     }
 }
 
+/// Per-tenant FIFO queues plus the round-robin rotation, for [`SchedulingPolicy::FairShare`].
+///
+/// Invariant: a tenant appears in `order` **iff** its queue is non-empty (each tenant at most
+/// once). Empty queues are removed from the map immediately, so the map's footprint tracks the
+/// number of tenants with queued work, not the number of tenants ever seen.
+struct FairInner<T> {
+    queues: HashMap<u64, VecDeque<T>>,
+    order: VecDeque<u64>,
+}
+
+impl<T> Default for FairInner<T> {
+    fn default() -> Self {
+        FairInner { queues: HashMap::new(), order: VecDeque::new() }
+    }
+}
+
 struct Shared<T: Send + 'static> {
     injector: Injector<T>,
     stealers: Vec<Stealer<T>>,
@@ -196,9 +228,60 @@ struct Shared<T: Send + 'static> {
     stats: PoolStats,
     workers: usize,
     policy: SchedulingPolicy,
+    /// Tenant queues for [`SchedulingPolicy::FairShare`]; untouched (and empty) under every
+    /// other policy. Guarded by one mutex: pushes and the round-robin pop both rotate `order`,
+    /// and fairness is inherently a global ordering decision. The lock is a **leaf**: nothing
+    /// is called while it is held — sleep-protocol notifies happen strictly after release (see
+    /// docs/locking.md).
+    fair: Mutex<FairInner<T>>,
 }
 
 impl<T: Send + 'static> Shared<T> {
+    /// Enqueues one job on `tenant`'s FIFO queue. The caller signals the sleep protocol
+    /// *after* this returns — never while the fair lock is held.
+    fn fair_push(&self, tenant: u64, job: T) {
+        let mut inner = self.fair.lock();
+        let FairInner { queues, order } = &mut *inner;
+        let queue = queues.entry(tenant).or_default();
+        if queue.is_empty() {
+            order.push_back(tenant);
+        }
+        queue.push_back(job);
+    }
+
+    /// Enqueues a wave of jobs on `tenant`'s FIFO queue, returning the count.
+    fn fair_push_batch(&self, tenant: u64, jobs: impl IntoIterator<Item = T>) -> usize {
+        let mut inner = self.fair.lock();
+        let FairInner { queues, order } = &mut *inner;
+        let queue = queues.entry(tenant).or_default();
+        let was_empty = queue.is_empty();
+        let before = queue.len();
+        queue.extend(jobs);
+        let pushed = queue.len() - before;
+        if was_empty && pushed > 0 {
+            order.push_back(tenant);
+        } else if was_empty {
+            // `entry().or_default()` may have created an empty queue; uphold the invariant.
+            queues.remove(&tenant);
+        }
+        pushed
+    }
+
+    /// Round-robin pop: takes the front job of the next tenant in rotation and moves that
+    /// tenant to the back of the rotation (if it still has queued work).
+    fn fair_pop(&self) -> Option<T> {
+        let mut inner = self.fair.lock();
+        let FairInner { queues, order } = &mut *inner;
+        let tenant = order.pop_front()?;
+        let queue = queues.get_mut(&tenant).expect("tenant in rotation has a queue");
+        let job = queue.pop_front().expect("queued tenant has a job");
+        if queue.is_empty() {
+            queues.remove(&tenant);
+        } else {
+            order.push_back(tenant);
+        }
+        Some(job)
+    }
     /// Records the outcome of a domain-preferring wake into the stats counters.
     fn count_wake(&self, target: WakeTarget) {
         match target {
@@ -262,6 +345,7 @@ impl<T: Send + 'static> ThreadPool<T> {
             stats: PoolStats::default(),
             workers,
             policy,
+            fair: Mutex::new(FairInner::default()),
         });
         let executor: Arc<Executor<T>> = Arc::new(executor);
 
@@ -306,6 +390,30 @@ impl<T: Send + 'static> ThreadPool<T> {
         self.shared.injector.push_batch(jobs.into_iter().inspect(|_| count += 1));
         if count > 0 {
             self.shared.sleep.notify_many(count, None);
+        }
+    }
+
+    /// Tenant-tagged [`ThreadPool::submit`]: under [`SchedulingPolicy::FairShare`] the job
+    /// joins `tenant`'s FIFO queue in the round-robin rotation; under every other policy the
+    /// tag is ignored and the job goes to the global injector.
+    pub fn submit_tenant(&self, tenant: u64, job: T) {
+        if self.shared.policy == SchedulingPolicy::FairShare {
+            self.shared.fair_push(tenant, job);
+            self.shared.sleep.notify_one(None);
+        } else {
+            self.submit(job);
+        }
+    }
+
+    /// Tenant-tagged [`ThreadPool::submit_batch`] (see [`ThreadPool::submit_tenant`]).
+    pub fn submit_batch_tenant(&self, tenant: u64, jobs: impl IntoIterator<Item = T>) {
+        if self.shared.policy == SchedulingPolicy::FairShare {
+            let count = self.shared.fair_push_batch(tenant, jobs);
+            if count > 0 {
+                self.shared.sleep.notify_many(count, None);
+            }
+        } else {
+            self.submit_batch(jobs);
         }
     }
 
@@ -381,6 +489,8 @@ impl<T: Send + 'static> Drop for ThreadPool<T> {
                 Steal::Empty => break,
             }
         }
+        // Same for the fair-share tenant queues (empty under every other policy).
+        while self.shared.fair_pop().is_some() {}
         let _ = &self.executor;
     }
 }
@@ -413,6 +523,19 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
             self.push_local(job);
         } else {
             self.push_global(job);
+        }
+    }
+
+    /// Tenant-tagged [`WorkerContext::dispatch_spawned`]: under
+    /// [`SchedulingPolicy::FairShare`] the job joins `tenant`'s FIFO queue; under every other
+    /// policy the tag is ignored.
+    pub fn dispatch_spawned_tenant(&self, tenant: u64, job: T) {
+        if self.shared.policy == SchedulingPolicy::FairShare {
+            self.shared.fair_push(tenant, job);
+            let target = self.shared.sleep.notify_one(None);
+            self.shared.count_wake(target);
+        } else {
+            self.dispatch_spawned(job);
         }
     }
 
@@ -462,6 +585,21 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
         if pushed > 0 {
             let woken = self.shared.sleep.notify_many(pushed, Some(self.domain));
             self.shared.count_wakes(woken);
+        }
+    }
+
+    /// Tenant-tagged [`WorkerContext::dispatch_ready`]: under [`SchedulingPolicy::FairShare`]
+    /// the whole wave joins `tenant`'s FIFO queue (the successor hint does not apply — the
+    /// policy trades the locality slot for cross-tenant fairness); under every other policy
+    /// the tag is ignored and the wave takes the policy's normal placement.
+    pub fn dispatch_ready_tenant(&self, tenant: u64, jobs: Vec<T>, successor_hint: bool) {
+        if self.shared.policy == SchedulingPolicy::FairShare {
+            let count = self.shared.fair_push_batch(tenant, jobs);
+            if count > 0 {
+                self.shared.sleep.notify_many(count, None);
+            }
+        } else {
+            self.dispatch_ready(jobs, successor_hint);
         }
     }
 
@@ -529,12 +667,25 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
             PoolStats::bump(&self.shared.stats.from_local);
             return Some(job);
         }
+        // Fair-share: the tenant rotation outranks the untagged injector, and each visit takes
+        // exactly one job — that *is* the round-robin. Counted as an injector acquisition (it
+        // is the policy's global queue).
+        if self.shared.policy == SchedulingPolicy::FairShare {
+            if let Some(job) = self.shared.fair_pop() {
+                PoolStats::bump(&self.shared.stats.from_injector);
+                return Some(job);
+            }
+        }
         // Retry loop around the lock-free structures that can return `Steal::Retry`.
         loop {
             let mut retry = false;
             // Fifo takes single jobs in strict submission order (breadth-first by
-            // construction); every other policy batch-refills its deque from the injector.
-            let taken = if self.shared.policy == SchedulingPolicy::Fifo {
+            // construction), fair-share one at a time to keep the rotation authoritative;
+            // every other policy batch-refills its deque from the injector.
+            let taken = if matches!(
+                self.shared.policy,
+                SchedulingPolicy::Fifo | SchedulingPolicy::FairShare
+            ) {
                 self.shared.injector.steal()
             } else {
                 self.shared.injector.steal_batch_and_pop(self.deque)
@@ -1017,6 +1168,59 @@ mod tests {
         assert_eq!(stats.from_local.load(Ordering::Relaxed), 0);
         assert_eq!(stats.stolen.load(Ordering::Relaxed), 0);
         assert_eq!(stats.from_injector.load(Ordering::Relaxed), 12);
+    }
+
+    /// Fair-share round-robins across tenant queues: one job per tenant per turn, regardless
+    /// of how many jobs the heavy tenant has queued ahead of the light one.
+    #[test]
+    fn fair_share_round_robins_across_tenants() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let ready = Arc::new(AtomicBool::new(false));
+        let proceed = Arc::new(AtomicBool::new(false));
+        let (o, r, p) = (Arc::clone(&order), Arc::clone(&ready), Arc::clone(&proceed));
+        let pool: ThreadPool<usize> =
+            ThreadPool::with_policy(1, SchedulingPolicy::FairShare, move |job, _ctx| {
+                if job == 0 {
+                    // Pin the single worker so the tenant queues fill while it is busy.
+                    r.store(true, Ordering::SeqCst);
+                    while !p.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    return;
+                }
+                o.lock().push(job);
+            });
+        pool.submit(0);
+        assert!(wait_for(|| ready.load(Ordering::SeqCst), Duration::from_secs(5)));
+        // Heavy tenant 1 queues three jobs before light tenant 2 queues two.
+        pool.submit_batch_tenant(1, [10, 11, 12]);
+        pool.submit_tenant(2, 20);
+        pool.submit_tenant(2, 21);
+        proceed.store(true, Ordering::SeqCst);
+        assert!(wait_for(|| order.lock().len() == 5, Duration::from_secs(5)));
+        assert_eq!(*order.lock(), vec![10, 20, 11, 21, 12]);
+        let stats = pool.stats();
+        assert_eq!(stats.from_successor_slot.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.from_local.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            stats.from_injector.load(Ordering::Relaxed),
+            6,
+            "job 0 from the injector plus five round-robin pops"
+        );
+    }
+
+    /// Under a non-fair-share policy the tenant-tagged entry points are transparent aliases
+    /// of the untagged ones.
+    #[test]
+    fn tenant_api_degrades_to_untagged_under_other_policies() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool: ThreadPool<usize> = ThreadPool::new(2, move |_job, _ctx| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.submit_tenant(7, 1);
+        pool.submit_batch_tenant(8, [2, 3, 4]);
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == 4, Duration::from_secs(5)));
     }
 
     /// DepthFirst follows chains through the deque (LIFO) without ever using the slot.

@@ -13,6 +13,17 @@
 //!     acquired while it is held;
 //!   - `call-while-locked`: no pump/dispatch call under it. (Condvar notifies under the epoch
 //!     mutex are *required* by the protocol and are deliberately not flagged here.)
+//! * `crates/core/src/runtime.rs` — the **jobs registry** (`….jobs.lock()`) of the
+//!   multi-tenant service:
+//!   - `leaf-lock`: only insert/remove/`Arc`-clone run under it — no other lock;
+//!   - `call-while-locked`: no gate notify/wait, scheduler dispatch or admission call while
+//!     the registry guard is live (clone the job `Arc`s out, drop the guard, then notify).
+//! * `crates/threadpool/src/lib.rs` — the **fair-share queue mutex** (`….fair.lock()`):
+//!   - `leaf-lock` + `call-while-locked`: queue rotation only; sleep-protocol notifies happen
+//!     strictly after the push returns.
+//! * `crates/threadpool/src/admission.rs` — the **admission mutex** (`….mutex.lock()`):
+//!   - `leaf-lock` + `call-while-locked` (pump/dispatch patterns; like the epoch mutex, the
+//!     condvar notify under it is the lost-wake-up defence and is deliberately allowed).
 //!
 //! ## How the scanner works
 //!
@@ -71,14 +82,76 @@ pub fn classes_for(path: &Path) -> &'static [LockClass] {
         forbid_nested_same_class: true,
         leaf: true,
     };
+    const REGISTRY: LockClass = LockClass {
+        name: "jobs-registry",
+        acquire: ".jobs.lock()",
+        // The registry holds job `Arc`s only for insert/remove/clone; every notify, dispatch
+        // and admission probe must happen after the guard is dropped (docs/locking.md).
+        forbidden_calls: &[
+            ".pump(",
+            ".notify(",
+            ".notify_one(",
+            ".notify_all(",
+            ".notify_many(",
+            ".wait_until(",
+            ".wait_once(",
+            ".submit(",
+            ".submit_batch(",
+            ".submit_tenant(",
+            ".submit_batch_tenant(",
+            ".dispatch_ready(",
+            ".dispatch_ready_tenant(",
+            ".dispatch_spawned(",
+            ".dispatch_spawned_tenant(",
+            ".admit(",
+        ],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
+    const FAIR: LockClass = LockClass {
+        name: "fair-queue",
+        acquire: ".fair.lock()",
+        // Sleep-protocol notifies happen strictly after a fair push returns.
+        forbidden_calls: &[
+            ".pump(",
+            ".notify_one(",
+            ".notify_all(",
+            ".notify_many(",
+            ".submit(",
+            ".submit_batch(",
+            ".dispatch_ready(",
+            ".dispatch_spawned(",
+        ],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
+    const ADMISSION: LockClass = LockClass {
+        name: "admission",
+        acquire: ".mutex.lock()",
+        // Like the epoch mutex, the condvar notify under the admission mutex is the
+        // lost-wake-up defence and is deliberately allowed.
+        forbidden_calls: &[".pump(", ".submit(", ".submit_batch(", ".dispatch_ready(", ".dispatch_spawned("],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
     const DOMAIN_CLASSES: &[LockClass] = &[DOMAIN];
     const EPOCH_CLASSES: &[LockClass] = &[EPOCH];
+    const REGISTRY_CLASSES: &[LockClass] = &[REGISTRY];
+    const FAIR_CLASSES: &[LockClass] = &[FAIR];
+    const ADMISSION_CLASSES: &[LockClass] = &[ADMISSION];
+    let full = path.to_string_lossy().replace('\\', "/");
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     // "domain"/"outbox" match the synthetic fixtures, so the CLI can be pointed at them too.
     if name.contains("engine") || name.contains("domain") || name.contains("outbox") {
         DOMAIN_CLASSES
     } else if name.contains("sleep") {
         EPOCH_CLASSES
+    } else if name.contains("runtime") || name.contains("registry") {
+        REGISTRY_CLASSES
+    } else if name.contains("admission") {
+        ADMISSION_CLASSES
+    } else if full.contains("threadpool") && name == "lib.rs" || name.contains("fair") {
+        FAIR_CLASSES
     } else {
         &[]
     }
@@ -454,6 +527,66 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.rule == "leaf-lock"),
             "leaf-lock not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn registry_is_leaf_and_notify_free() {
+        let registry_classes = classes_for(&PathBuf::from("runtime.rs"));
+        let clean = r#"
+            fn retire(&self) {
+                let registry = inner.jobs.lock();
+                let others: Vec<_> = registry.values().cloned().collect();
+                drop(registry);
+                for other in others {
+                    other.gate.notify(false, true);
+                }
+            }
+        "#;
+        assert!(scan_source("runtime.rs", clean, registry_classes).is_empty());
+
+        let dirty = r#"
+            fn notify_under_registry(&self) {
+                let registry = inner.jobs.lock();
+                for other in registry.values() {
+                    other.gate.notify(false, true);
+                }
+            }
+        "#;
+        let violations = scan_source("runtime.rs", dirty, registry_classes);
+        assert!(
+            violations.iter().any(|v| v.rule == "call-while-locked"),
+            "notify under the registry guard not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn fair_queue_and_admission_classes_resolve_and_flag() {
+        let fair_classes = classes_for(&PathBuf::from("crates/threadpool/src/lib.rs"));
+        assert_eq!(fair_classes.len(), 1, "threadpool lib.rs must get the fair-queue class");
+        let dirty = r#"
+            fn push_and_wake(&self) {
+                let mut inner = self.fair.lock();
+                inner.queues.push_back(job);
+                self.sleep.notify_one(None);
+            }
+        "#;
+        let violations = scan_source("lib.rs", dirty, fair_classes);
+        assert!(
+            violations.iter().any(|v| v.rule == "call-while-locked"),
+            "wake under the fair-queue guard not flagged: {violations:?}"
+        );
+
+        let admission_classes = classes_for(&PathBuf::from("admission.rs"));
+        let clean = r#"
+            fn notify_release(&self) {
+                let _guard = self.mutex.lock();
+                self.condvar.notify_all();
+            }
+        "#;
+        assert!(
+            scan_source("admission.rs", clean, admission_classes).is_empty(),
+            "the admission condvar notify under its own mutex must stay allowed"
         );
     }
 

@@ -5,8 +5,10 @@
 //! ```
 //!
 //! `lint-locks` enforces the locking rules of `docs/locking.md` on the deadlock-critical
-//! files (`crates/core/src/engine.rs`, `crates/threadpool/src/sleep.rs`); see `src/lint.rs`
-//! for the rules and the scanner. Exit code 1 when violations remain after allowlisting.
+//! files (`crates/core/src/engine.rs`, `crates/core/src/runtime.rs`,
+//! `crates/threadpool/src/sleep.rs`, `crates/threadpool/src/lib.rs`,
+//! `crates/threadpool/src/admission.rs`); see `src/lint.rs` for the rules and the scanner.
+//! Exit code 1 when violations remain after allowlisting.
 
 mod lint;
 
@@ -15,8 +17,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The real files the lint covers by default, relative to the workspace root.
-const DEFAULT_TARGETS: &[&str] =
-    &["crates/core/src/engine.rs", "crates/threadpool/src/sleep.rs"];
+const DEFAULT_TARGETS: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/threadpool/src/sleep.rs",
+    "crates/core/src/runtime.rs",
+    "crates/threadpool/src/lib.rs",
+    "crates/threadpool/src/admission.rs",
+];
 
 const DEFAULT_ALLOWLIST: &str = "crates/xtask/lint-locks.allow";
 

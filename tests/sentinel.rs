@@ -93,6 +93,40 @@ fn dependent_chain_is_clean() {
     assert!(data.snapshot().iter().all(|&v| v == 16 * 50));
 }
 
+/// Multi-tenant service: concurrent jobs whose tasks declare the **same** footprints (each
+/// over its own buffer) must stay clean — the shadow table is job-qualified, so cross-job
+/// overlap is never compared. The rendezvous forces the jobs' writers to genuinely overlap in
+/// time, which without the job qualifier would look exactly like the flagged races below.
+#[test]
+fn concurrent_jobs_with_identical_footprints_are_clean() {
+    let rt = Runtime::with_workers(4);
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let a = Arc::clone(&arrived);
+            rt.submit(move |ctx| {
+                let data = SharedSlice::<u64>::filled(64, 0);
+                let d = data.clone();
+                let a2 = Arc::clone(&a);
+                ctx.task().inout(data.region(0..64)).label("tenant-writer").spawn(move |t| {
+                    // Hold the footprint while the other jobs' identically-declared writers
+                    // start: only the job qualifier keeps this clean.
+                    rendezvous(&a2, 3, Duration::from_secs(2));
+                    for v in d.write(t, 0..64) {
+                        *v += 1;
+                    }
+                });
+                ctx.taskwait();
+                data.snapshot()[0]
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait(), Some(1));
+    }
+    assert_eq!(arrived.load(Ordering::SeqCst), 3, "the tenants' writers must have overlapped");
+}
+
 // ---------------------------------------------------------------------------------------------
 // Mutation regression: the seeded §VIII-A wave-ordering bug must be caught.
 // ---------------------------------------------------------------------------------------------

@@ -16,15 +16,17 @@ fn chain(n: usize) {
     let root = engine.register_root();
     let mut ids = Vec::with_capacity(n);
     for _ in 0..n {
-        let (id, _ready) = engine.register_task(
-            root,
-            &[Depend::new(AccessType::InOut, region(0, 4096))],
-            WaitMode::None,
-        );
+        let (id, _ready) = engine
+            .register_task(
+                root,
+                &[Depend::new(AccessType::InOut, region(0, 4096))],
+                WaitMode::None,
+            )
+            .expect("live parent");
         ids.push(id);
     }
     for id in ids {
-        engine.body_finished(id);
+        engine.body_finished(id).expect("live task");
     }
 }
 
@@ -37,26 +39,30 @@ fn nested_weak(calls: usize, blocks: usize) {
     let root = engine.register_root();
     let mut order = Vec::new();
     for _ in 0..calls {
-        let (outer, _) = engine.register_task(
-            root,
-            &[Depend::new(AccessType::WeakInOut, region(0, total))],
-            WaitMode::WeakWait,
-        );
+        let (outer, _) = engine
+            .register_task(
+                root,
+                &[Depend::new(AccessType::WeakInOut, region(0, total))],
+                WaitMode::WeakWait,
+            )
+            .expect("live parent");
         for b in 0..blocks {
-            let (inner, _) = engine.register_task(
-                outer,
-                &[Depend::new(
-                    AccessType::InOut,
-                    region(b * block_bytes, (b + 1) * block_bytes),
-                )],
-                WaitMode::None,
-            );
+            let (inner, _) = engine
+                .register_task(
+                    outer,
+                    &[Depend::new(
+                        AccessType::InOut,
+                        region(b * block_bytes, (b + 1) * block_bytes),
+                    )],
+                    WaitMode::None,
+                )
+                .expect("live parent");
             order.push(inner);
         }
         order.push(outer);
     }
     for id in order {
-        engine.body_finished(id);
+        engine.body_finished(id).expect("live task");
     }
 }
 

@@ -11,13 +11,21 @@
 //! * **nested** — the paper's flagship weak-outer/strong-inner blocks with `weakwait`;
 //! * **batch** — one `spawn_batch` wave of per-cell writers.
 //!
+//! Two extra rows exercise the failure model at the same scale: a fixed fraction of the jobs
+//! panic deliberately, once under `PanicPolicy::FailFast` and once under `RunToCompletion`,
+//! and the p50/p99 latency of the *clean* jobs is recorded — the isolation headline (a
+//! neighbouring tenant's crash must not distort the latency tail of everyone else).
+//!
 //! Results are spliced into `BENCH_overheads.json` as the `"mixed_tenant"` section (kept
-//! before `"policies"` and `"soak"` by `overheads_json::splice_mixed_tenant`).
+//! before `"chaos"`, `"policies"` and `"soak"` by `overheads_json::splice_mixed_tenant`).
 
 use std::time::{Duration, Instant};
 
 use weakdep_bench::CommonArgs;
-use weakdep_core::{Runtime, RuntimeConfig, SchedulingPolicy, SharedSlice, TaskCtx, TaskSpec};
+use weakdep_core::{
+    JobError, JobOptions, PanicPolicy, Runtime, RuntimeConfig, SchedulingPolicy, SharedSlice,
+    TaskCtx, TaskSpec,
+};
 
 /// With `--features count-allocs`, heap allocations are counted and the section records
 /// allocations per task across the whole soak; `--enforce-alloc-budget` then gates on
@@ -161,11 +169,14 @@ impl Shape {
     }
 }
 
-/// One measured configuration of the service.
+/// One measured configuration of the service. In panic-policy rows (`panic_policy` set),
+/// `faulty` jobs crash deliberately and the latency percentiles cover the *clean* jobs only.
 struct Row {
     policy: SchedulingPolicy,
     budget: Option<usize>,
+    panic_policy: Option<PanicPolicy>,
     jobs: usize,
+    faulty: usize,
     tasks: usize,
     total_secs: f64,
     latency_p50_ms: f64,
@@ -175,42 +186,106 @@ struct Row {
     admission_high_water: usize,
 }
 
+fn policy_label(p: Option<PanicPolicy>) -> &'static str {
+    match p {
+        None => "none",
+        Some(PanicPolicy::FailFast) => "fail-fast",
+        Some(PanicPolicy::RunToCompletion) => "run-to-completion",
+    }
+}
+
 fn percentile(sorted: &[Duration], pct: f64) -> f64 {
     let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[idx].as_secs_f64() * 1e3
 }
 
-fn run_row(policy: SchedulingPolicy, budget: Option<usize>, jobs: usize, scale: usize, workers: usize) -> Row {
+/// In panic-policy rows, every `FAULTY_STRIDE`-th job crashes deliberately.
+const FAULTY_STRIDE: usize = 8;
+
+/// A deliberately crashing job body: a fanout whose first task panics. Under fail-fast the
+/// rest of the fanout is skipped; under run-to-completion it executes anyway. Either way the
+/// root's `taskwait` returns (skipped bodies still retire through the engine).
+fn faulty_body(ctx: &TaskCtx<'_>, scale: usize) -> u64 {
+    let tasks = Shape::Fanout.tasks(scale);
+    let data = SharedSlice::<u64>::filled(tasks, 0);
+    for i in 0..tasks {
+        let d = data.clone();
+        ctx.task().inout(data.region(i..i + 1)).label("faulty-cell").spawn(move |t| {
+            if i == 0 {
+                panic!("deliberate tenant fault");
+            }
+            d.write(t, i..i + 1)[0] = 1;
+        });
+    }
+    ctx.taskwait();
+    data.snapshot().iter().sum()
+}
+
+fn run_row(
+    policy: SchedulingPolicy,
+    budget: Option<usize>,
+    panic_policy: Option<PanicPolicy>,
+    jobs: usize,
+    scale: usize,
+    workers: usize,
+) -> Row {
     let mut config = RuntimeConfig::new().workers(workers).scheduling_policy(policy);
     if let Some(b) = budget {
         config = config.live_task_budget(b);
     }
     let rt = Runtime::new(config);
-    let tasks: usize = (0..jobs).map(|i| SHAPES[i % SHAPES.len()].tasks(scale)).sum();
+    let is_faulty = |i: usize| panic_policy.is_some() && i.is_multiple_of(FAULTY_STRIDE);
+    let tasks: usize = (0..jobs)
+        .map(|i| {
+            if is_faulty(i) {
+                Shape::Fanout.tasks(scale)
+            } else {
+                SHAPES[i % SHAPES.len()].tasks(scale)
+            }
+        })
+        .sum();
 
     struct PendingJob {
         shape: Shape,
+        faulty: bool,
         submitted: Instant,
         handle: weakdep_core::JobHandle<u64>,
-        done: Option<(Duration, u64)>,
+        done: Option<(Duration, Option<u64>)>,
     }
 
     let start = Instant::now();
     let mut pending: Vec<PendingJob> = (0..jobs)
         .map(|i| {
             let shape = SHAPES[i % SHAPES.len()];
+            let faulty = is_faulty(i);
+            let options = JobOptions::new().panic_policy(panic_policy.unwrap_or_default());
             let submitted = Instant::now();
-            let handle = rt.submit(move |ctx| shape.run(ctx, scale));
-            PendingJob { shape, submitted, handle, done: None }
+            let handle = if faulty {
+                rt.submit_with(options.label("faulty"), move |ctx| faulty_body(ctx, scale))
+            } else {
+                rt.submit_with(options, move |ctx| shape.run(ctx, scale))
+            };
+            PendingJob { shape, faulty, submitted, handle, done: None }
         })
         .collect();
     // Poll every handle so each job's completion time is observed promptly, not serialised
-    // behind earlier jobs' blocking waits. `try_wait` takes the value out on first success.
+    // behind earlier jobs' blocking waits. `try_wait_result` resolves on first success: a
+    // clean job yields its value, a faulty one must report the injected panic.
     while pending.iter().any(|p| p.done.is_none()) {
         for p in pending.iter_mut() {
             if p.done.is_none() {
-                if let Some(result) = p.handle.try_wait() {
-                    let value = result.expect("an uncancelled job returns its value");
+                if let Some(outcome) = p.handle.try_wait_result() {
+                    let value = match outcome {
+                        Ok(value) => value,
+                        Err(error) => {
+                            assert!(p.faulty, "a clean job failed: {error}");
+                            assert!(
+                                matches!(error, JobError::Panicked { .. }),
+                                "a faulty job must report its panic, got {error}"
+                            );
+                            None
+                        }
+                    };
                     p.done = Some((p.submitted.elapsed(), value));
                 }
             }
@@ -219,11 +294,18 @@ fn run_row(policy: SchedulingPolicy, budget: Option<usize>, jobs: usize, scale: 
     }
     let total_secs = start.elapsed().as_secs_f64();
 
+    let faulty = pending.iter().filter(|p| p.faulty).count();
+    // Latency percentiles cover the clean jobs only: the headline is the latency tail of the
+    // well-behaved tenants while their neighbours crash.
     let mut latencies = Vec::with_capacity(jobs);
     for p in pending {
         let (latency, value) = p.done.expect("polled to completion");
+        if p.faulty {
+            assert!(value.is_none(), "a faulty job must not deliver a value");
+            continue;
+        }
         assert_eq!(
-            value,
+            value.expect("a clean job returns its value"),
             p.shape.expected(scale),
             "{} job produced a wrong sum",
             p.shape.name()
@@ -234,7 +316,7 @@ fn run_row(policy: SchedulingPolicy, budget: Option<usize>, jobs: usize, scale: 
 
     let stats = rt.stats();
     assert_eq!(stats.jobs_submitted, jobs);
-    assert_eq!(stats.jobs_completed, jobs);
+    assert_eq!(stats.jobs_completed, jobs, "failed jobs still drain to completion");
     assert_eq!(stats.jobs_cancelled, 0);
     assert_eq!(
         stats.engine.tasks_registered, stats.engine.tasks_deeply_completed,
@@ -247,7 +329,9 @@ fn run_row(policy: SchedulingPolicy, budget: Option<usize>, jobs: usize, scale: 
     Row {
         policy,
         budget,
+        panic_policy,
         jobs,
+        faulty,
         tasks,
         total_secs,
         latency_p50_ms: percentile(&latencies, 50.0),
@@ -258,10 +342,26 @@ fn run_row(policy: SchedulingPolicy, budget: Option<usize>, jobs: usize, scale: 
     }
 }
 
+/// Swallows the printouts (and backtraces) of the panics the faulty tenants raise on
+/// purpose; anything else still reaches the default hook.
+fn install_panic_filter() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let deliberate = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.starts_with("deliberate tenant fault"));
+        if !deliberate {
+            default_hook(info);
+        }
+    }));
+}
+
 fn main() {
     let args = CommonArgs::parse();
+    install_panic_filter();
     let workers = args.cores.min(8);
-    let (jobs, scale) = if args.quick { (12, 2) } else { (32, 8) };
+    let (jobs, scale) = if args.quick { (16, 2) } else { (128, 8) };
     // Admission load is sampled at submission (live tasks ≈ live roots plus whatever the
     // running jobs have spawned), so a budget below the job count genuinely blocks submitters
     // until earlier jobs drain rather than waving everything through.
@@ -269,9 +369,12 @@ fn main() {
 
     let allocs_before = weakdep_bench::alloc_counter::allocations();
     let rows = vec![
-        run_row(SchedulingPolicy::LocalitySlot, None, jobs, scale, workers),
-        run_row(SchedulingPolicy::FairShare, None, jobs, scale, workers),
-        run_row(SchedulingPolicy::FairShare, Some(budget), jobs, scale, workers),
+        run_row(SchedulingPolicy::LocalitySlot, None, None, jobs, scale, workers),
+        run_row(SchedulingPolicy::FairShare, None, None, jobs, scale, workers),
+        run_row(SchedulingPolicy::FairShare, Some(budget), None, jobs, scale, workers),
+        // Failure-model rows: every 8th job crashes; percentiles cover the clean jobs.
+        run_row(SchedulingPolicy::FairShare, None, Some(PanicPolicy::FailFast), jobs, scale, workers),
+        run_row(SchedulingPolicy::FairShare, None, Some(PanicPolicy::RunToCompletion), jobs, scale, workers),
     ];
     let alloc_delta = weakdep_bench::alloc_counter::allocations() - allocs_before;
     let total_tasks: usize = rows.iter().map(|r| r.tasks).sum();
@@ -281,10 +384,13 @@ fn main() {
     println!("mixed_tenant: {jobs} concurrent jobs/row, {workers} workers, scale {scale}");
     for row in &rows {
         println!(
-            "  {:>14}{}: {} jobs / {} tasks in {:.3}s ({:.0} tasks/s)  latency p50={:.2}ms p99={:.2}ms  admission admitted={} blocked={} high_water={}",
+            "  {:>14}{}{}: {} jobs ({} faulty) / {} tasks in {:.3}s ({:.0} tasks/s)  clean-job latency p50={:.2}ms p99={:.2}ms  admission admitted={} blocked={} high_water={}",
             row.policy.name(),
             row.budget.map_or(String::new(), |b| format!("(budget {b})")),
+            row.panic_policy
+                .map_or(String::new(), |p| format!("(panics, {})", policy_label(Some(p)))),
             row.jobs,
+            row.faulty,
             row.tasks,
             row.total_secs,
             row.tasks as f64 / row.total_secs.max(1e-12),
@@ -305,14 +411,17 @@ fn main() {
         .map(|row| {
             format!(
                 concat!(
-                    "{{\"policy\": \"{}\", \"live_task_budget\": {}, \"jobs\": {}, \"tasks\": {}, ",
+                    "{{\"policy\": \"{}\", \"live_task_budget\": {}, \"panic_policy\": \"{}\", ",
+                    "\"jobs\": {}, \"faulty_jobs\": {}, \"tasks\": {}, ",
                     "\"total_secs\": {:.6}, \"jobs_per_sec\": {:.1}, \"tasks_per_sec\": {:.0}, ",
-                    "\"job_latency_p50_ms\": {:.3}, \"job_latency_p99_ms\": {:.3}, ",
+                    "\"clean_job_latency_p50_ms\": {:.3}, \"clean_job_latency_p99_ms\": {:.3}, ",
                     "\"admission_admitted\": {}, \"admission_blocked\": {}, \"admission_high_water\": {}}}"
                 ),
                 row.policy.name(),
                 row.budget.map_or("null".to_string(), |b| b.to_string()),
+                policy_label(row.panic_policy),
                 row.jobs,
+                row.faulty,
                 row.tasks,
                 row.total_secs,
                 row.jobs as f64 / row.total_secs.max(1e-12),

@@ -446,6 +446,9 @@ fn main() {
     let mixed_tenant_section = existing
         .as_deref()
         .and_then(weakdep_bench::overheads_json::extract_mixed_tenant);
+    let chaos_section = existing
+        .as_deref()
+        .and_then(weakdep_bench::overheads_json::extract_chaos);
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"benchmark\": \"runtime_overheads\",\n  \"quick\": {},\n  \"repeat\": {},\n  \"samples\": [\n",
@@ -477,15 +480,33 @@ fn main() {
         json.push_str(",\n");
         json.push_str(section);
     }
+    // The faults-off guard: this binary is the default (fault-free) build of the runtime, so
+    // its single-worker spawn-batched allocs/task, stamped next to whether the `faults`
+    // feature was compiled in, proves the chaos plumbing costs nothing when compiled out —
+    // the chaos bin's number can be compared against this one.
+    let spawn_batched_allocs = samples
+        .iter()
+        .find(|s| s.scenario == "spawn-batched" && s.workers == 1)
+        .and_then(|s| s.allocs_per_task);
+    json.push_str(&format!(
+        ",\n  \"faults_off_guard\": {{\"faults_compiled\": {}, \"spawn_batched_allocs_per_task\": {}}}",
+        cfg!(feature = "faults"),
+        spawn_batched_allocs.map_or_else(|| "null".to_string(), |a| format!("{a:.1}")),
+    ));
     json.push('\n');
     json.push_str("}\n");
-    // Re-attach the preserved mixed_tenant, policies and soak sections through the same tested
-    // splices the `mixed_tenant`, `fig3_policies` and `soak` binaries use, so the merge format
-    // lives in exactly one place.
+    // Re-attach the preserved mixed_tenant, chaos, policies and soak sections through the same
+    // tested splices the `mixed_tenant`, `chaos`, `fig3_policies` and `soak` binaries use, so
+    // the merge format lives in exactly one place. Applied in the sections' ordering so each
+    // splice lands after the previously re-attached ones.
     let json = match mixed_tenant_section {
         Some(section) => {
             weakdep_bench::overheads_json::splice_mixed_tenant(Some(&json), &section)
         }
+        None => json,
+    };
+    let json = match chaos_section {
+        Some(section) => weakdep_bench::overheads_json::splice_chaos(Some(&json), &section),
         None => json,
     };
     let json = match policies_section {

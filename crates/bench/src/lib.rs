@@ -260,18 +260,20 @@ pub mod alloc_counter {
     }
 }
 
-/// Shared handling of `BENCH_overheads.json`, which three binaries co-own: `overheads` writes
-/// the `samples` sections, `fig3_policies` splices a `"policies"` section and `soak` splices a
-/// trailing `"soak"` section. All go through these helpers so no writer can silently drop
-/// another's data. Invariant maintained by every writer: the `"policies"` section, when
-/// present, sits directly before the `"soak"` section, and the soak section, when present, is
-/// the **last** top-level key of the object.
+/// Shared handling of `BENCH_overheads.json`, which several binaries co-own: `overheads`
+/// writes the `samples` sections, `mixed_tenant` splices a `"mixed_tenant"` section, `chaos`
+/// splices a `"chaos"` section, `fig3_policies` splices a `"policies"` section and `soak`
+/// splices a trailing `"soak"` section. All go through these helpers so no writer can silently
+/// drop another's data. Invariant maintained by every writer: the movable sections are ordered
+/// `mixed_tenant`, `chaos`, `policies`, `soak`, and the soak section, when present, is the
+/// **last** top-level key of the object.
 pub mod overheads_json {
     const MARKER: &str = "  \"soak\":";
     const BASELINE_MARKER: &str = "  \"alloc_baseline_pre_two_tier\":";
     const FRAG_BASELINE_MARKER: &str = "  \"fragmented_baseline_pre_arena\":";
     const POLICIES_MARKER: &str = "  \"policies\":";
     const MIXED_TENANT_MARKER: &str = "  \"mixed_tenant\":";
+    const CHAOS_MARKER: &str = "  \"chaos\":";
 
     /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
     /// snapshot recorded once when the two-tier store landed), if present. The `overheads`
@@ -348,17 +350,19 @@ pub mod overheads_json {
     }
 
     /// Replaces (or inserts) the `"mixed_tenant"` section, preserving every other section and
-    /// the ordering invariant (`mixed_tenant` before `policies` before `soak`, soak last).
-    /// `mixed_tenant` must be a complete single-line `  "mixed_tenant": {...}` entry without a
-    /// trailing comma or newline.
+    /// the ordering invariant (`mixed_tenant` before `chaos` before `policies` before `soak`,
+    /// soak last). `mixed_tenant` must be a complete single-line `  "mixed_tenant": {...}`
+    /// entry without a trailing comma or newline.
     pub fn splice_mixed_tenant(existing: Option<&str>, mixed_tenant: &str) -> String {
-        let (head, policies, soak) = match existing {
+        let (head, chaos, policies, soak) = match existing {
             Some(text) => {
+                let chaos = extract_chaos(text);
                 let policies = extract_policies(text);
                 let soak = extract_soak(text);
                 let text = text.trim_end();
                 let cut = [
                     text.find(MIXED_TENANT_MARKER),
+                    text.find(CHAOS_MARKER),
                     text.find(POLICIES_MARKER),
                     text.find(MARKER),
                 ]
@@ -381,11 +385,59 @@ pub mod overheads_json {
                         None => String::from("{\n"),
                     },
                 };
+                (head, chaos, policies, soak)
+            }
+            None => (String::from("{\n"), None, None, None),
+        };
+        let mut sections = vec![mixed_tenant.to_string()];
+        sections.extend(chaos);
+        sections.extend(policies);
+        sections.extend(soak);
+        format!("{head}{}\n}}\n", sections.join(",\n"))
+    }
+
+    /// Extracts the single-line `"chaos"` section (written by the `chaos` binary), if present,
+    /// so the other writers can carry it across regenerations.
+    pub fn extract_chaos(text: &str) -> Option<String> {
+        let start = text.find(CHAOS_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Replaces (or inserts) the `"chaos"` section, preserving every other section and the
+    /// ordering invariant (after `mixed_tenant`, before `policies` and `soak`). `chaos` must
+    /// be a complete single-line `  "chaos": {...}` entry without a trailing comma or newline.
+    pub fn splice_chaos(existing: Option<&str>, chaos: &str) -> String {
+        let (head, policies, soak) = match existing {
+            Some(text) => {
+                let policies = extract_policies(text);
+                let soak = extract_soak(text);
+                let text = text.trim_end();
+                // `mixed_tenant` sits before the chaos section, so it stays in the head.
+                let cut =
+                    [text.find(CHAOS_MARKER), text.find(POLICIES_MARKER), text.find(MARKER)]
+                        .into_iter()
+                        .flatten()
+                        .min();
+                let head = match cut {
+                    Some(pos) => text[..pos].to_string(),
+                    None => match text.strip_suffix('}') {
+                        Some(body) => {
+                            let mut body = body.trim_end().to_string();
+                            if !body.ends_with(['{', ',']) {
+                                body.push(',');
+                            }
+                            body.push('\n');
+                            body
+                        }
+                        None => String::from("{\n"),
+                    },
+                };
                 (head, policies, soak)
             }
             None => (String::from("{\n"), None, None),
         };
-        let mut sections = vec![mixed_tenant.to_string()];
+        let mut sections = vec![chaos.to_string()];
         sections.extend(policies);
         sections.extend(soak);
         format!("{head}{}\n}}\n", sections.join(",\n"))
@@ -507,6 +559,49 @@ pub mod overheads_json {
             assert!(resoaked.contains("\"jobs\": 9") && resoaked.contains("\"tasks\": 9"));
             // Missing file behaves.
             assert_eq!(splice_mixed_tenant(None, MIXED), format!("{{\n{MIXED}\n}}\n"));
+        }
+
+        #[test]
+        fn splice_chaos_keeps_ordering_invariant() {
+            const MIXED: &str = "  \"mixed_tenant\": {\"jobs\": 8}";
+            const CHAOS: &str = "  \"chaos\": {\"seed\": 1}";
+            const POLICIES: &str = "  \"policies\": {\"rows\": 1}";
+            let base = "{\n  \"samples\": [\n    {}\n  ]\n}\n";
+            // Insert into a samples-only file.
+            let spliced = splice_chaos(Some(base), CHAOS);
+            assert!(spliced.contains("\"samples\""));
+            assert!(spliced.ends_with("  \"chaos\": {\"seed\": 1}\n}\n"));
+            // With every other movable section present, chaos lands after mixed_tenant and
+            // before policies and soak.
+            let full = splice_soak(
+                Some(&splice_policies(Some(&splice_mixed_tenant(Some(base), MIXED)), POLICIES)),
+                SOAK,
+            );
+            let spliced = splice_chaos(Some(&full), CHAOS);
+            assert!(spliced.ends_with(
+                "  \"mixed_tenant\": {\"jobs\": 8},\n  \"chaos\": {\"seed\": 1},\n  \"policies\": {\"rows\": 1},\n  \"soak\": {\"tasks\": 7}\n}\n"
+            ));
+            // Replace an existing chaos section; everything else survives in order.
+            let replaced = splice_chaos(Some(&spliced), "  \"chaos\": {\"seed\": 2}");
+            assert!(replaced.contains("\"seed\": 2") && !replaced.contains("\"seed\": 1"));
+            assert!(replaced.contains("\"jobs\": 8") && replaced.contains("\"rows\": 1"));
+            assert!(replaced.trim_end().ends_with("  \"soak\": {\"tasks\": 7}\n}"));
+            // Round-trips through extract; the other writers carry it.
+            assert_eq!(extract_chaos(&replaced).as_deref(), Some("  \"chaos\": {\"seed\": 2}"));
+            let remixed = splice_mixed_tenant(Some(&replaced), "  \"mixed_tenant\": {\"jobs\": 9}");
+            assert!(remixed.contains("\"seed\": 2") && remixed.contains("\"jobs\": 9"));
+            let repoliced = splice_policies(Some(&remixed), "  \"policies\": {\"rows\": 2}");
+            assert!(repoliced.contains("\"seed\": 2") && repoliced.contains("\"rows\": 2"));
+            let resoaked = splice_soak(Some(&repoliced), "  \"soak\": {\"tasks\": 9}\n");
+            assert!(resoaked.contains("\"seed\": 2") && resoaked.contains("\"tasks\": 9"));
+            // The ordering invariant holds after the full rewrite cycle.
+            let mixed_pos = resoaked.find("\"mixed_tenant\"").unwrap();
+            let chaos_pos = resoaked.find("\"chaos\"").unwrap();
+            let policies_pos = resoaked.find("\"policies\"").unwrap();
+            let soak_pos = resoaked.find("\"soak\"").unwrap();
+            assert!(mixed_pos < chaos_pos && chaos_pos < policies_pos && policies_pos < soak_pos);
+            // Missing file behaves.
+            assert_eq!(splice_chaos(None, CHAOS), format!("{{\n{CHAOS}\n}}\n"));
         }
 
         #[test]

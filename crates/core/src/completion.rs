@@ -136,6 +136,35 @@ impl CompletionGate {
         self.waiters.fetch_sub(1, SeqCst);
     }
 
+    /// Blocks until `done()` holds or `deadline` passes, returning whether the predicate
+    /// held. Same registration protocol as [`Self::wait_until`] — the waiter is counted for
+    /// the whole sleep, so a predicate-flip notify cannot be lost; a timeout simply re-checks
+    /// the predicate one last time under the mutex before giving up.
+    ///
+    /// Not available under the `loom-model` feature (the shimmed condvar has no timed wait);
+    /// the timed wait is a convenience layered on the already-model-checked untimed protocol.
+    #[cfg(not(feature = "loom-model"))]
+    pub fn wait_until_timeout(
+        &self,
+        mut done: impl FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        self.waiters.fetch_add(1, SeqCst);
+        let satisfied = {
+            let mut guard = self.mutex.lock();
+            loop {
+                if done() {
+                    break true;
+                }
+                if self.condvar.wait_until(&mut guard, deadline).timed_out() {
+                    break done();
+                }
+            }
+        };
+        self.waiters.fetch_sub(1, SeqCst);
+        satisfied
+    }
+
     /// The recruitment epoch, to be read *before* a `taskwait`er's queue scan. A dispatch
     /// bumps it after its pushes, so either the pre-sleep recheck in [`Self::wait_once`] sees
     /// a newer epoch (and the caller rescans), or the epoch is unchanged — in which case

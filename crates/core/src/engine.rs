@@ -1153,13 +1153,6 @@ impl DependencyEngine {
         }
     }
 
-    /// [`DependencyEngine::entry`] for callers that hold a *live* task by protocol (spawning
-    /// from it, finishing its body): a stale id there is a caller bug, not a recoverable state.
-    fn live_entry(&self, task: TaskId) -> Arc<TaskEntry> {
-        self.entry(task)
-            .unwrap_or_else(|stale| panic!("operation on a retired task: {stale}"))
-    }
-
     fn publish(&self, entry: Arc<TaskEntry>) {
         let id = entry.id;
         let mut stripe = self.table[id.index() % TABLE_SHARDS].lock();
@@ -1228,13 +1221,15 @@ impl DependencyEngine {
 
     /// Registers a new task as a child of `parent`, with the given declared dependencies and
     /// wait mode. Takes only the parent's domain lock. Returns the new task id and whether the
-    /// task is immediately ready to run.
+    /// task is immediately ready to run, or [`StaleTaskId`] if `parent` has been retired
+    /// (spawning from a live body makes that a caller bug, but the engine reports it as a
+    /// defined error like the rest of the query API instead of panicking).
     pub fn register_task(
         &self,
         parent: TaskId,
         deps: &[Depend],
         wait_mode: WaitMode,
-    ) -> (TaskId, bool) {
+    ) -> Result<(TaskId, bool), StaleTaskId> {
         self.register_task_normalized(parent, &normalize_deps(deps), wait_mode)
     }
 
@@ -1246,29 +1241,29 @@ impl DependencyEngine {
         parent: TaskId,
         deps: &[NormalizedDep],
         wait_mode: WaitMode,
-    ) -> (TaskId, bool) {
-        let parent_entry = self.live_entry(parent);
+    ) -> Result<(TaskId, bool), StaleTaskId> {
+        let parent_entry = self.entry(parent)?;
         let mut domain = parent_entry.domain.lock();
-        self.register_locked(&parent_entry, &mut domain, deps, wait_mode)
+        Ok(self.register_locked(&parent_entry, &mut domain, deps, wait_mode))
     }
 
     /// Registers a batch of sibling tasks under a **single** acquisition of the parent's domain
     /// lock, amortising lock traffic for loop-spawn patterns. Dependencies are pre-normalised,
     /// like [`DependencyEngine::register_task_normalized`]. Returns `(id, ready)` per task, in
-    /// order.
+    /// order, or [`StaleTaskId`] if `parent` has been retired.
     pub fn register_batch<'a>(
         &self,
         parent: TaskId,
         specs: impl IntoIterator<Item = (&'a [NormalizedDep], WaitMode)>,
-    ) -> Vec<(TaskId, bool)> {
-        let parent_entry = self.live_entry(parent);
+    ) -> Result<Vec<(TaskId, bool)>, StaleTaskId> {
+        let parent_entry = self.entry(parent)?;
         let mut domain = parent_entry.domain.lock();
-        specs
+        Ok(specs
             .into_iter()
             .map(|(deps, wait_mode)| {
                 self.register_locked(&parent_entry, &mut domain, deps, wait_mode)
             })
-            .collect()
+            .collect())
     }
 
     /// The registration core, with the parent's domain already locked.
@@ -1521,9 +1516,10 @@ impl DependencyEngine {
 
     /// The task's body has finished executing. Takes the task's own domain lock, then drains the
     /// resulting cross-domain messages one lock at a time. Returns the ready / deeply-completed
-    /// effects.
-    pub fn body_finished(&self, task: TaskId) -> Effects {
-        let entry = self.live_entry(task);
+    /// effects, or [`StaleTaskId`] if `task` has already been retired (a double
+    /// `body_finished` through a stale id is a caller bug, reported as a defined error).
+    pub fn body_finished(&self, task: TaskId) -> Result<Effects, StaleTaskId> {
+        let entry = self.entry(task)?;
         let mut effects = Effects::default();
         let mut outbox = VecDeque::new();
         {
@@ -1588,19 +1584,20 @@ impl DependencyEngine {
             }
         }
         self.pump(&mut outbox, &mut effects);
-        effects
+        Ok(effects)
     }
 
     /// The `release` directive (§V): the running task asserts it (and its *future* subtasks) will
     /// no longer access `region`. The overlapping fragments of its declared accesses are armed
     /// for early completion; fragments not covered by live child accesses complete immediately.
-    pub fn release_region(&self, task: TaskId, region: Region) -> Effects {
-        let entry = self.live_entry(task);
+    /// Returns [`StaleTaskId`] if `task` has already been retired.
+    pub fn release_region(&self, task: TaskId, region: Region) -> Result<Effects, StaleTaskId> {
+        let entry = self.entry(task)?;
         let mut effects = Effects::default();
         let mut outbox = VecDeque::new();
         {
             let mut domain = entry.domain.lock();
-            let Some(target) = domain.parent_arc() else { return effects };
+            let Some(target) = domain.parent_arc() else { return Ok(effects) };
             domain.ensure_seeded();
             for own_idx in 0..domain.own.len() {
                 let own = &mut domain.own[own_idx];
@@ -1624,7 +1621,7 @@ impl DependencyEngine {
             }
         }
         self.pump(&mut outbox, &mut effects);
-        effects
+        Ok(effects)
     }
 
     // ------------------------------------------------------------------------------------------
@@ -2183,7 +2180,8 @@ mod tests {
         }
 
         fn spawn(&mut self, parent: TaskId, deps: &[Depend], mode: WaitMode) -> TaskId {
-            let (id, ready) = self.engine.register_task(parent, deps, mode);
+            let (id, ready) =
+                self.engine.register_task(parent, deps, mode).expect("live parent");
             if ready {
                 self.ready.push(id);
             }
@@ -2195,13 +2193,13 @@ mod tests {
         }
 
         fn finish(&mut self, task: TaskId) {
-            let effects = self.engine.body_finished(task);
+            let effects = self.engine.body_finished(task).expect("live task");
             self.ready.extend(effects.ready);
             self.completed.extend(effects.deeply_completed);
         }
 
         fn release(&mut self, task: TaskId, region: Region) {
-            let effects = self.engine.release_region(task, region);
+            let effects = self.engine.release_region(task, region).expect("live task");
             self.ready.extend(effects.ready);
             self.completed.extend(effects.deeply_completed);
         }
@@ -2691,10 +2689,13 @@ mod tests {
             .iter()
             .map(|(deps, mode)| (normalize_deps(deps), *mode))
             .collect();
-        let results = h.engine.register_batch(
-            h.root,
-            normalized.iter().map(|(deps, mode)| (deps.as_slice(), *mode)),
-        );
+        let results = h
+            .engine
+            .register_batch(
+                h.root,
+                normalized.iter().map(|(deps, mode)| (deps.as_slice(), *mode)),
+            )
+            .expect("live parent");
         assert_eq!(results.len(), 3);
         let (reader1, ready1) = results[0];
         let (independent, ready2) = results[1];
@@ -2707,7 +2708,7 @@ mod tests {
         assert!(h.is_ready(reader2));
         h.finish(reader1);
         h.finish(reader2);
-        let effects = h.engine.body_finished(independent);
+        let effects = h.engine.body_finished(independent).expect("live task");
         assert!(effects.deeply_completed.contains(&independent));
     }
 
@@ -2753,6 +2754,28 @@ mod tests {
         assert_eq!(h.engine.live_children(t1), 0);
         assert_eq!(h.engine.parent(t1), None);
         assert_eq!(h.engine.stats().tasks_retired, 1);
+    }
+
+    /// The mutation entry points report [`StaleTaskId`] like the query API — a retired-task
+    /// operation is a defined error on every path, never an internal panic.
+    #[test]
+    fn mutations_on_retired_ids_error_instead_of_panicking() {
+        let mut h = Harness::new();
+        let t1 = h.spawn_root(&[dep(AccessType::InOut, A)], WaitMode::None);
+        h.finish(t1);
+        // t1 is retired: spawning from it, finishing it again and releasing through it all
+        // surface the same typed error.
+        assert!(matches!(
+            h.engine.register_task(t1, &[dep(AccessType::In, B)], WaitMode::None),
+            Err(StaleTaskId(stale)) if stale == t1
+        ));
+        let normalized = normalize_deps(&[dep(AccessType::In, B)]);
+        assert!(matches!(
+            h.engine.register_batch(t1, [(normalized.as_slice(), WaitMode::None)]),
+            Err(StaleTaskId(stale)) if stale == t1
+        ));
+        assert_eq!(h.engine.body_finished(t1).err(), Some(StaleTaskId(t1)));
+        assert_eq!(h.engine.release_region(t1, A).err(), Some(StaleTaskId(t1)));
     }
 
     /// Slot reuse bumps the generation: the stale id of the previous occupant never reads the

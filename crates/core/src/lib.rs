@@ -69,6 +69,8 @@ mod access;
 pub mod completion;
 mod data;
 mod engine;
+#[cfg(feature = "faults")]
+mod faults;
 mod job;
 mod observer;
 mod runtime;
@@ -76,7 +78,9 @@ mod runtime;
 pub use access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 pub use data::SharedSlice;
 pub use engine::{DependencyEngine, Effects, EngineStats, StaleTaskId, TaskId};
-pub use job::{JobHandle, JobStats};
+#[cfg(feature = "faults")]
+pub use faults::FaultPlan;
+pub use job::{JobError, JobHandle, JobOptions, JobStats, PanicPolicy};
 pub use observer::{FootprintEntry, RuntimeObserver, TaskExecution, TaskInfo};
 pub use runtime::{
     CapacityStats, Runtime, RuntimeConfig, RuntimeStats, TaskBuilder, TaskCtx, TaskSpec,

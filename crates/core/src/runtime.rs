@@ -46,16 +46,18 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use weakdep_regions::{Region, RegionSet};
 use weakdep_threadpool::{
-    AdmissionGate, AdmissionStats, SchedulingPolicy, ThreadPool, WorkerContext,
+    AdmissionGate, AdmissionStats, SchedulingPolicy, ThreadPool, Tick, Watchdog, WorkerContext,
 };
 
 use crate::completion::{CompletionGate, Recruitment};
-use crate::job::{JobHandle, JobState, JobStats};
+#[cfg(feature = "faults")]
+use crate::faults::FaultPlan;
+use crate::job::{JobError, JobHandle, JobOptions, JobState, JobStats};
 
 use crate::access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
 use crate::engine::{DependencyEngine, Effects, StaleTaskId, TaskId};
@@ -68,6 +70,11 @@ pub struct RuntimeConfig {
     scheduling: SchedulingPolicy,
     serialized_engine: bool,
     live_task_budget: Option<usize>,
+    stall_tick: Option<Duration>,
+    stall_strikes: usize,
+    /// Deterministic fault injection; see [`RuntimeConfig::fault_plan`].
+    #[cfg(feature = "faults")]
+    fault_plan: Option<FaultPlan>,
     /// Test-only fault injection; see [`RuntimeConfig::seed_wave_ordering_bug`].
     #[cfg(feature = "sentinel")]
     seed_wave_ordering_bug: bool,
@@ -82,6 +89,10 @@ impl Default for RuntimeConfig {
             scheduling: SchedulingPolicy::default(),
             serialized_engine: false,
             live_task_budget: None,
+            stall_tick: None,
+            stall_strikes: 3,
+            #[cfg(feature = "faults")]
+            fault_plan: None,
             #[cfg(feature = "sentinel")]
             seed_wave_ordering_bug: false,
         }
@@ -130,6 +141,30 @@ impl RuntimeConfig {
     /// budget is set.
     pub fn live_task_budget(mut self, budget: usize) -> Self {
         self.live_task_budget = Some(budget.max(1));
+        self
+    }
+
+    /// Enables the stall watchdog: every `tick`, each live job's progress counters are
+    /// fingerprinted, and a job whose fingerprint has not changed for `strikes` consecutive
+    /// ticks is flagged once with a stall report on stderr (per-job counters, queue depths,
+    /// engine load, admission counters). Detection only — nothing is aborted: a stalled job is
+    /// a diagnosis, not a verdict (it may be blocked on external input). Deadlines
+    /// ([`JobOptions::deadline`]) are enforced by the same watchdog thread, which is spawned
+    /// lazily on the first submission that needs it.
+    pub fn stall_watchdog(mut self, tick: Duration, strikes: usize) -> Self {
+        self.stall_tick = Some(tick);
+        self.stall_strikes = strikes.max(1);
+        self
+    }
+
+    /// Attaches a deterministic, seeded fault-injection plan (`--features faults` only): task
+    /// bodies panic, dispatch is delayed and submissions stall at the plan's configured rates,
+    /// each decision a pure function of `(seed, job, task ordinal)`. See [`FaultPlan`] and
+    /// `docs/robustness.md`; the chaos harness (`cargo run -p weakdep_bench --features faults
+    /// --bin chaos`) drives a mixed-tenant soak through this.
+    #[cfg(feature = "faults")]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -230,6 +265,10 @@ pub(crate) struct TaskRecord {
     /// The job this task belongs to (an `Arc` clone per task — refcount only, no allocation,
     /// so the spawn path's allocs-per-task budget is unchanged).
     job: Arc<JobState>,
+    /// Job-local registration ordinal (root = 0), the task's key in the fault plan's decision
+    /// streams. Compiled out without the `faults` feature so the record layout is unchanged.
+    #[cfg(feature = "faults")]
+    ordinal: u32,
 }
 
 /// Striped slab of records for registered-but-not-yet-ready tasks, keyed by the dense
@@ -361,8 +400,19 @@ struct Inner {
     jobs: Mutex<HashMap<u64, Arc<JobState>>>,
     next_job_id: AtomicU64,
     /// Blocks new submissions while the engine's live-task count sits above the configured
-    /// budget (see [`RuntimeConfig::live_task_budget`]).
-    admission: AdmissionGate,
+    /// budget (see [`RuntimeConfig::live_task_budget`]). Shared (`Arc`) with every job's
+    /// state so abort paths can re-signal blocked submitters.
+    admission: Arc<AdmissionGate>,
+    /// Deadline-enforcement and stall-detection thread (lazily spawned by the first
+    /// submission that needs it; see [`RuntimeConfig::stall_watchdog`] and
+    /// [`JobOptions::deadline`]). Its `state` lock is a leaf (see `docs/locking.md`).
+    watchdog: Watchdog,
+    /// Stall-detection config (`None` disables the stall pass; deadlines still work).
+    stall_tick: Option<Duration>,
+    stall_strikes: usize,
+    /// Deterministic fault-injection plan (see [`RuntimeConfig::fault_plan`]).
+    #[cfg(feature = "faults")]
+    fault_plan: Option<FaultPlan>,
     jobs_submitted: AtomicUsize,
     jobs_completed: AtomicUsize,
     jobs_cancelled: AtomicUsize,
@@ -414,7 +464,14 @@ impl Runtime {
                 recruitment: Arc::new(Recruitment::new()),
                 jobs: Mutex::new(HashMap::new()),
                 next_job_id: AtomicU64::new(0),
-                admission: AdmissionGate::new(config.live_task_budget.unwrap_or(usize::MAX)),
+                admission: Arc::new(AdmissionGate::new(
+                    config.live_task_budget.unwrap_or(usize::MAX),
+                )),
+                watchdog: Watchdog::new(),
+                stall_tick: config.stall_tick,
+                stall_strikes: config.stall_strikes,
+                #[cfg(feature = "faults")]
+                fault_plan: config.fault_plan.clone(),
                 jobs_submitted: AtomicUsize::new(0),
                 jobs_completed: AtomicUsize::new(0),
                 jobs_cancelled: AtomicUsize::new(0),
@@ -455,13 +512,15 @@ impl Runtime {
     /// If any task body panics, the panic is captured, the remaining tasks are still executed
     /// (so the runtime stays consistent) and the panic is re-raised here.
     pub fn run<R>(&self, body: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
-        let job = create_job(&self.inner);
+        let job = create_job(&self.inner, JobOptions::new());
         let root_record = Arc::new(TaskRecord {
             id: job.root,
             label: "root",
             body: Mutex::new(None),
             footprint: Vec::new(),
             job: Arc::clone(&job),
+            #[cfg(feature = "faults")]
+            ordinal: 0,
         });
         let ctx = TaskCtx { inner: &self.inner, record: root_record, worker: None };
         #[cfg(feature = "sentinel")]
@@ -475,7 +534,7 @@ impl Runtime {
 
         let effects = {
             let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
-            self.inner.engine.body_finished(job.root)
+            self.inner.engine.body_finished(job.root).expect("the root is live until here")
         };
         schedule_effects(&self.inner, effects, None, &job);
 
@@ -496,8 +555,13 @@ impl Runtime {
             self.inner.engine.debug_check_invariants();
         }
 
-        if let Some(message) = job.panic_message.lock().take() {
-            panic!("a task panicked: {message}");
+        // A child's recorded failure wins over the root body's own panic (matching the
+        // pre-failure-model precedence); panics resume their original payload.
+        if let Some(error) = job.take_error() {
+            match error {
+                JobError::Panicked { payload, .. } => resume_unwind(payload),
+                other => panic!("{other}"),
+            }
         }
         match result {
             Ok(value) => value,
@@ -521,7 +585,19 @@ impl Runtime {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let job = create_job(&self.inner);
+        self.submit_with(JobOptions::new(), body)
+    }
+
+    /// [`Runtime::submit`] with per-job [`JobOptions`]: a wall-clock deadline (enforced by the
+    /// service's watchdog thread), the [`PanicPolicy`](crate::PanicPolicy) applied when one of
+    /// the job's bodies panics, and a diagnostic label for stall reports. Use
+    /// [`JobHandle::wait_result`] to observe the typed outcome.
+    pub fn submit_with<R, F>(&self, options: JobOptions, body: F) -> JobHandle<R>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let job = create_job(&self.inner, options);
         let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
         let slot = Arc::clone(&result);
         let root_record = Arc::new(TaskRecord {
@@ -532,6 +608,8 @@ impl Runtime {
             }) as BodyFn)),
             footprint: Vec::new(),
             job: Arc::clone(&job),
+            #[cfg(feature = "faults")]
+            ordinal: 0,
         });
         #[cfg(feature = "sentinel")]
         self.inner.sentinel.task_created(job.id, sentinel_key(job.root), None, "root", []);
@@ -599,6 +677,10 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Stop the watchdog first: a deadline abort or stall report firing into a service
+        // that is tearing down is noise, and the watchdog's tick closure holds a `Weak` to
+        // this `Inner` that must not be upgraded mid-drain.
+        self.inner.watchdog.stop();
         // Cancel and drain every live (detached) job *before* the pool's own `Drop` joins the
         // workers. Without this, a job cancelled or abandoned while a worker is parked in its
         // gate (a `taskwait` sleeper) would leak that parked worker: the pool's shutdown
@@ -607,7 +689,8 @@ impl Drop for Runtime {
         // `crates/core/tests/loom_cancel.rs`.
         let live: Vec<Arc<JobState>> = self.inner.jobs.lock().values().cloned().collect();
         for job in &live {
-            job.cancelled.store(true, SeqCst);
+            job.explicit_cancel.store(true, SeqCst);
+            job.abort.store(true, SeqCst);
             // Wake anything parked in the job's gate (root waiters and taskwait helpers); the
             // woken workers drain the remaining tasks with their bodies skipped.
             job.gate.notify(true, true);
@@ -623,17 +706,173 @@ impl Drop for Runtime {
 
 /// Admits a new job against the live-task budget (blocking — must only be called from
 /// non-worker threads, see [`RuntimeConfig::live_task_budget`]), registers its root domain in
-/// the engine and publishes it in the service registry.
-fn create_job(inner: &Arc<Inner>) -> Arc<JobState> {
+/// the engine and publishes it in the service registry. Starts the watchdog lazily when the
+/// job carries a deadline or the service has stall detection configured.
+fn create_job(inner: &Arc<Inner>, options: JobOptions) -> Arc<JobState> {
+    let id = inner.next_job_id.fetch_add(1, SeqCst);
+    #[cfg(feature = "faults")]
+    if let Some(stall) = inner.fault_plan.as_ref().and_then(|plan| plan.submission_stall(id)) {
+        // Injected slow submitter: the stall sits *before* the admission probe, so the job
+        // still contends for admission like a well-behaved late arrival.
+        std::thread::sleep(stall);
+    }
     inner.admission.admit(|| inner.engine.live_tasks());
     let root = inner.engine.register_root();
-    let id = inner.next_job_id.fetch_add(1, SeqCst);
     let gate = CompletionGate::with_recruitment(Arc::clone(&inner.recruitment));
-    let job = Arc::new(JobState::new(id, root, gate));
-    job.registered.fetch_add(1, SeqCst); // the root itself
+    let deadline = options.deadline.map(|d| Instant::now() + d);
+    let job = Arc::new(JobState::new(
+        id,
+        root,
+        gate,
+        Arc::clone(&inner.admission),
+        options.panic_policy,
+        deadline,
+        options.label,
+    ));
+    job.registered.fetch_add(1, SeqCst); // the root itself (fault-injection ordinal 0)
     inner.jobs.lock().insert(id, Arc::clone(&job));
     inner.jobs_submitted.fetch_add(1, SeqCst);
+    if deadline.is_some() || inner.stall_tick.is_some() {
+        if !inner.watchdog.is_running() {
+            let weak = Arc::downgrade(inner);
+            let mut stalls = StallState { tracks: HashMap::new(), last_sweep: None };
+            inner.watchdog.ensure_started(move || match weak.upgrade() {
+                Some(inner) => watchdog_tick(&inner, &mut stalls),
+                None => Tick::Idle,
+            });
+        }
+        // Wake the (possibly idle, possibly mid-sleep) watchdog so a deadline earlier than
+        // its current sleep target cannot be slept past.
+        inner.watchdog.poke();
+    }
     job
+}
+
+/// Per-job progress tracking of the watchdog's stall pass (thread-local to the watchdog).
+struct StallTrack {
+    fingerprint: u64,
+    strikes: usize,
+    reported: bool,
+}
+
+/// The watchdog's stall-pass state. `last_sweep` rate-limits the sweep to one per
+/// `stall_tick` of *wall clock*: the tick callback also runs on every poke (each submission
+/// bumps the epoch), and counting strikes per callback instead of per interval would let a
+/// submission burst flag perfectly healthy jobs within milliseconds.
+struct StallState {
+    tracks: HashMap<u64, StallTrack>,
+    last_sweep: Option<Instant>,
+}
+
+/// One watchdog pass: abort overdue jobs, fingerprint per-job progress, report stalls, and
+/// pick the next wake-up. Runs on the watchdog thread with no watchdog lock held; the only
+/// locks taken are the jobs registry (Arc clones only) and, transitively, the pool's queue
+/// mutexes while sampling depths for a report.
+fn watchdog_tick(inner: &Arc<Inner>, stalls: &mut StallState) -> Tick {
+    let live: Vec<Arc<JobState>> = inner.jobs.lock().values().cloned().collect();
+    let now = Instant::now();
+    let mut next: Option<Instant> = None;
+    for job in &live {
+        if let Some(deadline) = job.deadline {
+            if job.is_finished() || job.is_aborted() {
+                continue;
+            }
+            if now >= deadline {
+                job.fail_deadline();
+                // The abort only matters to bodies not yet started; wake the job's gate so
+                // parked helpers re-check and the drain proceeds promptly.
+                job.gate.notify(true, false);
+            } else {
+                next = Some(next.map_or(deadline, |n| n.min(deadline)));
+            }
+        }
+    }
+    if let Some(tick) = inner.stall_tick {
+        if !live.is_empty() {
+            // Sweep at most once per `tick` of wall clock — the callback itself runs far more
+            // often (every submission pokes the watchdog), and a strike must mean "a full tick
+            // with no progress", not "two pokes in a row".
+            if stalls.last_sweep.is_none_or(|t| now >= t + tick) {
+                stalls.last_sweep = Some(now);
+                for job in &live {
+                    let fingerprint = job_fingerprint(job);
+                    let track = stalls.tracks.entry(job.id).or_insert(StallTrack {
+                        fingerprint,
+                        strikes: 0,
+                        reported: false,
+                    });
+                    if track.fingerprint == fingerprint {
+                        track.strikes += 1;
+                        if track.strikes >= inner.stall_strikes && !track.reported {
+                            track.reported = true;
+                            emit_stall_report(inner, job, track.strikes);
+                        }
+                    } else {
+                        track.fingerprint = fingerprint;
+                        track.strikes = 0;
+                        track.reported = false;
+                    }
+                }
+            }
+            let wake = stalls.last_sweep.expect("set on the first sweep above") + tick;
+            next = Some(next.map_or(wake, |n| n.min(wake)));
+        }
+        stalls.tracks.retain(|id, _| live.iter().any(|job| job.id == *id));
+    }
+    match next {
+        Some(instant) => Tick::SleepUntil(instant),
+        None => Tick::Idle,
+    }
+}
+
+/// Hash of everything that moves when a job makes progress: its counter slice plus the
+/// service-wide dispatch epoch (so a job merely *waiting* behind other tenants' active work
+/// is not flagged while the service as a whole is moving).
+fn job_fingerprint(job: &JobState) -> u64 {
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        job.registered.load(SeqCst),
+        job.deeply_completed.load(SeqCst),
+        job.executed.load(SeqCst),
+        job.skipped.load(SeqCst),
+        job.running.load(SeqCst),
+        job.gate.recruit_epoch(),
+    ] {
+        fp = (fp ^ v as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fp
+}
+
+/// One-shot stall report (per flagged job) on stderr: the job's counter slice, the scheduler
+/// queue depths, the engine's live-task load and the admission counters — enough to tell a
+/// deadlocked job from one starved behind other tenants or parked on admission.
+fn emit_stall_report(inner: &Arc<Inner>, job: &JobState, strikes: usize) {
+    let stats = job.stats();
+    let (injector, deques) = inner.pool.queue_depths();
+    let fair = inner.pool.fair_queue_depth();
+    let admission = inner.admission.stats();
+    eprintln!(
+        "[weakdep-watchdog] job {} ({}) made no progress for {} ticks: \
+         registered={} deeply_completed={} executed={} skipped={} running={} \
+         | queues: injector={} fair={} deques={:?} | engine live_tasks={} \
+         | admission: admitted={} rejected={} blocked={} high_water={}",
+        job.id,
+        job.label.as_deref().unwrap_or("unlabelled"),
+        strikes,
+        stats.tasks_registered,
+        stats.tasks_deeply_completed,
+        stats.tasks_executed,
+        stats.tasks_skipped,
+        job.running.load(SeqCst),
+        injector,
+        fair,
+        deques,
+        inner.engine.live_tasks(),
+        admission.admitted,
+        admission.rejected,
+        admission.blocked,
+        admission.high_water,
+    );
 }
 
 /// Execution context of a task body (also the root body inside [`Runtime::run`]).
@@ -697,7 +936,8 @@ impl<'a> TaskCtx<'a> {
                     (norm.as_slice(), spec.wait_mode)
                 }),
             )
-        };
+        }
+        .expect("the spawning task is live, so its id cannot be stale");
 
         let mut ids = Vec::with_capacity(specs.len());
         let mut ready_records = Vec::new();
@@ -762,7 +1002,10 @@ impl<'a> TaskCtx<'a> {
     pub fn release(&self, region: Region) {
         let effects = {
             let _serial = self.inner.engine_serializer.as_ref().map(Mutex::lock);
-            self.inner.engine.release_region(self.record.id, region)
+            self.inner
+                .engine
+                .release_region(self.record.id, region)
+                .expect("the releasing task is live, so its id cannot be stale")
         };
         // Shrink the task's live declared footprint *before* dispatching successors: a released
         // region is no longer ours, so a successor starting on it must not conflict with us,
@@ -1013,7 +1256,10 @@ impl<'a> TaskBuilder<'a> {
         let normalized = normalize_deps(&spec.deps);
         let (id, ready) = {
             let _serial = ctx.inner.engine_serializer.as_ref().map(Mutex::lock);
-            ctx.inner.engine.register_task_normalized(ctx.record.id, &normalized, spec.wait_mode)
+            ctx.inner
+                .engine
+                .register_task_normalized(ctx.record.id, &normalized, spec.wait_mode)
+                .expect("the spawning task is live, so its id cannot be stale")
         };
         let record = finish_spawn(ctx, spec, normalized, id, ready);
         if let Some(record) = record {
@@ -1046,14 +1292,19 @@ fn finish_spawn(
         .collect();
     footprint.extend(hints);
 
+    // The pre-increment count is the task's job-local registration ordinal — the key of the
+    // fault plan's per-task decision streams — so the counter is bumped before the record is
+    // built (same single atomic op either way).
+    let _ordinal = ctx.record.job.registered.fetch_add(1, SeqCst);
     let record = Arc::new(TaskRecord {
         id,
         label,
         body: Mutex::new(body),
         footprint,
         job: Arc::clone(&ctx.record.job),
+        #[cfg(feature = "faults")]
+        ordinal: _ordinal as u32,
     });
-    record.job.registered.fetch_add(1, SeqCst);
 
     // Register the declared footprint in the sentinel's shadow table before the task can
     // possibly dispatch. The footprint includes the hints: a `footprint_hint` is a claim the
@@ -1102,29 +1353,52 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
     // `running == 0` knows no body it did not wait out will ever start.
     job.running.fetch_add(1, SeqCst);
     let body = record.body.lock().take();
-    if !job.is_cancelled() {
+    if !job.is_aborted() {
         if let Some(body) = body {
+            #[cfg(feature = "faults")]
+            if let Some(delay) =
+                inner.fault_plan.as_ref().and_then(|p| p.dispatch_delay(job.id, record.ordinal))
+            {
+                // Injected dispatch delay: perturbs timing (and widens abort/cancel races)
+                // without changing any output.
+                std::thread::sleep(delay);
+            }
             let ctx = TaskCtx { inner, record: Arc::clone(&record), worker: Some(wctx) };
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 // Inside the catch so a sentinel conflict panic is captured into the job's
-                // panic slot and re-raised by `run`/`wait` instead of tearing down the worker
-                // thread.
+                // failure slot and re-raised by `run`/`wait` instead of tearing down the
+                // worker thread.
                 #[cfg(feature = "sentinel")]
                 inner.sentinel.task_started(sentinel_key(record.id));
+                #[cfg(feature = "faults")]
+                if inner
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.would_panic(job.id, record.ordinal))
+                {
+                    // Injected task-body panic: raised inside the catch_unwind so it flows
+                    // through the exact production failure path (record_panic, fail-fast
+                    // containment, wait_result delivery).
+                    panic!("injected fault: job {} task ordinal {}", job.id, record.ordinal);
+                }
                 body(&ctx)
             }));
             if let Err(payload) = outcome {
                 // Note the explicit reborrow: `&payload` would coerce the `Box` itself into
                 // `&dyn Any` and make every downcast fail.
-                job.record_panic(panic_message(&*payload));
+                let message = panic_message(&*payload);
+                job.record_panic(payload, message);
             }
             job.executed.fetch_add(1, SeqCst);
         }
+    } else if body.is_some() {
+        // The body was taken and dropped unexecuted (cancel / fail-fast / deadline); the task
+        // still retires through the engine below, so the job's graph drains and its regions
+        // are released.
+        job.skipped.fetch_add(1, SeqCst);
     }
-    // else: the body was taken and dropped unexecuted; the task still retires through the
-    // engine below, so the cancelled job's graph drains and its regions are released.
     let prev_running = job.running.fetch_sub(1, SeqCst);
-    if prev_running == 1 && job.is_cancelled() {
+    if prev_running == 1 && job.is_aborted() {
         // Possibly the last in-flight body of a cancelled job: wake a canceller blocked in
         // `JobState::cancel` waiting for `running == 0`.
         job.gate.notify(true, false);
@@ -1152,7 +1426,10 @@ fn execute_task(inner: &Arc<Inner>, record: Arc<TaskRecord>, wctx: &WorkerContex
     inner.sentinel.task_finished(sentinel_key(record.id));
     let effects = {
         let _serial = inner.engine_serializer.as_ref().map(Mutex::lock);
-        inner.engine.body_finished(record.id)
+        inner
+            .engine
+            .body_finished(record.id)
+            .expect("a task retires exactly once, so its id cannot be stale here")
     };
     schedule_effects(inner, effects, Some((wctx, true)), &job);
     PhaseTimers::add(&inner.timers.retire_ns, retire_start);
@@ -1223,7 +1500,7 @@ fn schedule_effects(
         // effects wave comes from exactly one job's tree, so the completed root is `job`'s.
         inner.jobs.lock().remove(&job.id);
         inner.jobs_completed.fetch_add(1, SeqCst);
-        if job.is_cancelled() {
+        if job.is_explicitly_cancelled() {
             inner.jobs_cancelled.fetch_add(1, SeqCst);
         }
         job.finished.store(true, SeqCst);
@@ -1263,6 +1540,7 @@ fn schedule_effects(
 mod tests {
     use super::*;
     use crate::data::SharedSlice;
+    use crate::job::PanicPolicy;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
@@ -1656,6 +1934,188 @@ mod tests {
         let stats = rt.stats();
         assert_eq!(stats.jobs_cancelled, 1);
         assert_eq!(stats.jobs_completed, 2, "a cancelled job still drains to completion");
+    }
+
+    #[test]
+    fn wait_result_reports_the_original_panic_payload() {
+        let rt = Runtime::with_workers(2);
+        let handle = rt.submit(|ctx| {
+            ctx.task().label("boom").spawn(|_| panic!("typed failure"));
+            ctx.taskwait();
+        });
+        match handle.wait_result() {
+            Err(JobError::Panicked { message, payload }) => {
+                assert_eq!(message, "typed failure");
+                let original = payload.downcast::<&str>().expect("payload preserved as-is");
+                assert_eq!(*original, "typed failure");
+            }
+            other => panic!("expected Err(Panicked), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_result_reports_cancellation() {
+        let rt = Runtime::with_workers(1);
+        let hold = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hold);
+        let a = rt.submit(move |_ctx| {
+            while h.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        let b = rt.submit(|_ctx| 9u32);
+        b.cancel();
+        hold.store(1, Ordering::SeqCst);
+        assert_eq!(a.wait(), Some(()));
+        match b.wait_result() {
+            Err(JobError::Cancelled) => {}
+            other => panic!("expected Err(Cancelled), got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(not(feature = "loom-model"))] // uses the timed wait the loom shim lacks
+    fn fail_fast_skips_unstarted_siblings() {
+        // The first panic aborts the job (default FailFast policy): bodies spawned after the
+        // abort landed must be skipped, and the graph must still drain to completion.
+        let rt = Runtime::with_workers(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let handle = rt.submit(move |ctx| {
+            ctx.task().label("boom").spawn(|_| panic!("first failure"));
+            ctx.taskwait(); // ensures the panic (and the abort) landed before the siblings
+            for _ in 0..16 {
+                let r2 = Arc::clone(&r);
+                ctx.task().label("sibling").spawn(move |_| {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let outcome = handle.wait_timeout(Duration::from_secs(60)).expect("job must finish");
+        assert_eq!(outcome.unwrap_err().kind(), "panicked");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no sibling body may run after the abort");
+        let stats = handle.stats();
+        assert!(stats.failed);
+        assert_eq!(stats.tasks_skipped, 16);
+        assert_eq!(stats.tasks_registered, stats.tasks_deeply_completed);
+        assert_eq!(stats.tasks_executed + stats.tasks_skipped, stats.tasks_registered);
+    }
+
+    #[test]
+    fn run_to_completion_policy_keeps_executing_bodies() {
+        let rt = Runtime::with_workers(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let handle = rt.submit_with(
+            JobOptions::new().panic_policy(PanicPolicy::RunToCompletion).label("tolerant"),
+            move |ctx| {
+                ctx.task().label("boom").spawn(|_| panic!("still reported"));
+                ctx.taskwait();
+                for _ in 0..8 {
+                    let r2 = Arc::clone(&r);
+                    ctx.task().spawn(move |_| {
+                        r2.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            },
+        );
+        let err = handle.wait_result().unwrap_err();
+        assert_eq!(err.kind(), "panicked", "the first panic is still the job's outcome");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            8,
+            "RunToCompletion must keep executing the remaining bodies"
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "loom-model"))] // uses the timed wait the loom shim lacks
+    fn deadline_aborts_an_overdue_job() {
+        let rt = Runtime::with_workers(2);
+        let handle = rt.submit_with(
+            JobOptions::new().deadline(Duration::from_millis(30)).label("overdue"),
+            |ctx| {
+                // 64 x 5ms over 2 workers is ≥160ms of wall time: far past the deadline.
+                for _ in 0..64 {
+                    ctx.task().spawn(|_| std::thread::sleep(Duration::from_millis(5)));
+                }
+                ctx.taskwait();
+            },
+        );
+        let outcome = handle.wait_timeout(Duration::from_secs(60)).expect("abort must drain");
+        assert_eq!(outcome.unwrap_err().kind(), "deadline-exceeded");
+        let stats = handle.stats();
+        assert!(stats.failed);
+        assert!(stats.tasks_skipped > 0, "the abort must have skipped queued bodies");
+        assert_eq!(stats.tasks_registered, stats.tasks_deeply_completed, "the job drained");
+    }
+
+    #[test]
+    fn jobs_without_deadlines_are_untouched_by_anothers_deadline() {
+        let rt = Runtime::with_workers(2);
+        let overdue = rt.submit_with(
+            JobOptions::new().deadline(Duration::from_millis(10)),
+            |ctx| {
+                for _ in 0..64 {
+                    ctx.task().spawn(|_| std::thread::sleep(Duration::from_millis(5)));
+                }
+                ctx.taskwait();
+            },
+        );
+        let clean = rt.submit(|ctx| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..32 {
+                let c = Arc::clone(&counter);
+                ctx.task().spawn(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            counter.load(Ordering::SeqCst)
+        });
+        assert_eq!(overdue.wait_result().unwrap_err().kind(), "deadline-exceeded");
+        assert_eq!(clean.wait_result().unwrap(), Some(32), "isolation: the clean job is whole");
+    }
+
+    #[test]
+    #[cfg(not(feature = "loom-model"))] // uses the timed wait the loom shim lacks
+    fn wait_timeout_observes_running_then_finished() {
+        let rt = Runtime::with_workers(2);
+        let release = Arc::new(AtomicUsize::new(0));
+        let rel = Arc::clone(&release);
+        let handle = rt.submit(move |_ctx| {
+            while rel.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            7u32
+        });
+        assert!(
+            handle.wait_timeout(Duration::from_millis(20)).is_none(),
+            "a held job must time out, not resolve"
+        );
+        release.store(1, Ordering::SeqCst);
+        let outcome = handle.wait_timeout(Duration::from_secs(60)).expect("job finishes");
+        assert_eq!(outcome.unwrap(), Some(7));
+    }
+
+    #[test]
+    fn stall_watchdog_flags_a_blocked_job_and_recovers() {
+        let rt = Runtime::new(
+            RuntimeConfig::new().workers(2).stall_watchdog(Duration::from_millis(5), 2),
+        );
+        let release = Arc::new(AtomicUsize::new(0));
+        let rel = Arc::clone(&release);
+        let handle = rt.submit_with(JobOptions::new().label("held"), move |_ctx| {
+            while rel.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            3u8
+        });
+        // Several ticks with frozen counters: the watchdog emits its (stderr) stall report.
+        // Detection must not abort anything — the job completes once unblocked.
+        std::thread::sleep(Duration::from_millis(40));
+        release.store(1, Ordering::SeqCst);
+        assert_eq!(handle.wait_result().unwrap(), Some(3));
     }
 
     #[test]

@@ -25,8 +25,10 @@
 
 pub mod admission;
 pub mod sleep;
+pub mod watchdog;
 
 pub use admission::{AdmissionGate, AdmissionStats};
+pub use watchdog::{Tick, Watchdog};
 
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
@@ -375,6 +377,22 @@ impl<T: Send + 'static> ThreadPool<T> {
     /// Access to the pool statistics counters.
     pub fn stats(&self) -> &PoolStats {
         &self.shared.stats
+    }
+
+    /// Approximate queue depths for diagnostics (stall reports): the global injector's length
+    /// plus each worker deque's length. Racy by nature — lengths are sampled independently
+    /// while workers run — so only suitable for reporting, never for scheduling decisions.
+    pub fn queue_depths(&self) -> (usize, Vec<usize>) {
+        let injector = self.shared.injector.len();
+        let deques = self.shared.stealers.iter().map(|s| s.len()).collect();
+        (injector, deques)
+    }
+
+    /// Jobs queued in the fair-share tenant queues (0 under every other policy), for
+    /// diagnostics alongside [`ThreadPool::queue_depths`].
+    pub fn fair_queue_depth(&self) -> usize {
+        let inner = self.shared.fair.lock();
+        inner.queues.values().map(VecDeque::len).sum()
     }
 
     /// Submits a job from outside the pool (goes to the global injector).

@@ -24,6 +24,10 @@
 //! * `crates/threadpool/src/admission.rs` — the **admission mutex** (`….mutex.lock()`):
 //!   - `leaf-lock` + `call-while-locked` (pump/dispatch patterns; like the epoch mutex, the
 //!     condvar notify under it is the lost-wake-up defence and is deliberately allowed).
+//! * `crates/threadpool/src/watchdog.rs` — the **watchdog state mutex** (`….state.lock()`):
+//!   - `leaf-lock` + `call-while-locked` (pump/dispatch patterns; the condvar wait *and*
+//!     notify under the mutex are the watchdog's own sleep protocol and are deliberately
+//!     allowed — the tick callback, which takes other leaf locks, runs outside it).
 //!
 //! ## How the scanner works
 //!
@@ -134,11 +138,23 @@ pub fn classes_for(path: &Path) -> &'static [LockClass] {
         forbid_nested_same_class: true,
         leaf: true,
     };
+    const WATCHDOG: LockClass = LockClass {
+        name: "watchdog",
+        acquire: ".state.lock()",
+        // Both the condvar wait and the notify under the state mutex are the watchdog's
+        // sleep protocol (docs/robustness.md) — only pump/dispatch calls are out of place.
+        // The tick callback (which takes the caller's own leaf locks) runs outside the mutex;
+        // the `thread` handle mutex is a spawn-once latch, not part of this class.
+        forbidden_calls: &[".pump(", ".submit(", ".submit_batch(", ".dispatch_ready(", ".dispatch_spawned("],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
     const DOMAIN_CLASSES: &[LockClass] = &[DOMAIN];
     const EPOCH_CLASSES: &[LockClass] = &[EPOCH];
     const REGISTRY_CLASSES: &[LockClass] = &[REGISTRY];
     const FAIR_CLASSES: &[LockClass] = &[FAIR];
     const ADMISSION_CLASSES: &[LockClass] = &[ADMISSION];
+    const WATCHDOG_CLASSES: &[LockClass] = &[WATCHDOG];
     let full = path.to_string_lossy().replace('\\', "/");
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     // "domain"/"outbox" match the synthetic fixtures, so the CLI can be pointed at them too.
@@ -150,6 +166,8 @@ pub fn classes_for(path: &Path) -> &'static [LockClass] {
         REGISTRY_CLASSES
     } else if name.contains("admission") {
         ADMISSION_CLASSES
+    } else if name.contains("watchdog") {
+        WATCHDOG_CLASSES
     } else if full.contains("threadpool") && name == "lib.rs" || name.contains("fair") {
         FAIR_CLASSES
     } else {
@@ -587,6 +605,40 @@ mod tests {
         assert!(
             scan_source("admission.rs", clean, admission_classes).is_empty(),
             "the admission condvar notify under its own mutex must stay allowed"
+        );
+    }
+
+    #[test]
+    fn watchdog_state_is_leaf_but_its_condvar_protocol_is_allowed() {
+        let watchdog_classes = classes_for(&PathBuf::from("crates/threadpool/src/watchdog.rs"));
+        assert_eq!(watchdog_classes.len(), 1, "watchdog.rs must get the watchdog class");
+        // The real sleep loop shape: condvar wait/notify under the state mutex is the
+        // protocol, not a violation.
+        let clean = r#"
+            fn sleep_loop(&self) {
+                let mut state = shared.state.lock();
+                if state.epoch != epoch {
+                    return;
+                }
+                let _ = shared.condvar.wait_until(&mut state, deadline);
+                shared.condvar.notify_all();
+            }
+        "#;
+        assert!(
+            scan_source("watchdog.rs", clean, watchdog_classes).is_empty(),
+            "the watchdog condvar protocol under its own mutex must stay allowed"
+        );
+
+        let dirty = r#"
+            fn tick_under_lock(&self) {
+                let mut state = shared.state.lock();
+                let jobs = inner.jobs.lock();
+            }
+        "#;
+        let violations = scan_source("watchdog.rs", dirty, watchdog_classes);
+        assert!(
+            violations.iter().any(|v| v.rule == "leaf-lock"),
+            "a lock taken under the watchdog state mutex must be flagged: {violations:?}"
         );
     }
 

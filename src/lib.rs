@@ -50,7 +50,11 @@ pub use weakdep_threadpool as threadpool;
 pub use weakdep_trace as trace;
 
 pub use weakdep_core::{
-    AccessType, AdmissionStats, CapacityStats, Depend, JobHandle, JobStats, Region, Runtime,
-    RuntimeConfig, RuntimeObserver, RuntimeStats, SchedulingPolicy, SharedSlice, SpaceId,
-    StaleTaskId, TaskBuilder, TaskCtx, TaskId, TaskSpec, WaitMode,
+    AccessType, AdmissionStats, CapacityStats, Depend, JobError, JobHandle, JobOptions,
+    JobStats, PanicPolicy, Region, Runtime, RuntimeConfig, RuntimeObserver, RuntimeStats,
+    SchedulingPolicy, SharedSlice, SpaceId, StaleTaskId, TaskBuilder, TaskCtx, TaskId,
+    TaskSpec, WaitMode,
 };
+
+#[cfg(feature = "faults")]
+pub use weakdep_core::FaultPlan;

@@ -82,7 +82,9 @@ proptest! {
             let mut ready: Vec<TaskId> = Vec::new();
             let mut pending: Vec<TaskId> = Vec::new();
             for decl in round {
-                let (id, is_ready) = engine.register_task(root, &deps_of(decl), mode_of(decl));
+                let (id, is_ready) = engine
+                    .register_task(root, &deps_of(decl), mode_of(decl))
+                    .expect("live parent");
                 // A live id must always answer the typed query.
                 prop_assert_eq!(engine.try_is_deeply_completed(id), Ok(false));
                 if is_ready { ready.push(id) } else { pending.push(id) }
@@ -93,7 +95,7 @@ proptest! {
                 prop_assert!(!ready.is_empty(), "engine stuck: pending tasks but none ready");
                 let pick = rng.next(ready.len());
                 let id = ready.swap_remove(pick);
-                let effects = engine.body_finished(id);
+                let effects = engine.body_finished(id).expect("live task");
                 finished += 1;
                 for newly in effects.ready {
                     let pos = pending.iter().position(|p| *p == newly);

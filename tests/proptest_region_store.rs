@@ -230,7 +230,9 @@ proptest! {
         let mut ready: Vec<usize> = Vec::new();
         let mut ids = Vec::with_capacity(decls.len());
         for (i, decl) in decls.iter().enumerate() {
-            let (id, is_ready) = engine.register_task(root, &deps_of(decl), WaitMode::None);
+            let (id, is_ready) = engine
+                .register_task(root, &deps_of(decl), WaitMode::None)
+                .expect("live parent");
             if is_ready {
                 ready.push(i);
             }
@@ -242,7 +244,7 @@ proptest! {
         while finished < decls.len() {
             prop_assert!(!ready.is_empty(), "engine stuck: pending tasks but none ready");
             let pick = ready.swap_remove(rng.next(ready.len()));
-            let effects = engine.body_finished(ids[pick]);
+            let effects = engine.body_finished(ids[pick]).expect("live task");
             finish_position[pick] = finished;
             finished += 1;
             for newly in effects.ready {
@@ -304,7 +306,8 @@ proptest! {
 
         let register = |region: Region, ready: &mut Vec<usize>, ids: &mut Vec<_>| {
             let deps = [Depend::new(AccessType::InOut, region)];
-            let (id, is_ready) = engine.register_task(root, &deps, WaitMode::None);
+            let (id, is_ready) =
+                engine.register_task(root, &deps, WaitMode::None).expect("live parent");
             if is_ready {
                 ready.push(ids.len());
             }
@@ -354,7 +357,7 @@ proptest! {
         while finished < ids.len() {
             prop_assert!(!ready.is_empty(), "engine stuck: pending tasks but none ready");
             let pick = ready.swap_remove(rng.next(ready.len()));
-            let effects = engine.body_finished(ids[pick]);
+            let effects = engine.body_finished(ids[pick]).expect("live task");
             finished += 1;
             for newly in effects.ready {
                 let pos = ids.iter().position(|id| *id == newly);

@@ -112,6 +112,16 @@ impl<T> Stealer<T> {
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         steal_batch(&self.queue, &dest.queue)
     }
+
+    /// `true` if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+
+    /// Number of queued jobs at the time of observation.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
 }
 
 /// A global FIFO injector queue for submissions from outside the pool.

@@ -261,10 +261,11 @@ pub mod alloc_counter {
 }
 
 /// Shared handling of `BENCH_overheads.json`, which several binaries co-own: `overheads`
-/// writes the `samples` sections, `mixed_tenant` splices a `"mixed_tenant"` section, `chaos`
-/// splices a `"chaos"` section, `fig3_policies` splices a `"policies"` section and `soak`
-/// splices a trailing `"soak"` section. All go through these helpers so no writer can silently
-/// drop another's data. Invariant maintained by every writer: the movable sections are ordered
+/// writes the `samples` sections, `tasks_vs_assist` splices a `"tasks_vs_assist"` section,
+/// `mixed_tenant` splices a `"mixed_tenant"` section, `chaos` splices a `"chaos"` section,
+/// `fig3_policies` splices a `"policies"` section and `soak` splices a trailing `"soak"`
+/// section. All go through these helpers so no writer can silently drop another's data.
+/// Invariant maintained by every writer: the movable sections are ordered `tasks_vs_assist`,
 /// `mixed_tenant`, `chaos`, `policies`, `soak`, and the soak section, when present, is the
 /// **last** top-level key of the object.
 pub mod overheads_json {
@@ -274,6 +275,65 @@ pub mod overheads_json {
     const POLICIES_MARKER: &str = "  \"policies\":";
     const MIXED_TENANT_MARKER: &str = "  \"mixed_tenant\":";
     const CHAOS_MARKER: &str = "  \"chaos\":";
+    const TASKS_VS_ASSIST_MARKER: &str = "  \"tasks_vs_assist\":";
+
+    /// Extracts the single-line `"tasks_vs_assist"` section (written by the `tasks_vs_assist`
+    /// binary), if present, so the other writers can carry it across regenerations.
+    pub fn extract_tasks_vs_assist(text: &str) -> Option<String> {
+        let start = text.find(TASKS_VS_ASSIST_MARKER)?;
+        let end = text[start..].find('\n').map(|e| start + e).unwrap_or(text.len());
+        Some(text[start..end].trim_end().trim_end_matches(',').to_string())
+    }
+
+    /// Replaces (or inserts) the `"tasks_vs_assist"` section, preserving every other section
+    /// and the ordering invariant (first movable section, before `mixed_tenant`).
+    /// `tasks_vs_assist` must be a complete single-line `  "tasks_vs_assist": {...}` entry
+    /// without a trailing comma or newline.
+    pub fn splice_tasks_vs_assist(existing: Option<&str>, tasks_vs_assist: &str) -> String {
+        let (head, mixed_tenant, chaos, policies, soak) = match existing {
+            Some(text) => {
+                let mixed_tenant = extract_mixed_tenant(text);
+                let chaos = extract_chaos(text);
+                let policies = extract_policies(text);
+                let soak = extract_soak(text);
+                let text = text.trim_end();
+                let cut = [
+                    text.find(TASKS_VS_ASSIST_MARKER),
+                    text.find(MIXED_TENANT_MARKER),
+                    text.find(CHAOS_MARKER),
+                    text.find(POLICIES_MARKER),
+                    text.find(MARKER),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                let head = match cut {
+                    // Everything before the first movable section; it already ends with the
+                    // previous section's `,\n`.
+                    Some(pos) => text[..pos].to_string(),
+                    None => match text.strip_suffix('}') {
+                        Some(body) => {
+                            let mut body = body.trim_end().to_string();
+                            if !body.ends_with(['{', ',']) {
+                                body.push(',');
+                            }
+                            body.push('\n');
+                            body
+                        }
+                        None => String::from("{\n"),
+                    },
+                };
+                (head, mixed_tenant, chaos, policies, soak)
+            }
+            None => (String::from("{\n"), None, None, None, None),
+        };
+        let mut sections = vec![tasks_vs_assist.to_string()];
+        sections.extend(mixed_tenant);
+        sections.extend(chaos);
+        sections.extend(policies);
+        sections.extend(soak);
+        format!("{head}{}\n}}\n", sections.join(",\n"))
+    }
 
     /// Extracts the single-line allocation-baseline section (the pre-two-tier allocs/task
     /// snapshot recorded once when the two-tier store landed), if present. The `overheads`
@@ -529,6 +589,52 @@ pub mod overheads_json {
             assert!(resoaked.contains("\"rows\": 2") && resoaked.contains("\"tasks\": 9"));
             // Missing file behaves.
             assert_eq!(splice_policies(None, POLICIES), format!("{{\n{POLICIES}\n}}\n"));
+        }
+
+        #[test]
+        fn splice_tasks_vs_assist_keeps_ordering_invariant() {
+            const TVA: &str = "  \"tasks_vs_assist\": {\"rows\": 3}";
+            const MIXED: &str = "  \"mixed_tenant\": {\"jobs\": 8}";
+            const CHAOS: &str = "  \"chaos\": {\"seed\": 1}";
+            const POLICIES: &str = "  \"policies\": {\"rows\": 1}";
+            let base = "{\n  \"samples\": [\n    {}\n  ]\n}\n";
+            // Insert into a samples-only file.
+            let spliced = splice_tasks_vs_assist(Some(base), TVA);
+            assert!(spliced.contains("\"samples\""));
+            assert!(spliced.ends_with("  \"tasks_vs_assist\": {\"rows\": 3}\n}\n"));
+            // With every other movable section present, tasks_vs_assist lands first.
+            let full = splice_soak(
+                Some(&splice_policies(
+                    Some(&splice_chaos(Some(&splice_mixed_tenant(Some(base), MIXED)), CHAOS)),
+                    POLICIES,
+                )),
+                SOAK,
+            );
+            let spliced = splice_tasks_vs_assist(Some(&full), TVA);
+            assert!(spliced.ends_with(
+                "  \"tasks_vs_assist\": {\"rows\": 3},\n  \"mixed_tenant\": {\"jobs\": 8},\n  \"chaos\": {\"seed\": 1},\n  \"policies\": {\"rows\": 1},\n  \"soak\": {\"tasks\": 7}\n}\n"
+            ));
+            // Replace an existing section; everything else survives in order.
+            let replaced = splice_tasks_vs_assist(Some(&spliced), "  \"tasks_vs_assist\": {\"rows\": 4}");
+            assert!(replaced.contains("\"rows\": 4") && !replaced.contains("\"rows\": 3"));
+            assert!(replaced.contains("\"jobs\": 8") && replaced.contains("\"seed\": 1"));
+            // Round-trips through extract; the other writers carry it (they cut at the
+            // *minimum* marker position, and tasks_vs_assist is never the minimum for them —
+            // it precedes their cut set, so it stays in the head).
+            assert_eq!(
+                extract_tasks_vs_assist(&replaced).as_deref(),
+                Some("  \"tasks_vs_assist\": {\"rows\": 4}")
+            );
+            let remixed = splice_mixed_tenant(Some(&replaced), "  \"mixed_tenant\": {\"jobs\": 9}");
+            assert!(remixed.contains("\"rows\": 4") && remixed.contains("\"jobs\": 9"));
+            let resoaked = splice_soak(Some(&remixed), "  \"soak\": {\"tasks\": 9}\n");
+            assert!(resoaked.contains("\"rows\": 4") && resoaked.contains("\"tasks\": 9"));
+            let tva_pos = resoaked.find("\"tasks_vs_assist\"").unwrap();
+            let mixed_pos = resoaked.find("\"mixed_tenant\"").unwrap();
+            let soak_pos = resoaked.find("\"soak\"").unwrap();
+            assert!(tva_pos < mixed_pos && mixed_pos < soak_pos);
+            // Missing file behaves.
+            assert_eq!(splice_tasks_vs_assist(None, TVA), format!("{{\n{TVA}\n}}\n"));
         }
 
         #[test]

@@ -193,6 +193,68 @@ impl<T> SharedSlice<T> {
         unsafe { &mut (&mut *self.inner.data.get())[range] }
     }
 
+    /// Creates a pre-validated **read** view over `range` for a work-assisted loop
+    /// ([`TaskCtx::for_each`](crate::runtime::TaskCtx::for_each) /
+    /// [`TaskCtx::scan`](crate::runtime::TaskCtx::scan)).
+    ///
+    /// The footprint and sentinel checks run **once, here**, against the *registering* task's
+    /// declared strong dependencies — chunk bodies then index the view with plain bounds
+    /// checks and no per-access region arithmetic (the ~0 allocs/chunk property). The view is
+    /// `'static` (it holds the buffer's `Arc`), so it can be captured by the loop body and
+    /// used from assisting workers that have no task context of their own.
+    ///
+    /// # Panics
+    /// Panics if the calling task did not declare a strong dependency covering `range`.
+    pub fn loop_view(&self, ctx: &TaskCtx<'_>, range: Range<usize>) -> LoopView<T>
+    where
+        T: Send + Sync,
+    {
+        let region = self.region(range.clone());
+        assert!(
+            ctx.covers_read(&region),
+            "task '{}' registers a loop over {:?} of {:?} without a covering strong dependency",
+            ctx.label(),
+            range,
+            self
+        );
+        #[cfg(feature = "sentinel")]
+        ctx.sentinel_check_access(&region, false);
+        LoopView { inner: Arc::clone(&self.inner), start: range.start, end: range.end }
+    }
+
+    /// Creates a pre-validated **write** view over `range` for a work-assisted loop (see
+    /// [`SharedSlice::loop_view`]).
+    ///
+    /// # Panics
+    /// Panics if the calling task did not declare a strong, write-capable dependency covering
+    /// `range`.
+    pub fn loop_view_mut(&self, ctx: &TaskCtx<'_>, range: Range<usize>) -> LoopViewMut<T>
+    where
+        T: Send + Sync,
+    {
+        let region = self.region(range.clone());
+        assert!(
+            ctx.covers_write(&region),
+            "task '{}' registers a loop writing {:?} of {:?} without a covering strong write \
+             dependency",
+            ctx.label(),
+            range,
+            self
+        );
+        #[cfg(feature = "sentinel")]
+        ctx.sentinel_check_access(&region, true);
+        LoopViewMut { inner: Arc::clone(&self.inner), start: range.start, end: range.end }
+    }
+
+    /// Unchecked write view over the whole slice, for runtime-internal loop state (the scan
+    /// carry buffer is a fresh, never-shared allocation that no task declared).
+    pub(crate) fn loop_view_mut_unchecked(&self) -> LoopViewMut<T>
+    where
+        T: Send + Sync,
+    {
+        LoopViewMut { inner: Arc::clone(&self.inner), start: 0, end: self.len() }
+    }
+
     /// Fills the whole slice with `value`. Must only be called while no task is accessing the
     /// slice (e.g. before `Runtime::run`).
     pub fn fill(&self, value: T)
@@ -231,6 +293,101 @@ impl<T> SharedSlice<T> {
         T: Clone,
     {
         self.snapshot()
+    }
+}
+
+/// A read view for work-assisted loops: coverage was validated against the registering task
+/// when the view was created (see [`SharedSlice::loop_view`]), so chunk bodies running on
+/// assisting workers — which have no [`TaskCtx`] — access the data with plain bounds checks.
+pub struct LoopView<T> {
+    inner: Arc<SliceInner<T>>,
+    start: usize,
+    end: usize,
+}
+
+impl<T> Clone for LoopView<T> {
+    fn clone(&self) -> Self {
+        LoopView { inner: Arc::clone(&self.inner), start: self.start, end: self.end }
+    }
+}
+
+impl<T: Send + Sync> LoopView<T> {
+    /// Elements covered by the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the view covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Reads the elements `range` (indices of the underlying slice, as handed to the chunk
+    /// body — **not** view-relative).
+    ///
+    /// # Panics
+    /// Panics if `range` is not contained in the view's registered range.
+    pub fn get(&self, range: Range<usize>) -> &[T] {
+        assert!(
+            self.start <= range.start && range.start <= range.end && range.end <= self.end,
+            "chunk read {range:?} outside the loop view's registered range {:?}",
+            self.start..self.end
+        );
+        // SAFETY: the registering task declared a strong dependency covering the view (checked
+        // at creation), the engine serialises conflicting tasks against it, and the owner does
+        // not retire the loop (or the task) until every chunk completed — so for the view's
+        // lifetime, loop chunks are the only accessors and shared reads never race a write.
+        unsafe { &(&*self.inner.data.get())[range] }
+    }
+}
+
+/// A write view for work-assisted loops (see [`SharedSlice::loop_view_mut`]).
+///
+/// # Contract
+/// Chunks of a loop are disjoint by construction (the atomic cursor hands out each index
+/// exactly once); a chunk body must only request ranges derived from **its own** chunk bounds
+/// — that is the loop-structure analogue of the paper's depend-clause contract, and it is what
+/// makes the concurrently returned `&mut` borrows non-aliasing.
+pub struct LoopViewMut<T> {
+    inner: Arc<SliceInner<T>>,
+    start: usize,
+    end: usize,
+}
+
+impl<T> Clone for LoopViewMut<T> {
+    fn clone(&self) -> Self {
+        LoopViewMut { inner: Arc::clone(&self.inner), start: self.start, end: self.end }
+    }
+}
+
+impl<T: Send + Sync> LoopViewMut<T> {
+    /// Elements covered by the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the view covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Mutably accesses the elements `range` (indices of the underlying slice). Each chunk
+    /// body must only pass ranges derived from its own chunk bounds (see the type-level
+    /// contract).
+    ///
+    /// # Panics
+    /// Panics if `range` is not contained in the view's registered range.
+    #[allow(clippy::mut_from_ref)]
+    pub fn chunk(&self, range: Range<usize>) -> &mut [T] {
+        assert!(
+            self.start <= range.start && range.start <= range.end && range.end <= self.end,
+            "chunk write {range:?} outside the loop view's registered range {:?}",
+            self.start..self.end
+        );
+        // SAFETY: as for `LoopView::get`, plus exclusivity: the atomic cursor hands out each
+        // chunk exactly once and bodies only touch their own chunk's ranges (the documented
+        // contract), so two live `&mut` borrows never overlap.
+        unsafe { &mut (&mut *self.inner.data.get())[range] }
     }
 }
 

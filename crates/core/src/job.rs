@@ -205,6 +205,10 @@ pub(crate) struct JobState {
     /// Task bodies skipped by the abort bracket (cancel / fail-fast / deadline). At the end
     /// of every job, `executed + skipped` equals the number of dispatched bodies.
     pub(crate) skipped: AtomicUsize,
+    /// Loop chunks of this job's `for_each`/`scan` descriptors executed by *assisting*
+    /// workers (the owning task's own chunks are not counted — they ride `executed`'s body).
+    /// Folded in by the owner after quiescence, so a finished job's value is final.
+    pub(crate) assist_chunks: AtomicUsize,
     /// Flipped exactly once, when the root deeply completes; the predicate behind
     /// `JobHandle::wait`.
     pub(crate) finished: AtomicBool,
@@ -243,6 +247,7 @@ impl JobState {
             deeply_completed: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
+            assist_chunks: AtomicUsize::new(0),
             finished: AtomicBool::new(false),
             failure: Mutex::new(None),
             panic_policy,
@@ -340,6 +345,7 @@ impl JobState {
             tasks_deeply_completed: self.deeply_completed.load(SeqCst),
             tasks_executed: self.executed.load(SeqCst),
             tasks_skipped: self.skipped.load(SeqCst),
+            assist_chunks: self.assist_chunks.load(SeqCst),
             cancelled: self.is_explicitly_cancelled(),
             failed: self.is_failed(),
             finished: self.is_finished(),
@@ -362,6 +368,9 @@ pub struct JobStats {
     pub tasks_executed: usize,
     /// Task bodies skipped by the abort bracket (cancel / fail-fast panic / deadline).
     pub tasks_skipped: usize,
+    /// Loop chunks of this job's parallel loops executed by assisting workers (tenant
+    /// attribution of the work-assisting mechanism; the owner's own chunks are not counted).
+    pub assist_chunks: usize,
     /// Whether `cancel()` has been requested.
     pub cancelled: bool,
     /// Whether a failure (panic or deadline) has been recorded.

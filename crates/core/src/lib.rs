@@ -76,7 +76,7 @@ mod observer;
 mod runtime;
 
 pub use access::{normalize_deps, AccessType, Depend, NormalizedDep, WaitMode};
-pub use data::SharedSlice;
+pub use data::{LoopView, LoopViewMut, SharedSlice};
 pub use engine::{DependencyEngine, Effects, EngineStats, StaleTaskId, TaskId};
 #[cfg(feature = "faults")]
 pub use faults::FaultPlan;

@@ -42,7 +42,9 @@
 //! see `docs/runtime.md` for the full tenancy model and `crate::job` for the cancellation
 //! protocol.
 
+use std::any::Any;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
@@ -51,8 +53,11 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use weakdep_regions::{Region, RegionSet};
 use weakdep_threadpool::{
-    AdmissionGate, AdmissionStats, SchedulingPolicy, ThreadPool, Tick, Watchdog, WorkerContext,
+    AdmissionGate, AdmissionStats, LoopDescriptor, SchedulingPolicy, ThreadPool, Tick, Watchdog,
+    WorkerContext,
 };
+
+use crate::data::SharedSlice;
 
 use crate::completion::{CompletionGate, Recruitment};
 #[cfg(feature = "faults")]
@@ -238,6 +243,14 @@ pub struct RuntimeStats {
     pub targeted_wakes: usize,
     /// Domain-preferring wake-ups that fell back to another domain's sleeper.
     pub fallback_wakes: usize,
+    /// Loop chunks executed by *assisting* workers (work-assisting data parallelism). Assist
+    /// chunks are not pool jobs, so they stand beside — not inside — the `tasks_executed`
+    /// identity; their own invariant is `assisted_loops <= assist_steals <= assist_chunks`.
+    pub assist_chunks: usize,
+    /// Distinct published loops that received at least one assist chunk.
+    pub assisted_loops: usize,
+    /// Idle-path assist engagements (one per worker-visit that claimed ≥ 1 chunk of a loop).
+    pub assist_steals: usize,
     /// Cumulative wall time spent creating tasks (dependency registration included), in ns.
     pub spawn_ns: u64,
     /// Cumulative wall time spent executing task bodies, in ns.
@@ -646,6 +659,9 @@ impl Runtime {
             successor_displacements: pool_stats.successor_displacements.load(Ordering::Relaxed),
             targeted_wakes: pool_stats.targeted_wakes.load(Ordering::Relaxed),
             fallback_wakes: pool_stats.fallback_wakes.load(Ordering::Relaxed),
+            assist_chunks: pool_stats.assist_chunks.load(Ordering::Relaxed),
+            assisted_loops: pool_stats.assisted_loops.load(Ordering::Relaxed),
+            assist_steals: pool_stats.assist_steals.load(Ordering::Relaxed),
             spawn_ns: self.inner.timers.spawn_ns.load(Ordering::Relaxed),
             body_ns: self.inner.timers.body_ns.load(Ordering::Relaxed),
             retire_ns: self.inner.timers.retire_ns.load(Ordering::Relaxed),
@@ -1019,6 +1035,167 @@ impl<'a> TaskCtx<'a> {
     pub fn release_all(&self, regions: impl IntoIterator<Item = Region>) {
         for region in regions {
             self.release(region);
+        }
+    }
+
+    /// `true` once the current job's abort bracket is set (cancel, fail-fast panic or
+    /// deadline). Long-running bodies can poll this to stop early; the parallel-loop
+    /// primitives below poll it automatically at every chunk boundary.
+    pub fn is_cancelled(&self) -> bool {
+        self.record.job.is_aborted()
+    }
+
+    /// Work-assisting parallel loop: runs `body(chunk_start, chunk_end)` once per chunk of
+    /// `range`, with idle workers *assisting* through the pool's loop registry instead of
+    /// parking (see `docs/parallel_loops.md`). No task is spawned per chunk — the per-chunk
+    /// cost is one CAS on the shared cursor, so this beats [`TaskCtx::spawn_batch`] at small
+    /// chunk grain (the `tasks_vs_assist` bench measures the crossover).
+    ///
+    /// Chunks must be independent: `body` may run concurrently for disjoint chunks, on the
+    /// owner and on any assisting worker. Data access rides the registering task's declared
+    /// footprint — obtain views up front with [`SharedSlice::loop_view`] /
+    /// [`SharedSlice::loop_view_mut`] so sentinel checks happen once, not per chunk.
+    ///
+    /// The job's abort bracket (cancel / fail-fast / deadline) is polled at every chunk
+    /// boundary: an aborted job stops issuing chunks mid-loop. A panic inside `body` is
+    /// contained per-chunk, the loop drains, and the first payload is re-raised here, flowing
+    /// through the job's normal containment path.
+    pub fn for_each<F>(&self, range: Range<usize>, chunk: usize, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        self.run_loop(range, chunk, None, move |_desc, chunk_start, chunk_end| {
+            body(chunk_start, chunk_end);
+        });
+    }
+
+    /// Work-assisting inclusive prefix scan of `input` into `output` under `combine`
+    /// (`output[i] = input[0] ⊕ … ⊕ input[i]`), block-decomposed so idle workers assist both
+    /// phases: phase 1 scans each block locally and records the block total, the owner
+    /// exclusive-scans the totals into per-block offsets, and phase 2 folds each block's
+    /// offset in — the offsets ride the descriptor's *carry* state.
+    ///
+    /// `combine` must be associative and `identity` its left identity
+    /// (`combine(identity, x) == x`); floating-point reassociation means non-associative
+    /// operators give run-dependent results — use wrapping integer arithmetic where bitwise
+    /// reproducibility matters (the proptests do).
+    ///
+    /// The current task must hold a read dependency covering all of `input` and a write
+    /// dependency covering all of `output` (checked once, against the registering task, under
+    /// `--features sentinel`). In-place scans (`input` aliasing `output`) are not supported.
+    pub fn scan<T, F>(
+        &self,
+        input: &SharedSlice<T>,
+        output: &SharedSlice<T>,
+        chunk: usize,
+        identity: T,
+        combine: F,
+    ) where
+        T: Copy + Send + Sync + 'static,
+        F: Fn(T, T) -> T + Send + Sync + Clone + 'static,
+    {
+        let n = input.len();
+        assert_eq!(n, output.len(), "scan input and output must have equal length");
+        let chunk = chunk.max(1);
+        // Footprint + sentinel checks once, against the registering task (this one).
+        let input_view = input.loop_view(self, 0..n);
+        let output_view = output.loop_view_mut(self, 0..n);
+        if n == 0 {
+            return;
+        }
+        let blocks = n.div_ceil(chunk);
+        // Per-block totals live in a private slice the loop phases write block-wise; it never
+        // escapes, so it needs no declared dependency.
+        let totals = SharedSlice::from_vec(vec![identity; blocks]);
+        let totals_view = totals.loop_view_mut_unchecked();
+
+        // Phase 1: local inclusive scan of each block + its total. One loop chunk == one
+        // scan block, so the block index is `chunk_start / chunk`.
+        {
+            let (iv, ov, tv) = (input_view, output_view.clone(), totals_view.clone());
+            let comb = combine.clone();
+            self.run_loop(0..n, chunk, None, move |_desc, chunk_start, chunk_end| {
+                let inp = iv.get(chunk_start..chunk_end);
+                let out = ov.chunk(chunk_start..chunk_end);
+                let mut acc = inp[0];
+                out[0] = acc;
+                for i in 1..inp.len() {
+                    acc = comb(acc, inp[i]);
+                    out[i] = acc;
+                }
+                tv.chunk(chunk_start / chunk..chunk_start / chunk + 1)[0] = acc;
+            });
+        }
+
+        // Owner-sequential exclusive scan of the block totals into per-block offsets (cheap:
+        // one element per block). Phase 1 is quiescent here, so the reads are ordered.
+        let mut offsets = Vec::with_capacity(blocks);
+        let mut acc = identity;
+        for b in 0..blocks {
+            offsets.push(acc);
+            acc = combine(acc, totals_view.chunk(b..b + 1)[0]);
+        }
+        let offsets: Arc<Vec<T>> = Arc::new(offsets);
+
+        // Phase 2: fold each block's offset in. Block 0's offset is `identity`, so it is
+        // skipped outright (the range starts at the second block). The offsets ride the
+        // descriptor's carry state — assisting workers read them through the descriptor.
+        let comb = combine;
+        self.run_loop(
+            chunk.min(n)..n,
+            chunk,
+            Some(Box::new(Arc::clone(&offsets))),
+            move |desc, chunk_start, chunk_end| {
+                let carry = desc
+                    .carry()
+                    .and_then(|c| c.downcast_ref::<Arc<Vec<T>>>())
+                    .expect("a phase-2 scan descriptor always carries the block offsets");
+                let offset = carry[chunk_start / chunk];
+                for v in output_view.chunk(chunk_start..chunk_end) {
+                    *v = comb(offset, *v);
+                }
+            },
+        );
+    }
+
+    /// The shared engine of [`TaskCtx::for_each`] and [`TaskCtx::scan`]: builds the
+    /// [`LoopDescriptor`] (tenant = this task's job, abort probe = the job's abort bracket,
+    /// domain = the registering worker's locality domain), publishes it so idle workers are
+    /// recruited, drives chunks on the owner, waits for quiescence, retires the loop, folds
+    /// the assist count into the job's stats slice, and re-raises the first chunk panic.
+    fn run_loop<R>(
+        &self,
+        range: Range<usize>,
+        chunk: usize,
+        carry: Option<Box<dyn Any + Send + Sync>>,
+        runner: R,
+    ) where
+        R: Fn(&LoopDescriptor, usize, usize) + Send + Sync + 'static,
+    {
+        let job = Arc::clone(&self.record.job);
+        let probe_job = Arc::clone(&job);
+        let domain = self.worker.map(|w| w.domain()).unwrap_or(0);
+        let mut desc =
+            LoopDescriptor::new(range, chunk, job.id, domain, runner, move || {
+                probe_job.is_aborted()
+            });
+        if let Some(carry) = carry {
+            desc = desc.with_carry(carry);
+        }
+        let desc = Arc::new(desc);
+        match self.worker {
+            Some(worker) => worker.publish_loop(Arc::clone(&desc)),
+            None => self.inner.pool.publish_loop(Arc::clone(&desc)),
+        }
+        desc.drive();
+        desc.wait_quiescent();
+        match self.worker {
+            Some(worker) => worker.retire_loop(&desc),
+            None => self.inner.pool.retire_loop(&desc),
+        }
+        job.assist_chunks.fetch_add(desc.assist_chunk_count(), SeqCst);
+        if let Some(payload) = desc.take_poison() {
+            resume_unwind(payload);
         }
     }
 

@@ -5,6 +5,7 @@
 //! | Multiple AXPY (20 calls over the same vectors) | §VIII-A, Table I, Fig. 3–4 | `nest-weak-release`, `nest-weak`, `nest-depend`, `flat-depend`, `flat-taskwait` | [`axpy`] |
 //! | Gauss-Seidel heat propagation (2-D stencil) | §VIII-B, Fig. 5–6 | `nest-weak`, `nest-weak-release`, `flat-depend`, `nest-depend` | [`gauss_seidel`] |
 //! | Quicksort followed by prefix sum | §VIII-C, Fig. 7 | `weak` (weakwait + weak deps), `strong` (taskwait + regular deps) | [`sort_scan`] |
+//! | Work-assisting loops (prefix scan, reduction, axpy-assist) | ISSUE 10 extension | `assist` (atomic-chunk loops), `tasks` (spawned blocks), sequential oracle | [`parallel_loops`] |
 //!
 //! Every module provides:
 //! * a runner that executes the kernel on a [`weakdep_core::Runtime`] and returns a
@@ -18,6 +19,7 @@
 
 pub mod axpy;
 pub mod gauss_seidel;
+pub mod parallel_loops;
 pub mod sort_scan;
 
 use std::time::Duration;

@@ -24,10 +24,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod admission;
+pub mod assist;
 pub mod sleep;
 pub mod watchdog;
 
 pub use admission::{AdmissionGate, AdmissionStats};
+pub use assist::{AssistRegistry, LoopDescriptor};
 pub use watchdog::{Tick, Watchdog};
 
 use std::cell::{Cell, RefCell};
@@ -81,10 +83,13 @@ pub enum SchedulingPolicy {
     /// Multi-tenant fairness: ready work submitted through the tenant-tagged entry points
     /// ([`ThreadPool::submit_tenant`], [`WorkerContext::dispatch_ready_tenant`], ...) goes to a
     /// per-tenant FIFO queue, and idle workers drain the queues round-robin — one job per
-    /// tenant per turn — so one heavy tenant cannot starve the others. No successor slot, no
-    /// per-worker wave placement: like [`SchedulingPolicy::Fifo`], but breadth-first *across
-    /// tenants* instead of across submission order. Untagged submissions fall back to the
-    /// global injector, which workers only consult when every tenant queue is empty.
+    /// tenant per turn — so one heavy tenant cannot starve the others. The immediate-successor
+    /// slot **is** used (since ISSUE 10; it bypassed the queues before, burying hot successors
+    /// behind the rotation): the first successor a finishing job releases goes to the
+    /// releasing worker's slot, and a displaced slot occupant rejoins the *front* of its own
+    /// tenant's queue. Everything else is breadth-first *across tenants*: no per-worker wave
+    /// placement, and untagged submissions fall back to the global injector, which workers
+    /// only consult when every tenant queue is empty.
     FairShare,
 }
 
@@ -126,11 +131,15 @@ impl SchedulingPolicy {
         Self::all().into_iter().find(|p| p.name() == name)
     }
 
-    /// Whether the policy dispatches through the immediate-successor slot.
+    /// Whether the policy dispatches through the immediate-successor slot. Fair-share keeps
+    /// its breadth-first tenant queues but regained the §VIII-A slot in ISSUE 10 — the hot
+    /// successor no longer waits behind the round-robin rotation.
     pub fn uses_successor_slot(&self) -> bool {
         matches!(
             self,
-            SchedulingPolicy::LocalitySlot | SchedulingPolicy::HierarchicalSteal { .. }
+            SchedulingPolicy::LocalitySlot
+                | SchedulingPolicy::HierarchicalSteal { .. }
+                | SchedulingPolicy::FairShare
         )
     }
 
@@ -193,6 +202,16 @@ pub struct PoolStats {
     pub fallback_wakes: AtomicUsize,
     /// Times a worker went to sleep.
     pub sleeps: AtomicUsize,
+    /// Loop chunks executed by *assisting* workers (idle-path acquisitions from the
+    /// [`AssistRegistry`]; owner-driven chunks are not counted). Chunks are not pool jobs, so
+    /// this stands **beside** the `executed == slot + local + injector + stolen` identity;
+    /// its own invariant is `assisted_loops <= assist_steals <= assist_chunks`.
+    pub assist_chunks: AtomicUsize,
+    /// Published loops that received at least one assist chunk (distinct loops).
+    pub assisted_loops: AtomicUsize,
+    /// Times an idle worker acquired a loop from the registry and executed ≥ 1 chunk (one
+    /// acquisition may run many chunks).
+    pub assist_steals: AtomicUsize,
 }
 
 impl PoolStats {
@@ -236,6 +255,9 @@ struct Shared<T: Send + 'static> {
     /// is called while it is held — sleep-protocol notifies happen strictly after release (see
     /// docs/locking.md).
     fair: Mutex<FairInner<T>>,
+    /// In-progress data-parallel loops idle workers may assist (lock-free fast path + its own
+    /// leaf lock, see `assist.rs` and docs/parallel_loops.md).
+    assist: AssistRegistry,
 }
 
 impl<T: Send + 'static> Shared<T> {
@@ -267,6 +289,20 @@ impl<T: Send + 'static> Shared<T> {
             queues.remove(&tenant);
         }
         pushed
+    }
+
+    /// Front-enqueues a job displaced from the successor slot onto its own tenant's queue:
+    /// it must outrank that tenant's older queued work (the §VIII-A demotion order — the
+    /// displaced job sits directly below its displacer in priority), but it does not re-enter
+    /// the slot.
+    fn fair_push_front(&self, tenant: u64, job: T) {
+        let mut inner = self.fair.lock();
+        let FairInner { queues, order } = &mut *inner;
+        let queue = queues.entry(tenant).or_default();
+        if queue.is_empty() {
+            order.push_back(tenant);
+        }
+        queue.push_front(job);
     }
 
     /// Round-robin pop: takes the front job of the next tenant in rotation and moves that
@@ -314,6 +350,10 @@ pub struct WorkerContext<'a, T: Send + 'static> {
     executor: &'a Executor<T>,
     deque: &'a Deque<T>,
     successor_slot: &'a Cell<Option<T>>,
+    /// Tenant tag of the current slot occupant (`None` = untagged), so a job displaced under
+    /// [`SchedulingPolicy::FairShare`] rejoins *its own* tenant's queue. Meaningful only
+    /// while the slot is occupied; always rewritten when the slot is filled.
+    successor_tenant: &'a Cell<Option<u64>>,
     rng: &'a RefCell<SmallRng>,
     index: usize,
     domain: usize,
@@ -348,6 +388,7 @@ impl<T: Send + 'static> ThreadPool<T> {
             workers,
             policy,
             fair: Mutex::new(FairInner::default()),
+            assist: AssistRegistry::new(),
         });
         let executor: Arc<Executor<T>> = Arc::new(executor);
 
@@ -423,6 +464,25 @@ impl<T: Send + 'static> ThreadPool<T> {
         }
     }
 
+    /// Publishes an in-progress data-parallel loop from *outside* the pool (the owner is not
+    /// a worker — e.g. a root task running on the submitting thread) and recruits parked
+    /// workers through the epoch protocol. The owner must drive the loop to quiescence and
+    /// then call [`ThreadPool::retire_loop`].
+    pub fn publish_loop(&self, desc: Arc<LoopDescriptor>) {
+        self.shared.assist.publish(desc);
+        self.shared.sleep.notify_many(self.shared.workers, None);
+    }
+
+    /// Removes a quiescent loop from the assist registry (see [`ThreadPool::publish_loop`]).
+    pub fn retire_loop(&self, desc: &Arc<LoopDescriptor>) {
+        self.shared.assist.retire(desc);
+    }
+
+    /// Number of currently published loops (diagnostics).
+    pub fn active_loops(&self) -> usize {
+        self.shared.assist.active_loops()
+    }
+
     /// Tenant-tagged [`ThreadPool::submit_batch`] (see [`ThreadPool::submit_tenant`]).
     pub fn submit_batch_tenant(&self, tenant: u64, jobs: impl IntoIterator<Item = T>) {
         if self.shared.policy == SchedulingPolicy::FairShare {
@@ -489,6 +549,15 @@ impl<T: Send + 'static> ThreadPool<T> {
             debug_assert_eq!(
                 stolen, split,
                 "pool accounting: every steal is either same-domain or cross-domain"
+            );
+            let assist_chunks = stats.assist_chunks.load(Relaxed);
+            let assist_steals = stats.assist_steals.load(Relaxed);
+            let assisted_loops = stats.assisted_loops.load(Relaxed);
+            debug_assert!(
+                assisted_loops <= assist_steals && assist_steals <= assist_chunks,
+                "assist accounting: every assisted loop was acquired at least once and every \
+                 acquisition ran at least one chunk \
+                 (loops {assisted_loops} <= steals {assist_steals} <= chunks {assist_chunks})"
             );
         }
     }
@@ -571,6 +640,28 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
     /// the §VIII-A priority (see `displaced_successor_outranks_the_displacing_wave`).
     pub fn dispatch_ready(&self, jobs: Vec<T>, successor_hint: bool) {
         let policy = self.shared.policy;
+        if policy == SchedulingPolicy::FairShare {
+            // Untagged fair-share wave: the successor takes the slot, the rest go to the
+            // global injector (fair-share never uses per-worker deques for waves).
+            let mut jobs = jobs.into_iter();
+            let mut pushed = 0usize;
+            if successor_hint {
+                if let Some(first) = jobs.next() {
+                    if let Some((displaced, tenant)) = self.slot_put(first, None) {
+                        self.fair_requeue_displaced(displaced, tenant);
+                        pushed += 1;
+                    }
+                }
+            }
+            for job in jobs {
+                self.shared.injector.push(job);
+                pushed += 1;
+            }
+            if pushed > 0 {
+                self.shared.sleep.notify_many(pushed, None);
+            }
+            return;
+        }
         if !(successor_hint && policy.uses_successor_slot()) {
             if policy.wave_goes_local() {
                 let count = jobs.len();
@@ -594,8 +685,7 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
             pushed += 1;
         }
         if let Some(first) = first {
-            if let Some(displaced) = self.successor_slot.replace(Some(first)) {
-                PoolStats::bump(&self.shared.stats.successor_displacements);
+            if let Some((displaced, _)) = self.slot_put(first, None) {
                 self.deque.push(displaced);
                 pushed += 1;
             }
@@ -607,17 +697,50 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
     }
 
     /// Tenant-tagged [`WorkerContext::dispatch_ready`]: under [`SchedulingPolicy::FairShare`]
-    /// the whole wave joins `tenant`'s FIFO queue (the successor hint does not apply — the
-    /// policy trades the locality slot for cross-tenant fairness); under every other policy
-    /// the tag is ignored and the wave takes the policy's normal placement.
+    /// the wave joins `tenant`'s FIFO queue — except the immediate successor, which takes the
+    /// releasing worker's slot when `successor_hint` is set (ISSUE 10: the queues used to
+    /// bypass the slot, burying the hot successor behind the round-robin rotation). A job the
+    /// successor displaces from the slot rejoins the *front* of its own tenant's queue, so it
+    /// runs ahead of that tenant's colder queued work — the same §VIII-A demotion order
+    /// [`WorkerContext::dispatch_ready`] pins for the deque policies. Under every other
+    /// policy the tag is ignored and the wave takes the policy's normal placement.
     pub fn dispatch_ready_tenant(&self, tenant: u64, jobs: Vec<T>, successor_hint: bool) {
         if self.shared.policy == SchedulingPolicy::FairShare {
-            let count = self.shared.fair_push_batch(tenant, jobs);
+            let mut jobs = jobs.into_iter();
+            let mut count = 0usize;
+            if successor_hint {
+                if let Some(first) = jobs.next() {
+                    if let Some((displaced, displaced_tenant)) = self.slot_put(first, Some(tenant)) {
+                        self.fair_requeue_displaced(displaced, displaced_tenant);
+                        count += 1;
+                    }
+                }
+            }
+            count += self.shared.fair_push_batch(tenant, jobs);
             if count > 0 {
                 self.shared.sleep.notify_many(count, None);
             }
         } else {
             self.dispatch_ready(jobs, successor_hint);
+        }
+    }
+
+    /// Puts `job` (owned by `tenant`, `None` = untagged) in the successor slot; returns the
+    /// displaced occupant and *its* tenant tag, with the displacement counted.
+    fn slot_put(&self, job: T, tenant: Option<u64>) -> Option<(T, Option<u64>)> {
+        let previous_tenant = self.successor_tenant.replace(tenant);
+        let displaced = self.successor_slot.replace(Some(job))?;
+        PoolStats::bump(&self.shared.stats.successor_displacements);
+        Some((displaced, previous_tenant))
+    }
+
+    /// Re-queues a job displaced from the slot under fair-share: the front of its own
+    /// tenant's queue, or the global injector if it was untagged. The caller signals the
+    /// sleep protocol (the displaced job is part of the caller's wake count).
+    fn fair_requeue_displaced(&self, displaced: T, tenant: Option<u64>) {
+        match tenant {
+            Some(tenant) => self.shared.fair_push_front(tenant, displaced),
+            None => self.shared.injector.push(displaced),
         }
     }
 
@@ -635,9 +758,14 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
             self.dispatch_spawned(job);
             return;
         }
-        if let Some(previous) = self.successor_slot.replace(Some(job)) {
-            PoolStats::bump(&self.shared.stats.successor_displacements);
-            self.dispatch_spawned(previous);
+        if let Some((previous, previous_tenant)) = self.slot_put(job, None) {
+            if self.shared.policy == SchedulingPolicy::FairShare {
+                self.fair_requeue_displaced(previous, previous_tenant);
+                let target = self.shared.sleep.notify_one(None);
+                self.shared.count_wake(target);
+            } else {
+                self.dispatch_spawned(previous);
+            }
         }
     }
 
@@ -665,6 +793,58 @@ impl<'a, T: Send + 'static> WorkerContext<'a, T> {
             return true;
         }
         false
+    }
+
+    /// Publishes an in-progress data-parallel loop registered by the task running on this
+    /// worker, and recruits every parked worker through the epoch protocol (a published loop
+    /// is claimable by *all* of them — the wake count is the pool size, domain-preferring so
+    /// hierarchical sleepers near the owner wake first). The owner must drive the loop to
+    /// quiescence and then call [`WorkerContext::retire_loop`].
+    pub fn publish_loop(&self, desc: Arc<LoopDescriptor>) {
+        self.shared.assist.publish(desc);
+        let woken = self.shared.sleep.notify_many(self.shared.workers, Some(self.domain));
+        self.shared.count_wakes(woken);
+    }
+
+    /// Removes a quiescent loop from the assist registry (see
+    /// [`WorkerContext::publish_loop`]).
+    pub fn retire_loop(&self, desc: &Arc<LoopDescriptor>) {
+        self.shared.assist.retire(desc);
+    }
+
+    /// The idle path's **assist** step, ranked below every task source (successor slot →
+    /// local deque → injector → steal) and above sleep: picks a published loop — same-domain
+    /// first under [`SchedulingPolicy::HierarchicalSteal`], round-robin over loops (and
+    /// therefore tenants) otherwise — and runs chunks until the loop is drained or shutdown
+    /// is requested. Returns whether at least one chunk was executed (the worker then rescans
+    /// the task sources before assisting again, preserving the priority order).
+    fn assist_once(&self) -> bool {
+        let prefer = matches!(self.shared.policy, SchedulingPolicy::HierarchicalSteal { .. })
+            .then_some(self.domain);
+        let Some(desc) = self.shared.assist.select(prefer) else {
+            return false;
+        };
+        let mut ran = 0usize;
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            let Some((chunk_start, chunk_end)) = desc.claim() else {
+                break;
+            };
+            // Recorded *before* the chunk completes so the owner's quiescence wait
+            // (`completed == claimed`) is guaranteed to observe the final per-loop assist
+            // count when it returns.
+            desc.note_assist_chunks(1);
+            desc.run_chunk(chunk_start, chunk_end);
+            ran += 1;
+        }
+        if ran == 0 {
+            return false;
+        }
+        self.shared.stats.assist_chunks.fetch_add(ran, Ordering::Relaxed);
+        PoolStats::bump(&self.shared.stats.assist_steals);
+        if desc.mark_assisted() {
+            PoolStats::bump(&self.shared.stats.assisted_loops);
+        }
+        true
     }
 
     fn run(&self, job: T) {
@@ -803,12 +983,14 @@ fn worker_main<T: Send + 'static>(
     executor: Arc<Executor<T>>,
 ) {
     let successor_slot = Cell::new(None);
+    let successor_tenant = Cell::new(None);
     let rng = RefCell::new(SmallRng::seed_from_u64(0x9E3779B97F4A7C15 ^ index as u64));
     let ctx = WorkerContext {
         shared: &shared,
         executor: executor.as_ref(),
         deque: &deque,
         successor_slot: &successor_slot,
+        successor_tenant: &successor_tenant,
         rng: &rng,
         index,
         domain: shared.policy.domain_of(index, shared.workers),
@@ -822,9 +1004,16 @@ fn worker_main<T: Send + 'static>(
         }
         // Record the sleep epoch *before* scanning, so a submission racing with the scan is
         // guaranteed to be observed either by the scan or by the epoch check before sleeping.
+        // Publishing a loop bumps the same epoch, so the scan → assist → sleep sequence can
+        // never sleep through a loop published while it ran.
         let epoch = shared.sleep.current_epoch();
         if let Some(job) = ctx.find_work(true) {
             ctx.run(job);
+            continue;
+        }
+        // Idle-path priority order: successor slot → local → injector → steal (all inside
+        // `find_work`) → **assist** an in-progress loop → sleep.
+        if ctx.assist_once() {
             continue;
         }
         PoolStats::bump(&shared.stats.sleeps);
@@ -1225,6 +1414,94 @@ mod tests {
             6,
             "job 0 from the injector plus five round-robin pops"
         );
+    }
+
+    /// Regression test for the ISSUE 10 fair-share follow-up: the per-tenant queues used to
+    /// bypass the successor slot, so a hot successor was buried behind the round-robin
+    /// rotation. `dispatch_ready_tenant` now routes the successor through the slot, and a
+    /// displaced slot occupant rejoins the *front* of its own tenant's queue — below its
+    /// displacer, above that tenant's colder queued work, without jumping another tenant's
+    /// turn.
+    #[test]
+    fn fair_share_successor_takes_the_slot() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let ready = Arc::new(AtomicBool::new(false));
+        let proceed = Arc::new(AtomicBool::new(false));
+        let (o, r, p) = (Arc::clone(&order), Arc::clone(&ready), Arc::clone(&proceed));
+        let pool: ThreadPool<usize> =
+            ThreadPool::with_policy(1, SchedulingPolicy::FairShare, move |job, ctx| {
+                o.lock().push(job);
+                if job == 0 {
+                    // Pin the single worker so tenant 9's jobs queue up behind this body.
+                    r.store(true, Ordering::SeqCst);
+                    while !p.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    // First wave of tenant 1: 1 takes the slot, 2 and 3 join the queue.
+                    ctx.dispatch_ready_tenant(1, vec![1, 2, 3], true);
+                    // Second wave displaces 1 from the slot: it must come back at the front
+                    // of tenant 1's queue — after the displacer 4 and tenant 9's turn, but
+                    // before tenant 1's colder jobs 2, 3 and the new wave 5, 6.
+                    ctx.dispatch_ready_tenant(1, vec![4, 5, 6], true);
+                }
+            });
+        pool.submit(0);
+        assert!(wait_for(|| ready.load(Ordering::SeqCst), Duration::from_secs(5)));
+        pool.submit_tenant(9, 90);
+        pool.submit_tenant(9, 91);
+        proceed.store(true, Ordering::SeqCst);
+        assert!(wait_for(|| order.lock().len() == 9, Duration::from_secs(5)));
+        assert_eq!(*order.lock(), vec![0, 4, 90, 1, 91, 2, 3, 5, 6]);
+        let stats = pool.stats();
+        assert_eq!(stats.from_successor_slot.load(Ordering::Relaxed), 1, "4 came from the slot");
+        assert_eq!(stats.successor_displacements.load(Ordering::Relaxed), 1);
+    }
+
+    /// An idle worker assists a published loop: the pool-level round trip of
+    /// publish → recruit → claim-by-atomic-cursor → retire, with the assist counters
+    /// satisfying their identity (`assisted_loops <= assist_steals <= assist_chunks`).
+    #[test]
+    fn idle_workers_assist_published_loops() {
+        let covered = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&covered);
+        let pool: ThreadPool<u8> = ThreadPool::new(2, move |_job, ctx| {
+            let sum = Arc::clone(&c);
+            let desc = Arc::new(LoopDescriptor::new(
+                0..256,
+                4,
+                1,
+                ctx.domain(),
+                move |_d, s, e| {
+                    sum.fetch_add(e - s, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(200));
+                },
+                || false,
+            ));
+            ctx.publish_loop(Arc::clone(&desc));
+            // Drive one chunk, then hold until the idle worker has joined in, so the test
+            // deterministically exercises the assist path (it is woken by publish_loop and
+            // finds no stealable task — the loop is all there is).
+            if let Some((s, e)) = desc.claim() {
+                desc.run_chunk(s, e);
+            }
+            while desc.assist_chunk_count() == 0 && !desc.exhausted() {
+                std::thread::yield_now();
+            }
+            desc.drive();
+            desc.wait_quiescent();
+            ctx.retire_loop(&desc);
+            assert!(desc.assist_chunk_count() > 0, "the idle worker must have assisted");
+        });
+        pool.submit(0);
+        assert!(wait_for(|| covered.load(Ordering::SeqCst) == 256, Duration::from_secs(10)));
+        assert_eq!(pool.active_loops(), 0, "retire removes the loop");
+        let stats = pool.stats();
+        let chunks = stats.assist_chunks.load(Ordering::Relaxed);
+        let steals = stats.assist_steals.load(Ordering::Relaxed);
+        let loops = stats.assisted_loops.load(Ordering::Relaxed);
+        assert!(chunks > 0, "assist chunks were executed");
+        assert!(loops <= steals && steals <= chunks, "assist counter identity");
+        assert_eq!(loops, 1);
     }
 
     /// Under a non-fair-share policy the tenant-tagged entry points are transparent aliases

@@ -28,6 +28,13 @@
 //!   - `leaf-lock` + `call-while-locked` (pump/dispatch patterns; the condvar wait *and*
 //!     notify under the mutex are the watchdog's own sleep protocol and are deliberately
 //!     allowed — the tick callback, which takes other leaf locks, runs outside it).
+//! * `crates/threadpool/src/assist.rs` — the **assist registry** (`….loops.lock()`) and the
+//!   per-loop **poison slot** (`….poison.lock()`):
+//!   - `leaf-lock`: both are leaves — publish/retire/select only mutate the small `Vec`
+//!     under the registry lock, and the poison slot only stores the first panic payload;
+//!   - `call-while-locked`: no chunk execution (`run_chunk`/`drive`/`claim`), sleep-protocol
+//!     notify, or scheduler dispatch while either guard is live — chunks are claimed and run
+//!     strictly after release, and loop-publication wakes happen outside the lock.
 //!
 //! ## How the scanner works
 //!
@@ -149,12 +156,55 @@ pub fn classes_for(path: &Path) -> &'static [LockClass] {
         forbid_nested_same_class: true,
         leaf: true,
     };
+    const ASSIST: LockClass = LockClass {
+        name: "assist-registry",
+        acquire: ".loops.lock()",
+        // Chunks are claimed and run strictly after the registry guard is released, and the
+        // publish wake goes through the sleep protocol outside the lock (docs/locking.md).
+        forbidden_calls: &[
+            ".pump(",
+            ".notify_one(",
+            ".notify_all(",
+            ".notify_many(",
+            ".submit(",
+            ".submit_batch(",
+            ".dispatch_ready(",
+            ".dispatch_spawned(",
+            ".run_chunk(",
+            ".drive(",
+            ".claim(",
+        ],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
+    const POISON: LockClass = LockClass {
+        name: "loop-poison",
+        acquire: ".poison.lock()",
+        // The poison slot only stores/takes the first panic payload; nothing else may run
+        // under it.
+        forbidden_calls: &[
+            ".pump(",
+            ".notify_one(",
+            ".notify_all(",
+            ".notify_many(",
+            ".submit(",
+            ".submit_batch(",
+            ".dispatch_ready(",
+            ".dispatch_spawned(",
+            ".run_chunk(",
+            ".drive(",
+            ".claim(",
+        ],
+        forbid_nested_same_class: true,
+        leaf: true,
+    };
     const DOMAIN_CLASSES: &[LockClass] = &[DOMAIN];
     const EPOCH_CLASSES: &[LockClass] = &[EPOCH];
     const REGISTRY_CLASSES: &[LockClass] = &[REGISTRY];
     const FAIR_CLASSES: &[LockClass] = &[FAIR];
     const ADMISSION_CLASSES: &[LockClass] = &[ADMISSION];
     const WATCHDOG_CLASSES: &[LockClass] = &[WATCHDOG];
+    const ASSIST_CLASSES: &[LockClass] = &[ASSIST, POISON];
     let full = path.to_string_lossy().replace('\\', "/");
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     // "domain"/"outbox" match the synthetic fixtures, so the CLI can be pointed at them too.
@@ -168,6 +218,8 @@ pub fn classes_for(path: &Path) -> &'static [LockClass] {
         ADMISSION_CLASSES
     } else if name.contains("watchdog") {
         WATCHDOG_CLASSES
+    } else if name.contains("assist") {
+        ASSIST_CLASSES
     } else if full.contains("threadpool") && name == "lib.rs" || name.contains("fair") {
         FAIR_CLASSES
     } else {
@@ -639,6 +691,67 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.rule == "leaf-lock"),
             "a lock taken under the watchdog state mutex must be flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn assist_registry_is_leaf_and_runs_no_chunk_under_the_lock() {
+        let assist_classes = classes_for(&PathBuf::from("crates/threadpool/src/assist.rs"));
+        assert_eq!(assist_classes.len(), 2, "assist.rs must get the registry + poison classes");
+        // The real shapes: publish/retire/select only mutate the Vec; the poison slot only
+        // stores the payload. The publish wake happens in the caller, after release.
+        let clean = r#"
+            fn publish(&self) {
+                let mut inner = self.loops.lock();
+                inner.loops.push(desc);
+                self.active.fetch_add(1, Ordering::Release);
+            }
+            fn run_chunk(&self) {
+                if let Err(payload) = result {
+                    let mut poison = self.poison.lock();
+                    if poison.is_none() {
+                        *poison = Some(payload);
+                    }
+                }
+                self.completed.fetch_add(1, Ordering::Release);
+            }
+        "#;
+        assert!(
+            scan_source("assist.rs", clean, assist_classes).is_empty(),
+            "the real publish/poison shapes must stay clean"
+        );
+
+        let dirty = r#"
+            fn wake_under_registry(&self) {
+                let mut inner = self.loops.lock();
+                inner.loops.push(desc);
+                self.sleep.notify_many(workers, None);
+            }
+            fn chunk_under_registry(&self) {
+                let mut inner = self.loops.lock();
+                inner.loops[0].run_chunk(s, e);
+            }
+            fn poison_takes_a_lock(&self) {
+                let mut poison = self.poison.lock();
+                let inner = self.loops.lock();
+            }
+        "#;
+        let violations = scan_source("assist.rs", dirty, assist_classes);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "call-while-locked" && v.function == "wake_under_registry"),
+            "wake under the registry guard not flagged: {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "call-while-locked" && v.function == "chunk_under_registry"),
+            "chunk execution under the registry guard not flagged: {violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.rule == "leaf-lock" && v.function == "poison_takes_a_lock"),
+            "a lock taken under the poison guard must be flagged: {violations:?}"
         );
     }
 
